@@ -1,0 +1,100 @@
+// Experiment C-ALIGN (Corollary 20; the paper's core motivation).
+//
+// The abstract view is the semantics, the concrete view is what you can
+// actually compute on: an abstract instance has one snapshot per time
+// point, so chasing it directly costs time proportional to the timeline
+// length, while the c-chase costs time proportional to the number of
+// *change points*. This bench quantifies that gap:
+//
+//  * BM_ConcreteCChase        — the c-chase on Ic (horizon-independent);
+//  * BM_AbstractChasePieces   — the piecewise abstract chase (one chase per
+//                               run of identical snapshots; the best any
+//                               snapshot-based evaluator could do);
+//  * BM_AbstractChasePerPoint — materializing and chasing every single
+//                               snapshot up to the horizon (the naive
+//                               reading of the abstract semantics).
+//
+// Expected shape: per-point cost grows linearly with the horizon while the
+// c-chase cost stays flat, with the crossover essentially at horizon ~
+// number of change points.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/align.h"
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+#include "src/temporal/abstract_chase.h"
+
+namespace {
+
+std::unique_ptr<tdx::Workload> MakeInstance(tdx::TimePoint horizon) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = 30;
+  cfg.num_companies = 5;
+  cfg.avg_jobs = 3;
+  cfg.horizon = horizon;
+  cfg.salary_known_fraction = 0.7;
+  cfg.seed = 21;
+  return tdx::MakeEmploymentWorkload(cfg);
+}
+
+void BM_ConcreteCChase(benchmark::State& state) {
+  auto w = MakeInstance(static_cast<tdx::TimePoint>(state.range(0)));
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["facts"] = static_cast<double>(w->source.size());
+}
+BENCHMARK(BM_ConcreteCChase)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_AbstractChasePieces(benchmark::State& state) {
+  auto w = MakeInstance(static_cast<tdx::TimePoint>(state.range(0)));
+  auto ia = tdx::AbstractInstance::FromConcrete(w->source);
+  if (!ia.ok()) {
+    state.SkipWithError("FromConcrete failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto outcome = tdx::AbstractChase(*ia, w->mapping, &w->universe);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["pieces"] = static_cast<double>(ia->pieces().size());
+}
+BENCHMARK(BM_AbstractChasePieces)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_AbstractChasePerPoint(benchmark::State& state) {
+  const auto horizon = static_cast<tdx::TimePoint>(state.range(0));
+  auto w = MakeInstance(horizon);
+  auto ia = tdx::AbstractInstance::FromConcrete(w->source);
+  if (!ia.ok()) {
+    state.SkipWithError("FromConcrete failed");
+    return;
+  }
+  for (auto _ : state) {
+    for (tdx::TimePoint l = 0; l <= horizon; ++l) {
+      auto outcome = tdx::ChaseSnapshotAt(*ia, l, w->mapping, &w->universe);
+      benchmark::DoNotOptimize(outcome);
+    }
+  }
+  state.counters["snapshots"] = static_cast<double>(horizon + 1);
+}
+BENCHMARK(BM_AbstractChasePerPoint)->Arg(50)->Arg(100)->Arg(400);
+
+// The alignment verifier itself (homomorphic-equivalence checking), the
+// price of *certifying* Corollary 20 on a given instance.
+void BM_VerifyCorollary20(benchmark::State& state) {
+  auto w = MakeInstance(100);
+  for (auto _ : state) {
+    auto report = tdx::VerifyCorollary20(w->source, w->mapping, w->lifted,
+                                         &w->universe);
+    benchmark::DoNotOptimize(report);
+    if (!report.ok() || !report->aligned()) {
+      state.SkipWithError("alignment failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_VerifyCorollary20);
+
+}  // namespace

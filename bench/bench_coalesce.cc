@@ -1,0 +1,67 @@
+// Experiment C-COAL (Section 2): coalescing throughput and compaction.
+//
+// Coalescing canonicalizes concrete instances (unique coalesced
+// representative per abstract database). The bench sweeps fragmentation
+// degrees: instances whose facts were split into k adjacent pieces each
+// must coalesce back to the original size, at sort-and-sweep cost.
+
+#include <benchmark/benchmark.h>
+
+#include "src/gen/workload.h"
+#include "src/temporal/coalesce.h"
+
+namespace {
+
+/// Fragments every bounded fact of the employment workload into unit
+/// intervals (maximum fragmentation), yielding a heavily redundant input.
+tdx::ConcreteInstance Fragmentize(const tdx::Workload& w) {
+  tdx::ConcreteInstance out(&w.schema);
+  w.source.facts().ForEach([&](const tdx::Fact& fact) {
+    const tdx::Interval& iv = fact.interval();
+    if (iv.unbounded() || *iv.length() <= 1) {
+      out.mutable_facts().Insert(fact);
+      return;
+    }
+    for (tdx::TimePoint t = iv.start(); t < iv.end(); ++t) {
+      out.mutable_facts().Insert(fact.WithInterval(tdx::Interval(t, t + 1)));
+    }
+  });
+  return out;
+}
+
+void BM_CoalesceFragmented(benchmark::State& state) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = static_cast<std::size_t>(state.range(0));
+  cfg.horizon = 100;
+  cfg.seed = 3;
+  auto w = tdx::MakeEmploymentWorkload(cfg);
+  const tdx::ConcreteInstance fragmented = Fragmentize(*w);
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    tdx::ConcreteInstance compact = tdx::Coalesce(fragmented);
+    benchmark::DoNotOptimize(compact);
+    out_size = compact.size();
+  }
+  state.counters["in_facts"] = static_cast<double>(fragmented.size());
+  state.counters["out_facts"] = static_cast<double>(out_size);
+  state.counters["compaction"] = static_cast<double>(fragmented.size()) /
+                                 static_cast<double>(out_size);
+}
+BENCHMARK(BM_CoalesceFragmented)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CoalesceAlreadyCoalesced(benchmark::State& state) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = static_cast<std::size_t>(state.range(0));
+  cfg.horizon = 100;
+  cfg.seed = 3;
+  auto w = tdx::MakeEmploymentWorkload(cfg);
+  const tdx::ConcreteInstance once = tdx::Coalesce(w->source);
+  for (auto _ : state) {
+    tdx::ConcreteInstance again = tdx::Coalesce(once);
+    benchmark::DoNotOptimize(again);
+  }
+  state.counters["facts"] = static_cast<double>(once.size());
+}
+BENCHMARK(BM_CoalesceAlreadyCoalesced)->Arg(50)->Arg(200);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Experiment T13 (Theorem 13): the normalized instance is O(n^2) in the
+// worst case. The workload is the nested-interval family R(a_i)@[i, 2n-i)
+// under the pairing conjunction R+(x,t) & R+(y,t): one overlap group with
+// 2n distinct endpoints, so the output has exactly n^2 facts.
+//
+// The counter `out_facts` should follow n^2 and `quad_ratio` should sit at
+// 1.0 across the sweep, empirically validating the bound being tight.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/normalize.h"
+#include "src/gen/workload.h"
+
+namespace {
+
+void BM_WorstCaseNormalize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto w = tdx::MakeWorstCaseNormalizationWorkload(n);
+  const auto phis = w->lifted.TgdBodies();
+  tdx::NormalizeStats stats;
+  for (auto _ : state) {
+    tdx::ConcreteInstance out = tdx::Normalize(w->source, phis, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["out_facts"] = static_cast<double>(stats.output_facts);
+  state.counters["quad_ratio"] =
+      static_cast<double>(stats.output_facts) / static_cast<double>(n * n);
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_WorstCaseNormalize)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Complexity();
+
+// The naive normalizer hits the same quadratic output on this family but
+// without the homomorphism enumeration cost.
+void BM_WorstCaseNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto w = tdx::MakeWorstCaseNormalizationWorkload(n);
+  tdx::NormalizeStats stats;
+  for (auto _ : state) {
+    tdx::ConcreteInstance out = tdx::NaiveNormalize(w->source, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out_facts"] = static_cast<double>(stats.output_facts);
+  state.counters["quad_ratio"] =
+      static_cast<double>(stats.output_facts) / static_cast<double>(n * n);
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_WorstCaseNaive)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Complexity();
+
+}  // namespace

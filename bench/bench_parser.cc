@@ -1,0 +1,60 @@
+// Experiment C-PARSE (tooling substrate): text-format throughput.
+//
+// Round-trips generated workloads through the serializer and parser:
+// large fact lists dominate real program files, so the sweep scales the
+// source instance. Counters report program size and facts/second.
+
+#include <benchmark/benchmark.h>
+
+#include "src/gen/workload.h"
+#include "src/parser/parser.h"
+#include "src/parser/serialize.h"
+
+namespace {
+
+std::string MakeProgramText(std::int64_t people) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = static_cast<std::size_t>(people);
+  cfg.horizon = 100;
+  cfg.seed = 23;
+  auto w = tdx::MakeEmploymentWorkload(cfg);
+
+  // Assemble a full program around the generated facts.
+  std::string text = tdx::SerializeSchema(w->schema);
+  text += tdx::SerializeMapping(w->mapping, w->schema, w->universe);
+  auto facts = tdx::SerializeInstanceFacts(w->source, w->universe);
+  text += *facts;
+  return text;
+}
+
+void BM_ParseProgram(benchmark::State& state) {
+  const std::string text = MakeProgramText(state.range(0));
+  std::size_t facts = 0;
+  for (auto _ : state) {
+    auto program = tdx::ParseProgram(text);
+    benchmark::DoNotOptimize(program);
+    if (program.ok()) facts = (*program)->source.size();
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+  state.counters["facts"] = static_cast<double>(facts);
+  state.SetBytesProcessed(static_cast<std::int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseProgram)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SerializeProgram(benchmark::State& state) {
+  const std::string text = MakeProgramText(state.range(0));
+  auto program = tdx::ParseProgram(text);
+  if (!program.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto out = tdx::SerializeProgram(**program);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_SerializeProgram)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Experiment C-TTGD (extension): target-tgd chase scaling.
+//
+// Per-snapshot transitive closure of random flight schedules, computed on
+// the concrete view: the target tgd Reach(x,y) & Reach(y,z) -> Reach(x,z)
+// closes reachability within every run of co-valid flights. Sweeps the
+// schedule size and the connectivity (flights per airport); counters report
+// the closure blow-up (reach facts per flight fact) and round counts.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+
+namespace {
+
+void BM_TransitiveClosureBySize(benchmark::State& state) {
+  tdx::FlightConfig cfg;
+  cfg.num_flights = static_cast<std::size_t>(state.range(0));
+  cfg.num_airports = cfg.num_flights / 3 + 2;
+  cfg.horizon = 40;
+  cfg.seed = 11;
+  auto w = tdx::MakeFlightWorkload(cfg);
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  state.counters["flights"] = static_cast<double>(w->source.size());
+  state.counters["reach_facts"] = static_cast<double>(last->target.size());
+  state.counters["blowup"] = static_cast<double>(last->target.size()) /
+                             static_cast<double>(w->source.size());
+}
+BENCHMARK(BM_TransitiveClosureBySize)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_TransitiveClosureByDensity(benchmark::State& state) {
+  // Fixed flight count over fewer airports: denser graphs, bigger closures.
+  tdx::FlightConfig cfg;
+  cfg.num_flights = 60;
+  cfg.num_airports = static_cast<std::size_t>(state.range(0));
+  cfg.horizon = 40;
+  cfg.seed = 11;
+  auto w = tdx::MakeFlightWorkload(cfg);
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  state.counters["airports"] = static_cast<double>(cfg.num_airports);
+  state.counters["reach_facts"] = static_cast<double>(last->target.size());
+}
+BENCHMARK(BM_TransitiveClosureByDensity)->Arg(30)->Arg(15)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Employment histories at scale: generates a synthetic HR database (the
+// paper's running scenario, scaled up), exchanges it into the target
+// schema with the c-chase, and reports what the exchange produced — how
+// much of the salary history is known vs. unknown, and how normalization
+// grew the instance.
+//
+// Usage: employment_history [num_people] [horizon] [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/core/cchase.h"
+#include "src/core/naive_eval.h"
+#include "src/gen/workload.h"
+#include "src/temporal/coalesce.h"
+
+int main(int argc, char** argv) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = argc > 1 ? std::stoul(argv[1]) : 200;
+  cfg.horizon = argc > 2 ? std::stoul(argv[2]) : 120;
+  cfg.seed = argc > 3 ? std::stoul(argv[3]) : 42;
+  cfg.num_companies = 12;
+  cfg.avg_jobs = 3;
+  cfg.salary_known_fraction = 0.65;
+
+  auto w = tdx::MakeEmploymentWorkload(cfg);
+  std::cout << "generated " << w->source.size() << " source facts for "
+            << cfg.num_people << " people over horizon " << cfg.horizon
+            << "\n";
+
+  auto outcome = tdx::CChase(w->source, w->lifted, &w->universe);
+  if (!outcome.ok()) {
+    std::cerr << outcome.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (outcome->kind == tdx::ChaseResultKind::kFailure) {
+    std::cout << "no solution: " << outcome->failure_reason << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "normalization: " << outcome->source_norm_stats.input_facts
+            << " -> " << outcome->source_norm_stats.output_facts
+            << " source facts (" << outcome->source_norm_stats.groups
+            << " overlap groups)\n";
+  std::cout << "c-chase: " << outcome->stats.tgd_fires << " tgd steps, "
+            << outcome->stats.egd_steps << " egd steps, "
+            << outcome->stats.fresh_nulls << " interval-annotated nulls\n";
+
+  // How much of the exchanged history is complete?
+  std::size_t known = 0, unknown = 0;
+  outcome->target.facts().ForEach([&](const tdx::Fact& fact) {
+    bool has_null = false;
+    for (const tdx::Value& v : fact.args()) {
+      if (v.is_any_null()) has_null = true;
+    }
+    (has_null ? unknown : known) += 1;
+  });
+  std::cout << "target rows: " << known << " complete, " << unknown
+            << " with unknown salary\n";
+
+  const tdx::ConcreteInstance compact = tdx::Coalesce(outcome->target);
+  std::cout << "coalesced target: " << outcome->target.size() << " -> "
+            << compact.size() << " rows\n";
+
+  // Certain salary answers across the whole timeline.
+  const tdx::RelationId emp = *w->schema.Find("Emp");
+  tdx::ConjunctiveQuery q;
+  q.name = "salaries";
+  tdx::Atom atom;
+  atom.rel = emp;
+  atom.terms = {tdx::Term::Var(0), tdx::Term::Var(1), tdx::Term::Var(2)};
+  q.body.atoms = {atom};
+  q.body.num_vars = 3;
+  q.head = {0, 2};
+  tdx::UnionQuery uq;
+  uq.name = q.name;
+  uq.disjuncts = {q};
+  auto lifted = tdx::LiftUnionQuery(uq, w->schema);
+  if (!lifted.ok()) {
+    std::cerr << lifted.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto answers = tdx::NaiveEvaluateConcrete(*lifted, outcome->target);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "certain salary answers (temporal tuples): " << answers->size()
+            << "\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,109 @@
+#include "src/common/allen.h"
+
+namespace tdx {
+
+AllenRelation Classify(const Interval& a, const Interval& b) {
+  const TimePoint as = a.start(), ae = a.end();
+  const TimePoint bs = b.start(), be = b.end();
+
+  if (ae < bs) return AllenRelation::kBefore;
+  if (ae == bs) return AllenRelation::kMeets;
+  if (be < as) return AllenRelation::kAfter;
+  if (be == as) return AllenRelation::kMetBy;
+
+  // The intervals share at least one point from here on.
+  if (as == bs) {
+    if (ae == be) return AllenRelation::kEquals;
+    return ae < be ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (ae == be) {
+    return as > bs ? AllenRelation::kFinishes : AllenRelation::kFinishedBy;
+  }
+  if (as < bs) {
+    return ae > be ? AllenRelation::kContains : AllenRelation::kOverlaps;
+  }
+  // as > bs
+  return ae < be ? AllenRelation::kDuring : AllenRelation::kOverlappedBy;
+}
+
+AllenRelation Inverse(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+  }
+  return AllenRelation::kEquals;
+}
+
+std::string_view AllenRelationName(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kFinishedBy:
+      return "finished_by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStartedBy:
+      return "started_by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped_by";
+    case AllenRelation::kMetBy:
+      return "met_by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "?";
+}
+
+bool PeriodsOverlap(const Interval& a, const Interval& b) {
+  return a.Overlaps(b);
+}
+
+bool PeriodContains(const Interval& a, const Interval& b) {
+  return a.Contains(b);
+}
+
+bool PeriodPrecedes(const Interval& a, const Interval& b) {
+  return a.end() <= b.start();
+}
+
+bool PeriodImmediatelyPrecedes(const Interval& a, const Interval& b) {
+  return a.end() == b.start();
+}
+
+}  // namespace tdx

@@ -1,0 +1,71 @@
+// Allen's interval algebra: the thirteen basic relations between two
+// intervals (Allen, CACM 1983).
+//
+// The paper's machinery needs only overlap/adjacency/containment, but
+// temporal-database tooling built on tdx regularly wants the full
+// vocabulary (SQL:2011's period predicates are unions of Allen relations).
+// Classify() maps any pair of half-open intervals to exactly one relation;
+// the half-open representation makes "meets" coincide with the paper's
+// adjacency (a.end == b.start).
+//
+// Naming follows Allen, with the six inverse relations spelled out:
+//
+//   a BEFORE b        a ends strictly before b starts (gap in between)
+//   a MEETS b         a.end == b.start
+//   a OVERLAPS b      proper overlap, a starts first, neither contains
+//   a STARTS b        same start, a ends first
+//   a DURING b        b properly contains a on both sides
+//   a FINISHES b      same end, a starts later
+//   a EQUALS b
+//   ... and AFTER / MET_BY / OVERLAPPED_BY / STARTED_BY / CONTAINS /
+//   FINISHED_BY as the inverses.
+
+#ifndef TDX_COMMON_ALLEN_H_
+#define TDX_COMMON_ALLEN_H_
+
+#include <string_view>
+
+#include "src/common/interval.h"
+
+namespace tdx {
+
+enum class AllenRelation {
+  kBefore,
+  kMeets,
+  kOverlaps,
+  kStarts,
+  kDuring,
+  kFinishes,
+  kEquals,
+  kFinishedBy,
+  kContains,
+  kStartedBy,
+  kOverlappedBy,
+  kMetBy,
+  kAfter,
+};
+
+/// The unique Allen relation holding between `a` and `b`. Total: every pair
+/// of (non-empty, half-open) intervals falls into exactly one case;
+/// unbounded endpoints compare as +infinity.
+AllenRelation Classify(const Interval& a, const Interval& b);
+
+/// The inverse relation: Classify(b, a) == Inverse(Classify(a, b)).
+AllenRelation Inverse(AllenRelation rel);
+
+/// Stable lowercase token ("before", "met_by", ...).
+std::string_view AllenRelationName(AllenRelation rel);
+
+/// SQL:2011-style composite predicates, expressed over Allen relations.
+/// a OVERLAPS b in the SQL sense = any relation sharing >= 1 time point.
+bool PeriodsOverlap(const Interval& a, const Interval& b);
+/// a CONTAINS b in the SQL sense = every point of b is in a.
+bool PeriodContains(const Interval& a, const Interval& b);
+/// a PRECEDES b = a entirely before b (BEFORE or MEETS).
+bool PeriodPrecedes(const Interval& a, const Interval& b);
+/// a IMMEDIATELY PRECEDES b = MEETS.
+bool PeriodImmediatelyPrecedes(const Interval& a, const Interval& b);
+
+}  // namespace tdx
+
+#endif  // TDX_COMMON_ALLEN_H_

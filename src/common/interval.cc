@@ -1,0 +1,69 @@
+#include "src/common/interval.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+std::optional<Interval> Interval::Intersect(const Interval& other) const {
+  const TimePoint s = std::max(start_, other.start_);
+  const TimePoint e = std::min(end_, other.end_);
+  if (s >= e) return std::nullopt;
+  return Interval(s, e);
+}
+
+Interval Interval::MergeWith(const Interval& other) const {
+  assert(Mergeable(other));
+  return Interval(std::min(start_, other.start_), std::max(end_, other.end_));
+}
+
+std::pair<Interval, Interval> Interval::SplitAt(TimePoint t) const {
+  assert(start_ < t && t < end_ && "split point must be interior");
+  return {Interval(start_, t), Interval(t, end_)};
+}
+
+std::string TimePointToString(TimePoint t) {
+  if (t == kTimeInfinity) return "inf";
+  return std::to_string(t);
+}
+
+std::string Interval::ToString() const {
+  std::string out = "[";
+  out += TimePointToString(start_);
+  out += ", ";
+  out += TimePointToString(end_);
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+std::vector<Interval> FragmentInterval(const Interval& iv,
+                                       const std::vector<TimePoint>& cuts) {
+  assert(std::is_sorted(cuts.begin(), cuts.end()));
+  std::vector<Interval> out;
+  TimePoint cur = iv.start();
+  for (TimePoint c : cuts) {
+    if (c <= cur) continue;
+    if (c >= iv.end()) break;
+    out.emplace_back(cur, c);
+    cur = c;
+  }
+  out.emplace_back(cur, iv.end());
+  return out;
+}
+
+std::vector<TimePoint> DistinctFiniteEndpoints(const std::vector<Interval>& ivs) {
+  std::vector<TimePoint> pts;
+  pts.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    pts.push_back(iv.start());
+    if (!iv.unbounded()) pts.push_back(iv.end());
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+}  // namespace tdx

@@ -1,0 +1,143 @@
+// Time points and half-open time intervals [s, e).
+//
+// The paper (Section 2) models time as a totally ordered domain isomorphic
+// to the non-negative integers N0. Concrete facts are stamped with intervals
+// of the form [s, e) or [s, inf), s, e in N0. We represent a time point as a
+// uint64_t and the open right endpoint "infinity" as kTimeInfinity.
+//
+// All interval algebra needed by the paper lives here: intersection, union
+// of adjacent/overlapping intervals, adjacency (Section 2: two intervals
+// [s,e) and [s',e') are adjacent iff s' = e or s = e'), containment of time
+// points, and the endpoint enumeration used by the normalization algorithms
+// (Section 4.2).
+
+#ifndef TDX_COMMON_INTERVAL_H_
+#define TDX_COMMON_INTERVAL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdx {
+
+/// A discrete time point; the domain is N0.
+using TimePoint = std::uint64_t;
+
+/// Sentinel for the open right endpoint "infinity" in [s, inf).
+inline constexpr TimePoint kTimeInfinity = UINT64_MAX;
+
+/// A non-empty half-open interval [start, end) with end possibly infinite.
+///
+/// Invariant: start < end (empty intervals are not representable; the paper
+/// never produces them and forbidding them removes a class of bugs).
+class Interval {
+ public:
+  /// Constructs [start, end). Asserts non-emptiness.
+  constexpr Interval(TimePoint start, TimePoint end) : start_(start), end_(end) {
+    assert(start < end && "Interval must be non-empty");
+  }
+
+  /// Constructs [start, inf).
+  static constexpr Interval FromStart(TimePoint start) {
+    return Interval(start, kTimeInfinity);
+  }
+
+  constexpr TimePoint start() const { return start_; }
+  constexpr TimePoint end() const { return end_; }
+  constexpr bool unbounded() const { return end_ == kTimeInfinity; }
+
+  /// Number of time points covered; nullopt for unbounded intervals.
+  constexpr std::optional<std::uint64_t> length() const {
+    if (unbounded()) return std::nullopt;
+    return end_ - start_;
+  }
+
+  /// Does this interval contain the time point `t`?
+  constexpr bool Contains(TimePoint t) const { return start_ <= t && t < end_; }
+
+  /// Does this interval contain every point of `other`?
+  constexpr bool Contains(const Interval& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+
+  /// Do the two intervals share at least one time point?
+  constexpr bool Overlaps(const Interval& other) const {
+    return start_ < other.end_ && other.start_ < end_;
+  }
+
+  /// Adjacency per Section 2: [s,e), [s',e') are adjacent iff s' = e or
+  /// s = e'. Adjacent intervals are disjoint but their union is an interval.
+  constexpr bool AdjacentTo(const Interval& other) const {
+    return other.start_ == end_ || start_ == other.end_;
+  }
+
+  /// Overlapping or adjacent: the union is a single interval.
+  constexpr bool Mergeable(const Interval& other) const {
+    return Overlaps(other) || AdjacentTo(other);
+  }
+
+  /// Intersection, or nullopt when disjoint.
+  std::optional<Interval> Intersect(const Interval& other) const;
+
+  /// Union of two mergeable intervals. Asserts Mergeable(other).
+  Interval MergeWith(const Interval& other) const;
+
+  /// Splits this interval at an interior point `t` (start < t < end) into
+  /// [start, t) and [t, end). Asserts `t` is interior.
+  std::pair<Interval, Interval> SplitAt(TimePoint t) const;
+
+  /// Renders as "[s, e)" with "inf" for the unbounded endpoint.
+  std::string ToString() const;
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_;
+  }
+  friend constexpr bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+  /// Lexicographic (start, end) order; used for canonical sorting.
+  friend constexpr bool operator<(const Interval& a, const Interval& b) {
+    return a.start_ != b.start_ ? a.start_ < b.start_ : a.end_ < b.end_;
+  }
+
+ private:
+  TimePoint start_;
+  TimePoint end_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+/// Renders a time point, using "inf" for kTimeInfinity.
+std::string TimePointToString(TimePoint t);
+
+struct IntervalHash {
+  std::size_t operator()(const Interval& iv) const {
+    std::size_t h = std::hash<TimePoint>()(iv.start());
+    h ^= std::hash<TimePoint>()(iv.end()) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+/// Fragments `iv` at the sorted cut points in `cuts` (only interior cuts
+/// apply), producing consecutive sub-intervals whose union is `iv`. This is
+/// the fragmentation primitive shared by both normalization algorithms
+/// (Section 4.2): a fact with interval [s_i, e_i) is fragmented at every
+/// distinct start/end point falling strictly inside it.
+///
+/// `cuts` must be sorted ascending; duplicates are tolerated.
+std::vector<Interval> FragmentInterval(const Interval& iv,
+                                       const std::vector<TimePoint>& cuts);
+
+/// Collects the distinct endpoints (starts and finite ends, including
+/// kTimeInfinity sentinels filtered out) of `ivs`, sorted ascending.
+/// Infinite right endpoints are not cut points, so they are omitted.
+std::vector<TimePoint> DistinctFiniteEndpoints(const std::vector<Interval>& ivs);
+
+}  // namespace tdx
+
+#endif  // TDX_COMMON_INTERVAL_H_

@@ -1,0 +1,144 @@
+// Status and Result<T>: lightweight error-handling primitives in the style
+// used by production database codebases (Arrow, RocksDB, LevelDB).
+//
+// A Status carries an error code and a human-readable message. A Result<T>
+// carries either a value or a Status. Both are cheap to move and are the
+// uniform return convention for every fallible operation in tdx. Operations
+// that cannot fail return their value directly.
+//
+// Note that *chase failure* (an egd equating two distinct constants, meaning
+// no solution exists) is NOT a Status error: it is a first-class outcome of
+// the chase (see relational/chase.h). Status errors are reserved for misuse
+// of the API (malformed schemas, arity mismatches, parse errors, ...).
+
+#ifndef TDX_COMMON_STATUS_H_
+#define TDX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tdx {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed something structurally wrong
+  kNotFound,         ///< lookup of a name/id that does not exist
+  kAlreadyExists,    ///< duplicate registration (relation, attribute, ...)
+  kParseError,       ///< text-format parsing failed
+  kInternal,         ///< invariant violation inside the library
+};
+
+/// Renders a StatusCode as a stable, human-readable token.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a T or a Status explaining why no T could be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from error: `return Status::InvalidArgument(...);`
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates an error Status out of the enclosing function.
+#define TDX_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::tdx::Status _tdx_status = (expr);        \
+    if (!_tdx_status.ok()) return _tdx_status; \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors.
+#define TDX_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto TDX_CONCAT_(_tdx_result_, __LINE__) = (expr);           \
+  if (!TDX_CONCAT_(_tdx_result_, __LINE__).ok())               \
+    return TDX_CONCAT_(_tdx_result_, __LINE__).status();       \
+  lhs = std::move(TDX_CONCAT_(_tdx_result_, __LINE__)).value()
+
+#define TDX_CONCAT_(a, b) TDX_CONCAT_IMPL_(a, b)
+#define TDX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tdx
+
+#endif  // TDX_COMMON_STATUS_H_

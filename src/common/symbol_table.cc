@@ -1,0 +1,28 @@
+#include "src/common/symbol_table.h"
+
+#include <cassert>
+
+namespace tdx {
+
+SymbolId SymbolTable::Intern(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(spellings_.size());
+  spellings_.emplace_back(text);
+  ids_.emplace(std::string_view(spellings_.back()), id);
+  return id;
+}
+
+bool SymbolTable::Lookup(std::string_view text, SymbolId* out) const {
+  auto it = ids_.find(text);
+  if (it == ids_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::string_view SymbolTable::Spelling(SymbolId id) const {
+  assert(id < spellings_.size());
+  return spellings_[id];
+}
+
+}  // namespace tdx

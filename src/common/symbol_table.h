@@ -1,0 +1,59 @@
+// String interning for constants, relation names, attribute names, and
+// labeled-null display names.
+//
+// Every constant in a tdx instance is an interned symbol: a dense uint32 id
+// that maps back to its spelling. Interning makes Value a trivially copyable
+// handle, makes equality and hashing O(1), and is the standard technique in
+// database engines for dictionary-encoding low-cardinality string columns.
+//
+// A SymbolTable is append-only and owned by a Universe (see value.h); ids
+// are never reused and remain valid for the table's lifetime.
+
+#ifndef TDX_COMMON_SYMBOL_TABLE_H_
+#define TDX_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tdx {
+
+/// Dense id of an interned string.
+using SymbolId = std::uint32_t;
+
+/// Append-only string interner.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // The table hands out ids that index into its private storage; copying
+  // would silently fork the id space, so it is move-only.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// Interns `text`, returning its id (existing id if already interned).
+  SymbolId Intern(std::string_view text);
+
+  /// Looks up `text` without interning; returns false if absent.
+  bool Lookup(std::string_view text, SymbolId* out) const;
+
+  /// Spelling of an interned id. Precondition: id was returned by Intern.
+  std::string_view Spelling(SymbolId id) const;
+
+  /// Number of interned symbols.
+  std::size_t size() const { return spellings_.size(); }
+
+ private:
+  // deque: references to stored strings stay valid across push_back, so the
+  // string_view keys below never dangle (vector would move SSO buffers).
+  std::deque<std::string> spellings_;
+  std::unordered_map<std::string_view, SymbolId> ids_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_COMMON_SYMBOL_TABLE_H_

@@ -1,0 +1,43 @@
+#include "src/core/align.h"
+
+namespace tdx {
+
+Result<AlignmentReport> VerifyAlignment(const ConcreteInstance& jc,
+                                        const AbstractInstance& ja) {
+  TDX_ASSIGN_OR_RETURN(AbstractInstance jc_sem,
+                       AbstractInstance::FromConcrete(jc));
+  AlignmentReport report;
+  report.outcome_agreed = true;
+  report.forward_checked = true;
+  report.forward = AbstractHomomorphismExists(jc_sem, ja);
+  report.backward = AbstractHomomorphismExists(ja, jc_sem);
+  return report;
+}
+
+Result<AlignmentReport> VerifyCorollary20(const ConcreteInstance& source,
+                                          const Mapping& snapshot_mapping,
+                                          const Mapping& lifted_mapping,
+                                          Universe* universe) {
+  TDX_ASSIGN_OR_RETURN(CChaseOutcome concrete,
+                       CChase(source, lifted_mapping, universe));
+  TDX_ASSIGN_OR_RETURN(AbstractInstance abstract_source,
+                       AbstractInstance::FromConcrete(source));
+  TDX_ASSIGN_OR_RETURN(
+      AbstractChaseOutcome abstract,
+      AbstractChase(abstract_source, snapshot_mapping, universe));
+
+  AlignmentReport report;
+  report.outcome_agreed = (concrete.kind == abstract.kind);
+  if (!report.outcome_agreed ||
+      concrete.kind == ChaseResultKind::kFailure) {
+    return report;  // nothing further to compare
+  }
+  TDX_ASSIGN_OR_RETURN(AlignmentReport inner,
+                       VerifyAlignment(concrete.target, abstract.target));
+  report.forward_checked = true;
+  report.forward = inner.forward;
+  report.backward = inner.backward;
+  return report;
+}
+
+}  // namespace tdx

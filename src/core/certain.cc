@@ -1,0 +1,36 @@
+#include "src/core/certain.h"
+
+#include "src/temporal/snapshot.h"
+
+namespace tdx {
+
+Result<CertainAnswersResult> CertainAnswers(const UnionQuery& lifted_query,
+                                            const ConcreteInstance& source,
+                                            const Mapping& lifted_mapping,
+                                            Universe* universe) {
+  TDX_ASSIGN_OR_RETURN(CChaseOutcome chase,
+                       CChase(source, lifted_mapping, universe));
+  CertainAnswersResult result;
+  result.chase_kind = chase.kind;
+  if (chase.kind == ChaseResultKind::kFailure) return result;
+  TDX_ASSIGN_OR_RETURN(result.answers,
+                       NaiveEvaluateConcrete(lifted_query, chase.target));
+  return result;
+}
+
+Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
+                                              const ConcreteInstance& source,
+                                              const Mapping& mapping,
+                                              TimePoint l,
+                                              Universe* universe) {
+  TDX_ASSIGN_OR_RETURN(Instance snapshot, SnapshotAt(source, l, universe));
+  TDX_ASSIGN_OR_RETURN(ChaseOutcome chase,
+                       ChaseSnapshot(snapshot, mapping, universe));
+  CertainAnswersResult result;
+  result.chase_kind = chase.kind;
+  if (chase.kind == ChaseResultKind::kFailure) return result;
+  result.answers = DropTuplesWithNulls(Evaluate(query, chase.target));
+  return result;
+}
+
+}  // namespace tdx

@@ -1,0 +1,52 @@
+// Certain answers (Section 5, Corollary 22).
+//
+// certain(q, Ia, M) is, per snapshot, the intersection of q's answers over
+// all solutions. By the universal-solution theorem it equals naive
+// evaluation on the chase result; Corollary 22 carries this to the concrete
+// view: certain(q, [[Ic]], M) = [[q+(Jc)!]] where Jc = c-chase(Ic).
+//
+// Two entry points:
+//  * CertainAnswers — the production path: c-chase, then concrete naive
+//    evaluation; answers are temporal (k+1)-tuples.
+//  * BruteForceCertainAnswersAt — test oracle for small instances: chases a
+//    materialized snapshot, then intersects the query's answers over a
+//    family of derived solutions (the universal solution and random
+//    homomorphic images of it). Sound because every derived instance IS a
+//    solution; the universal solution makes the intersection exact for
+//    unions of conjunctive queries.
+
+#ifndef TDX_CORE_CERTAIN_H_
+#define TDX_CORE_CERTAIN_H_
+
+#include "src/core/cchase.h"
+#include "src/core/naive_eval.h"
+#include "src/relational/chase.h"
+
+namespace tdx {
+
+struct CertainAnswersResult {
+  /// kFailure means no solution exists; then certain answers are trivially
+  /// "everything" (the paper leaves this case to convention) and `answers`
+  /// is empty.
+  ChaseResultKind chase_kind = ChaseResultKind::kSuccess;
+  std::vector<Tuple> answers;
+};
+
+/// certain(q, [[Ic]], M) as temporal tuples: runs the c-chase of `source`
+/// under `lifted` and naive-evaluates the lifted query on the result.
+Result<CertainAnswersResult> CertainAnswers(const UnionQuery& lifted_query,
+                                            const ConcreteInstance& source,
+                                            const Mapping& lifted_mapping,
+                                            Universe* universe);
+
+/// Test oracle: certain answers of the non-temporal `query` on the snapshot
+/// db_l of [[source]] under the non-temporal `mapping`, computed as naive
+/// evaluation on the per-snapshot chase result.
+Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
+                                              const ConcreteInstance& source,
+                                              const Mapping& mapping,
+                                              TimePoint l, Universe* universe);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_CERTAIN_H_

@@ -1,0 +1,55 @@
+#include "src/core/exchange.h"
+
+namespace tdx {
+
+Result<std::unique_ptr<Exchange>> Exchange::FromProgram(
+    std::string_view text) {
+  TDX_ASSIGN_OR_RETURN(std::unique_ptr<ParsedProgram> program,
+                       ParseProgram(text));
+  return FromParsed(std::move(program));
+}
+
+Result<std::unique_ptr<Exchange>> Exchange::FromParsed(
+    std::unique_ptr<ParsedProgram> program) {
+  TDX_ASSIGN_OR_RETURN(
+      CChaseOutcome outcome,
+      CChase(program->source, program->lifted, &program->universe));
+  return std::unique_ptr<Exchange>(
+      new Exchange(std::move(program), std::move(outcome)));
+}
+
+Result<const UnionQuery*> Exchange::LiftedQuery(std::string_view name) {
+  const std::string key(name);
+  auto it = lifted_queries_.find(key);
+  if (it != lifted_queries_.end()) return &it->second;
+  TDX_ASSIGN_OR_RETURN(const UnionQuery* query, program_->FindQuery(name));
+  TDX_ASSIGN_OR_RETURN(UnionQuery lifted,
+                       LiftUnionQuery(*query, program_->schema));
+  auto [inserted, ok] = lifted_queries_.emplace(key, std::move(lifted));
+  (void)ok;
+  return &inserted->second;
+}
+
+Result<std::vector<Tuple>> Exchange::CertainAnswers(
+    std::string_view query_name) {
+  if (!HasSolution()) {
+    return Status::InvalidArgument(
+        "no solution exists; certain answers are undefined");
+  }
+  TDX_ASSIGN_OR_RETURN(const UnionQuery* lifted, LiftedQuery(query_name));
+  return NaiveEvaluateConcrete(*lifted, outcome_.target);
+}
+
+Result<std::vector<Tuple>> Exchange::AnswersAt(std::string_view query_name,
+                                               TimePoint l) {
+  TDX_ASSIGN_OR_RETURN(std::vector<Tuple> temporal,
+                       CertainAnswers(query_name));
+  return ConcreteAnswersAt(temporal, l);
+}
+
+Result<AlignmentReport> Exchange::Verify() {
+  return VerifyCorollary20(program_->source, program_->mapping,
+                           program_->lifted, &program_->universe);
+}
+
+}  // namespace tdx

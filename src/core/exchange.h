@@ -1,0 +1,81 @@
+// High-level facade: one object that owns a data exchange setting and
+// walks a user through the whole workflow of the paper.
+//
+//   auto exchange = tdx::Exchange::FromProgram(text).value();
+//   if (!exchange->HasSolution()) { ... failure_reason() ... }
+//   exchange->Solution();                  // the c-chase result (cached)
+//   exchange->CertainAnswers("salaries");  // certain answers of a query
+//   exchange->AnswersAt("salaries", 2013); // ... sliced at a snapshot
+//   exchange->Verify();                    // Corollary 20 on this instance
+//
+// The facade wraps the lower-level modules without hiding them: the parsed
+// program, the chase outcome, and the solution instance stay accessible.
+
+#ifndef TDX_CORE_EXCHANGE_H_
+#define TDX_CORE_EXCHANGE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/align.h"
+#include "src/core/naive_eval.h"
+#include "src/parser/parser.h"
+
+namespace tdx {
+
+class Exchange {
+ public:
+  /// Parses a program and runs the c-chase immediately. Returns parse or
+  /// validation errors; chase FAILURE is not an error (see HasSolution).
+  static Result<std::unique_ptr<Exchange>> FromProgram(std::string_view text);
+
+  /// Runs the c-chase on an already-parsed program (takes ownership).
+  static Result<std::unique_ptr<Exchange>> FromParsed(
+      std::unique_ptr<ParsedProgram> program);
+
+  /// False iff the chase failed: no target instance satisfies the mapping.
+  bool HasSolution() const {
+    return outcome_.kind == ChaseResultKind::kSuccess;
+  }
+  const std::string& failure_reason() const {
+    return outcome_.failure_reason;
+  }
+
+  /// The concrete solution Jc. Precondition: HasSolution().
+  const ConcreteInstance& Solution() const {
+    assert(HasSolution());
+    return outcome_.target;
+  }
+
+  /// Certain answers of the named query as temporal (k+1)-tuples
+  /// (Corollary 22). Lifting is cached per query.
+  Result<std::vector<Tuple>> CertainAnswers(std::string_view query_name);
+
+  /// Certain answers at one snapshot (k-tuples).
+  Result<std::vector<Tuple>> AnswersAt(std::string_view query_name,
+                                       TimePoint l);
+
+  /// Verifies Corollary 20 for this instance (both chases + homomorphic
+  /// equivalence). Expensive; intended for tests and audits.
+  Result<AlignmentReport> Verify();
+
+  const ParsedProgram& program() const { return *program_; }
+  const CChaseOutcome& outcome() const { return outcome_; }
+  Universe& universe() { return program_->universe; }
+
+ private:
+  Exchange(std::unique_ptr<ParsedProgram> program, CChaseOutcome outcome)
+      : program_(std::move(program)), outcome_(std::move(outcome)) {}
+
+  Result<const UnionQuery*> LiftedQuery(std::string_view name);
+
+  std::unique_ptr<ParsedProgram> program_;
+  CChaseOutcome outcome_;
+  std::unordered_map<std::string, UnionQuery> lifted_queries_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_EXCHANGE_H_

@@ -1,0 +1,179 @@
+#include "src/core/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+
+namespace tdx {
+
+namespace {
+
+/// Intersection of the time intervals of a set of facts, or nullopt when
+/// empty. `facts` must be non-empty.
+std::optional<Interval> IntersectIntervals(const std::vector<Fact>& facts) {
+  std::optional<Interval> acc = facts.front().interval();
+  for (std::size_t i = 1; i < facts.size() && acc.has_value(); ++i) {
+    acc = acc->Intersect(facts[i].interval());
+  }
+  return acc;
+}
+
+/// Fragments `fact` at the interior cut points in `cuts` (sorted) and
+/// inserts the fragments into `out`.
+void FragmentFactInto(const Fact& fact, const std::vector<TimePoint>& cuts,
+                      Instance* out) {
+  for (const Interval& sub : FragmentInterval(fact.interval(), cuts)) {
+    out->Insert(fact.WithInterval(sub));
+  }
+}
+
+/// Union-find over dense fact indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Conjunction RenameTemporalApart(const Conjunction& phi) {
+  Conjunction out = phi;
+  VarId next = static_cast<VarId>(out.num_vars);
+  for (Atom& atom : out.atoms) {
+    assert(!atom.terms.empty());
+    atom.terms.back() = Term::Var(next++);
+  }
+  out.num_vars = next;
+  out.var_names.resize(next);
+  for (std::size_t i = phi.num_vars; i < next; ++i) {
+    out.var_names[i] = "t" + std::to_string(i - phi.num_vars + 1);
+  }
+  return out;
+}
+
+ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
+                                NormalizeStats* stats) {
+  const std::vector<TimePoint> cuts = instance.Endpoints();
+  ConcreteInstance out(&instance.schema());
+  instance.facts().ForEach([&](const Fact& fact) {
+    FragmentFactInto(fact, cuts, &out.mutable_facts());
+  });
+  if (stats != nullptr) {
+    stats->input_facts = instance.size();
+    stats->output_facts = out.size();
+    stats->homomorphisms = 0;
+    stats->groups = 0;
+  }
+  return out;
+}
+
+ConcreteInstance Normalize(const ConcreteInstance& instance,
+                           const std::vector<Conjunction>& phis,
+                           NormalizeStats* stats) {
+  // Dense ids for the instance's facts, for union-find grouping.
+  std::vector<Fact> all_facts;
+  std::unordered_map<Fact, std::size_t, FactHash> fact_index;
+  instance.facts().ForEach([&](const Fact& fact) {
+    fact_index.emplace(fact, all_facts.size());
+    all_facts.push_back(fact);
+  });
+
+  // Build S (Algorithm 1, line 3): for each phi* in N(Phi+), every
+  // homomorphic image whose fact intervals intersect forms a group; then
+  // merge groups sharing a fact (lines 4-10) — i.e., take connected
+  // components of the overlap graph, implemented with union-find.
+  UnionFind uf(all_facts.size());
+  std::vector<bool> grouped(all_facts.size(), false);
+  std::size_t hom_count = 0;
+  HomomorphismFinder finder(instance.facts());
+  for (const Conjunction& phi : phis) {
+    const Conjunction star = RenameTemporalApart(phi);
+    finder.ForEach(star, Binding(star.num_vars),
+                   [&](const Binding&, const AtomImage& image) {
+                     ++hom_count;
+                     if (!IntersectIntervals(image).has_value()) return true;
+                     const std::size_t first = fact_index.at(image.front());
+                     for (const Fact& f : image) {
+                       const std::size_t idx = fact_index.at(f);
+                       grouped[idx] = true;
+                       uf.Union(first, idx);
+                     }
+                     return true;
+                   });
+  }
+
+  // Distinct start/end points per component (TP_Delta, lines 11-13).
+  std::map<std::size_t, std::vector<TimePoint>> component_points;
+  for (std::size_t i = 0; i < all_facts.size(); ++i) {
+    if (!grouped[i]) continue;
+    std::vector<TimePoint>& pts = component_points[uf.Find(i)];
+    const Interval& iv = all_facts[i].interval();
+    pts.push_back(iv.start());
+    if (!iv.unbounded()) pts.push_back(iv.end());
+  }
+  for (auto& [root, pts] : component_points) {
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  }
+
+  // Fragment grouped facts at their component's points (lines 14-18);
+  // ungrouped facts pass through unchanged.
+  ConcreteInstance out(&instance.schema());
+  for (std::size_t i = 0; i < all_facts.size(); ++i) {
+    if (grouped[i]) {
+      FragmentFactInto(all_facts[i], component_points.at(uf.Find(i)),
+                       &out.mutable_facts());
+    } else {
+      out.mutable_facts().Insert(all_facts[i]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->input_facts = instance.size();
+    stats->output_facts = out.size();
+    stats->homomorphisms = hom_count;
+    stats->groups = component_points.size();
+  }
+  return out;
+}
+
+bool HasEmptyIntersectionProperty(const ConcreteInstance& instance,
+                                  const std::vector<Conjunction>& phis) {
+  HomomorphismFinder finder(instance.facts());
+  for (const Conjunction& phi : phis) {
+    const Conjunction star = RenameTemporalApart(phi);
+    bool ok = true;
+    finder.ForEach(star, Binding(star.num_vars),
+                   [&](const Binding&, const AtomImage& image) {
+                     const std::optional<Interval> inter =
+                         IntersectIntervals(image);
+                     if (!inter.has_value()) return true;  // condition 1
+                     // Condition 2: intersection == union, i.e. all image
+                     // facts carry one identical interval.
+                     for (const Fact& f : image) {
+                       if (f.interval() != *inter) {
+                         ok = false;
+                         return false;
+                       }
+                     }
+                     return true;
+                   });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace tdx

@@ -1,0 +1,72 @@
+// Normalization of concrete instances (Section 4.2).
+//
+// To chase a concrete instance, homomorphisms from dependency bodies — in
+// which every atom shares one temporal variable t — must be able to map t
+// to a single interval. A concrete instance is *normalized* w.r.t. a set of
+// temporal conjunctions Phi+ (Definition 7) iff it has the *empty
+// intersection property* (Definition 10, equivalent by Theorem 11): for
+// every homomorphism from a phi* in N(Phi+) (phi with the temporal variable
+// renamed apart per atom) to the instance, the time intervals of the image
+// facts are either pairwise-equal or have empty intersection. Intervals
+// then "behave as constants".
+//
+// Two normalizers, mirroring the paper's trade-off discussion:
+//
+//  * NaiveNormalize — ignores Phi+: fragments every fact at every distinct
+//    endpoint of the whole instance. O(n log n) time, but possibly many
+//    unnecessary fragments (Figure 6).
+//
+//  * Normalize (Algorithm 1, norm(Ic, Phi+)) — fragments only the facts
+//    that co-occur in the image of some phi* with overlapping intervals,
+//    merging overlapping groups first (implemented with union-find).
+//    Polynomial for fixed Phi+, and the output never has more facts than
+//    the naive normalizer's (Figure 5 vs Figure 6).
+//
+// Both preserve the [[.]] semantics: fragments carry the original data
+// values, and annotated nulls are re-annotated to each fragment's interval
+// (fragments of one null still project onto the same null sequence).
+
+#ifndef TDX_CORE_NORMALIZE_H_
+#define TDX_CORE_NORMALIZE_H_
+
+#include <vector>
+
+#include "src/relational/homomorphism.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+struct NormalizeStats {
+  std::size_t input_facts = 0;
+  std::size_t output_facts = 0;
+  /// Homomorphisms from renamed-apart conjunctions found while building S.
+  std::size_t homomorphisms = 0;
+  /// Connected components of overlapping fact groups (the merged S of
+  /// Algorithm 1). Always 0 for the naive normalizer.
+  std::size_t groups = 0;
+};
+
+/// N(phi): renames the temporal position of every atom to a fresh variable,
+/// yielding phi*. Precondition: every atom's relation is temporal (the
+/// conjunction is a lifted lhs). The data variables keep their ids.
+Conjunction RenameTemporalApart(const Conjunction& phi);
+
+/// The naive endpoint normalizer (Section 4.2): fragments every fact at all
+/// distinct endpoints occurring in the instance.
+ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
+                                NormalizeStats* stats = nullptr);
+
+/// Algorithm 1, norm(Ic, Phi+). `phis` are temporal conjunctions — in the
+/// chase they are the lifted lhs of the s-t tgds or of the egds.
+ConcreteInstance Normalize(const ConcreteInstance& instance,
+                           const std::vector<Conjunction>& phis,
+                           NormalizeStats* stats = nullptr);
+
+/// Definition 10: checks the empty intersection property of `instance`
+/// w.r.t. `phis` — by Theorem 11, equivalent to being normalized.
+bool HasEmptyIntersectionProperty(const ConcreteInstance& instance,
+                                  const std::vector<Conjunction>& phis);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_NORMALIZE_H_

@@ -1,0 +1,142 @@
+#include "src/core/possible.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/temporal/snapshot.h"
+
+namespace tdx {
+
+namespace {
+
+/// A substitution over query variables and instance nulls. Bindings resolve
+/// transitively: a null may be bound to another null that is later bound to
+/// a constant.
+class Unifier {
+ public:
+  explicit Unifier(std::size_t num_vars) : var_values_(num_vars) {}
+
+  /// Resolves a value through the null-binding chain.
+  Value Resolve(Value v) const {
+    while (v.is_any_null()) {
+      auto it = null_bindings_.find(v);
+      if (it == null_bindings_.end()) break;
+      v = it->second;
+    }
+    return v;
+  }
+
+  bool VarBound(VarId var) const { return var_values_[var].has_value(); }
+  Value VarValue(VarId var) const { return Resolve(*var_values_[var]); }
+
+  /// Attempts to unify the query-side term value `q` (a constant, interval,
+  /// or previously bound value) with the fact-side value `f`. Records undo
+  /// information in `trail`.
+  bool Unify(const Value& q, const Value& f,
+             std::vector<Value>* trail) {
+    const Value a = Resolve(q);
+    const Value b = Resolve(f);
+    if (a == b) return true;
+    if (a.is_any_null()) {
+      null_bindings_.emplace(a, b);
+      trail->push_back(a);
+      return true;
+    }
+    if (b.is_any_null()) {
+      null_bindings_.emplace(b, a);
+      trail->push_back(b);
+      return true;
+    }
+    return false;  // two distinct non-nulls
+  }
+
+  void BindVar(VarId var, const Value& v) { var_values_[var] = v; }
+  void UnbindVar(VarId var) { var_values_[var].reset(); }
+  void UndoTo(std::vector<Value>* trail, std::size_t mark) {
+    while (trail->size() > mark) {
+      null_bindings_.erase(trail->back());
+      trail->pop_back();
+    }
+  }
+
+ private:
+  std::vector<std::optional<Value>> var_values_;
+  std::unordered_map<Value, Value, ValueHash> null_bindings_;
+};
+
+class PossibleSearch {
+ public:
+  PossibleSearch(const ConjunctiveQuery& query, const Instance& snapshot,
+                 std::vector<Tuple>* out)
+      : query_(&query), snapshot_(&snapshot), out_(out),
+        unifier_(query.body.num_vars) {}
+
+  void Run() { SearchAtom(0); }
+
+ private:
+  void SearchAtom(std::size_t index) {
+    if (index == query_->body.atoms.size()) {
+      Tuple tuple;
+      tuple.reserve(query_->head.size());
+      for (VarId v : query_->head) {
+        // An unbound head variable cannot happen (Validate() requires head
+        // vars in the body); a variable bound to an unconstrained null is a
+        // wildcard and stays a null.
+        tuple.push_back(unifier_.VarValue(v));
+      }
+      out_->push_back(std::move(tuple));
+      return;
+    }
+    const Atom& atom = query_->body.atoms[index];
+    for (const Fact& fact : snapshot_->facts(atom.rel)) {
+      std::vector<Value> trail;
+      std::vector<VarId> bound_vars;
+      bool ok = true;
+      for (std::size_t i = 0; i < atom.terms.size() && ok; ++i) {
+        const Term& term = atom.terms[i];
+        const Value& fv = fact.arg(i);
+        if (term.is_var()) {
+          if (unifier_.VarBound(term.var())) {
+            ok = unifier_.Unify(unifier_.VarValue(term.var()), fv, &trail);
+          } else {
+            unifier_.BindVar(term.var(), fv);
+            bound_vars.push_back(term.var());
+          }
+        } else {
+          ok = unifier_.Unify(term.value(), fv, &trail);
+        }
+      }
+      if (ok) SearchAtom(index + 1);
+      unifier_.UndoTo(&trail, 0);
+      for (VarId v : bound_vars) unifier_.UnbindVar(v);
+    }
+  }
+
+  const ConjunctiveQuery* query_;
+  const Instance* snapshot_;
+  std::vector<Tuple>* out_;
+  Unifier unifier_;
+};
+
+}  // namespace
+
+std::vector<Tuple> PossibleAnswers(const UnionQuery& query,
+                                   const Instance& snapshot) {
+  std::vector<Tuple> out;
+  for (const ConjunctiveQuery& q : query.disjuncts) {
+    PossibleSearch(q, snapshot, &out).Run();
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<Tuple>> PossibleAnswersAt(const UnionQuery& query,
+                                             const ConcreteInstance& jc,
+                                             TimePoint l,
+                                             Universe* universe) {
+  TDX_ASSIGN_OR_RETURN(Instance snapshot, SnapshotAt(jc, l, universe));
+  return PossibleAnswers(query, snapshot);
+}
+
+}  // namespace tdx

@@ -1,0 +1,42 @@
+// Possible answers over incomplete snapshots.
+//
+// Certain answers (Section 5) are the tuples in q's answer under EVERY
+// valuation of the nulls; their classic complement is the POSSIBLE answers
+// — tuples in the answer under SOME valuation (Imielinski & Lipski 1984,
+// maybe-semantics on naive tables). The paper does not treat possible
+// answers, and their temporal lifting involves design choices the paper
+// never makes, so tdx keeps the well-defined per-snapshot form:
+//
+//   PossibleAnswersAt(q, Jc, l) = { t | exists valuation v of the nulls of
+//                                       db_l with t in q(v(db_l)) }
+//
+// computed by evaluating q with UNIFICATION: a null in a fact may match any
+// query-side term, but consistently — one null takes one value within a
+// match. Answer positions that end up unconstrained are reported as the
+// null itself (a wildcard: any constant substituted there works). Certain
+// answers are exactly the possible answers that contain no wildcard and
+// hold under every valuation; the inclusion certain ⊆ possible (restricted
+// to null-free tuples) is exercised by tests.
+
+#ifndef TDX_CORE_POSSIBLE_H_
+#define TDX_CORE_POSSIBLE_H_
+
+#include "src/core/query.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+/// Possible answers of a non-temporal UCQ on one relational instance with
+/// nulls (a snapshot). Deduplicated, sorted; wildcard positions hold the
+/// null that remained unconstrained.
+std::vector<Tuple> PossibleAnswers(const UnionQuery& query,
+                                   const Instance& snapshot);
+
+/// Possible answers at snapshot l of [[jc]].
+Result<std::vector<Tuple>> PossibleAnswersAt(const UnionQuery& query,
+                                             const ConcreteInstance& jc,
+                                             TimePoint l, Universe* universe);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_POSSIBLE_H_

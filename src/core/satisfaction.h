@@ -1,0 +1,51 @@
+// Direct satisfaction checking: is (Ic, Jc) a solution?
+//
+// Section 3 defines a solution snapshot-wise: Ja is a solution for Ia iff
+// every snapshot pair satisfies Sigma_st (and the target snapshots satisfy
+// Sigma_t and Sigma_eg), with nulls treated as values (naive-table
+// satisfaction). CheckSolution evaluates this on concrete instances by
+// materializing one representative snapshot per constant run — the
+// endpoints of both instances cut the timeline into runs on which the
+// snapshots do not change, so checking the run starts (plus the stable
+// tail) decides all time points.
+//
+// This is the library's independent oracle: the chase THEOREMS say chase
+// results are (universal) solutions; CheckSolution verifies "solution"
+// without involving the chase, which is how the test suite cross-checks
+// the two implementations against each other.
+
+#ifndef TDX_CORE_SATISFACTION_H_
+#define TDX_CORE_SATISFACTION_H_
+
+#include <string>
+
+#include "src/relational/dependency.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+struct SatisfactionReport {
+  bool satisfied = true;
+  /// When violated: which dependency, at which time point.
+  std::string violation;
+  std::optional<TimePoint> violation_time;
+};
+
+/// Checks that one relational snapshot pair satisfies a NON-temporal
+/// mapping: every s-t tgd body homomorphism into `source` extends into
+/// `target`; every target tgd body homomorphism into `target` extends into
+/// `target`; no egd is violated in `target`. Nulls compare as values.
+SatisfactionReport CheckSnapshotSolution(const Instance& source,
+                                         const Instance& target,
+                                         const Mapping& mapping);
+
+/// Checks that [[target]] is a solution for [[source]] w.r.t. the
+/// NON-temporal `mapping`, by checking every representative snapshot.
+Result<SatisfactionReport> CheckSolution(const ConcreteInstance& source,
+                                         const ConcreteInstance& target,
+                                         const Mapping& mapping,
+                                         Universe* universe);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_SATISFACTION_H_

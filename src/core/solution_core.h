@@ -1,0 +1,51 @@
+// Cores of (universal) solutions.
+//
+// The paper's future-work section points at revisiting the classical data
+// exchange notion of the *core* (Fagin, Kolaitis, Popa: "Data exchange:
+// getting to the core", TODS 2005) in the temporal setting. The core of an
+// instance J with nulls is the smallest induced subinstance that J retracts
+// onto — the unique (up to isomorphism) smallest universal solution.
+//
+// This module implements cores for both views:
+//
+//  * ComputeCore — classical: repeatedly finds a proper endomorphism (a
+//    homomorphism of the instance into itself whose image misses at least
+//    one fact) and replaces the instance by its image, until none exists.
+//
+//  * ComputeConcreteCore — the same procedure on a concrete instance.
+//    Because the temporal attribute is a value that must map to itself,
+//    an endomorphism can only fold a fact into another fact with the SAME
+//    interval; per-snapshot, this is exactly a snapshot endomorphism
+//    applied uniformly over the fact's span, so the result's semantics is
+//    homomorphically equivalent to the input's (exercised by tests).
+//
+// Complexity: each round enumerates homomorphisms of the instance into
+// itself (exponential in the number of nulls in the worst case; fast on
+// chase results, whose nulls live in small independent blocks).
+
+#ifndef TDX_CORE_SOLUTION_CORE_H_
+#define TDX_CORE_SOLUTION_CORE_H_
+
+#include "src/relational/instance.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+struct CoreStats {
+  std::size_t rounds = 0;        ///< proper endomorphisms applied
+  std::size_t facts_removed = 0; ///< input size minus output size
+};
+
+/// Core of a relational instance with (labeled or annotated) nulls.
+Instance ComputeCore(const Instance& instance, CoreStats* stats = nullptr);
+
+/// Core of a concrete instance; folds only within equal-interval facts.
+ConcreteInstance ComputeConcreteCore(const ConcreteInstance& instance,
+                                     CoreStats* stats = nullptr);
+
+/// True iff the instance has no proper endomorphism (it is its own core).
+bool IsCore(const Instance& instance);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_SOLUTION_CORE_H_

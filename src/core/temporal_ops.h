@@ -1,0 +1,74 @@
+// Temporal operators in dependency bodies — the paper's Section 7
+// extension, restricted to the fragment with unambiguous semantics.
+//
+// Section 7 proposes enriching schema mappings with modal operators
+// (sometime/always in the past/future). Operators on the RIGHT-hand side
+// raise open questions the paper explicitly leaves unresolved ("is it
+// enough to choose an arbitrary snapshot?"), so tdx implements the
+// conservative fragment: operators applied to atoms of the LEFT-hand side,
+// whose per-snapshot semantics is standard:
+//
+//   once_past(R(x))     holds at l  iff  R(x) holds at some l' <= l
+//   always_past(R(x))   holds at l  iff  R(x) holds at every l' <= l
+//   once_future(R(x))   holds at l  iff  R(x) holds at some l' >= l
+//   always_future(R(x)) holds at l  iff  R(x) holds at every l' >= l
+//
+// Implementation: closure materialization + rewriting. For a complete
+// concrete relation R+, the set of snapshots at which op(R(a)) holds is
+// itself a finite union of intervals, computable from the coalesced
+// intervals of R(a):
+//
+//   once_past:     [min start, inf)
+//   always_past:   [0, e0)            e0 = end of the run starting at 0
+//   once_future:   [0, max end)       (everything if any run is unbounded)
+//   always_future: [s_inf, inf)       s_inf = start of the unbounded run
+//
+// MaterializeClosure writes these derived facts into an auxiliary concrete
+// relation (R__once_past etc.); a body atom under an operator is rewritten
+// to refer to the auxiliary relation. The c-chase then applies unchanged,
+// and because the closure is plain source data, the correctness theorems
+// (Corollary 20, Theorem 21) transfer mechanically — exercised by tests.
+//
+// The parser supports the syntax directly:
+//   tgd PhDgrad(n) & once_past(PhDcan(n)) -> Alum(n);
+
+#ifndef TDX_CORE_TEMPORAL_OPS_H_
+#define TDX_CORE_TEMPORAL_OPS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+enum class TemporalOp {
+  kOncePast,      ///< diamond-minus: sometime in the past (reflexive)
+  kAlwaysPast,    ///< box-minus: always in the past (reflexive)
+  kOnceFuture,    ///< diamond: sometime in the future (reflexive)
+  kAlwaysFuture,  ///< box: always in the future (reflexive)
+};
+
+/// Keyword used in the text format and in generated relation names
+/// ("once_past", ...).
+std::string_view TemporalOpName(TemporalOp op);
+/// Inverse of TemporalOpName; false if `name` is no operator keyword.
+bool TemporalOpFromName(std::string_view name, TemporalOp* out);
+
+/// Name of the auxiliary snapshot relation for op applied to `base`
+/// (e.g. "PhDcan__once_past"); the concrete twin gets the usual "+".
+std::string ClosureRelationName(std::string_view base, TemporalOp op);
+
+/// Computes the closure facts of concrete relation `rel` in `source` under
+/// `op` and inserts them into relation `closure_rel` of `out` (which may
+/// alias `source`'s storage owner but must use the same schema). `rel` must
+/// be a complete temporal relation; `closure_rel` must have the same data
+/// arity. Facts are grouped by data values and coalesced before the
+/// interval algebra above is applied.
+Status MaterializeClosure(const ConcreteInstance& source, RelationId rel,
+                          TemporalOp op, RelationId closure_rel,
+                          ConcreteInstance* out);
+
+}  // namespace tdx
+
+#endif  // TDX_CORE_TEMPORAL_OPS_H_

@@ -1,0 +1,129 @@
+// Synthetic temporal workload generators.
+//
+// The paper evaluates its constructions on worked examples only; these
+// generators provide parameterized families of the same shape for the
+// benchmark harness and the randomized property tests:
+//
+//  * Employment histories — the paper's running example (Figures 1-9)
+//    scaled up: people moving between companies with partially known
+//    salary histories. Drives the c-chase, alignment, and query benches.
+//  * Worst-case normalization — Theorem 13's O(n^2) bound: n facts with
+//    pairwise-overlapping (nested) intervals all matched by one binary
+//    conjunction, so every fact fragments at ~2n endpoints.
+//  * Random instances — uniform random facts/intervals with a tunable
+//    overlap profile, for fuzz-style property tests.
+//
+// Every workload owns its Universe and Schema; it is heap-allocated and
+// pinned (instances hold pointers into the schema member).
+
+#ifndef TDX_GEN_WORKLOAD_H_
+#define TDX_GEN_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/relational/dependency.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+/// A self-contained data exchange setting plus source instance.
+struct Workload {
+  Universe universe;
+  Schema schema;
+  Mapping mapping;  ///< non-temporal M
+  Mapping lifted;   ///< M+
+  ConcreteInstance source;
+
+  Workload() : source(&schema) {}
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+};
+
+struct EmploymentConfig {
+  std::size_t num_people = 100;
+  std::size_t num_companies = 10;
+  /// Average number of consecutive employments per person.
+  std::size_t avg_jobs = 3;
+  /// Last finite time point used by generated intervals.
+  TimePoint horizon = 100;
+  /// Fraction of employment spans covered by salary facts (the rest become
+  /// interval-annotated nulls in the chase result).
+  double salary_known_fraction = 0.7;
+  /// When true, some people get overlapping salary facts with different
+  /// values for the same employment — the chase then fails on the egd.
+  bool inject_conflict = false;
+  std::uint64_t seed = 42;
+};
+
+/// The paper's Example 1/6 schema and mapping, with generated histories:
+///   source E(name, company); source S(name, salary);
+///   target Emp(name, company, salary);
+///   tgd  sigma1: E(n, c) -> exists s: Emp(n, c, s)
+///   tgd  sigma2: E(n, c) & S(n, s) -> Emp(n, c, s)
+///   egd  e1: Emp(n, c, s) & Emp(n, c, s2) -> s = s2
+std::unique_ptr<Workload> MakeEmploymentWorkload(const EmploymentConfig& cfg);
+
+/// Theorem 13 worst case: source R(a) with n facts R(a_i) @ [i, 2n - i)
+/// (nested, pairwise overlapping), and the mapping
+///   tgd: R(x) & R(y) -> T(x, y)
+/// whose lhs groups every pair; normalization fragments every fact at every
+/// endpoint, giving Theta(n^2) output facts.
+std::unique_ptr<Workload> MakeWorstCaseNormalizationWorkload(std::size_t n);
+
+struct RandomConfig {
+  std::size_t num_facts = 200;
+  std::size_t num_names = 20;
+  std::size_t num_companies = 5;
+  std::size_t num_salaries = 8;
+  TimePoint horizon = 50;
+  /// Maximum interval length; longer means more overlap.
+  TimePoint max_interval_length = 10;
+  /// Probability that a generated interval is unbounded.
+  double unbounded_probability = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Uniformly random E/S facts under the employment mapping. Useful as a
+/// fuzzer: random instances exercise normalization grouping, egd merges,
+/// and (with clashing salaries) chase failure paths.
+std::unique_ptr<Workload> MakeRandomWorkload(const RandomConfig& cfg);
+
+struct RandomMappingConfig {
+  std::size_t max_source_relations = 3;
+  std::size_t max_target_relations = 3;
+  std::size_t max_arity = 3;
+  std::size_t max_st_tgds = 4;
+  std::size_t max_egds = 2;
+  std::size_t num_facts = 15;
+  std::size_t num_constants = 4;
+  TimePoint horizon = 12;
+  TimePoint max_interval_length = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Full-spectrum fuzzer: a RANDOM schema and a random (validated) mapping —
+/// random atom shapes, variable sharing, existentials, and egds — plus
+/// random facts. Used by the property tests to check Corollary 20 and
+/// Theorem 21 beyond the employment shape. The generated mapping always
+/// passes ValidateMapping.
+std::unique_ptr<Workload> MakeRandomMappingWorkload(
+    const RandomMappingConfig& cfg);
+
+struct FlightConfig {
+  std::size_t num_airports = 20;
+  std::size_t num_flights = 60;
+  TimePoint horizon = 40;
+  TimePoint max_interval_length = 15;
+  std::uint64_t seed = 9;
+};
+
+/// Random flight schedules under the reachability mapping
+///   tgd  Flight(x, y) -> Reach(x, y)
+///   ttgd Reach(x, y) & Reach(y, z) -> Reach(x, z)
+/// Drives the target-tgd chase benchmarks: per-snapshot transitive
+/// closure computed on the concrete view.
+std::unique_ptr<Workload> MakeFlightWorkload(const FlightConfig& cfg);
+
+}  // namespace tdx
+
+#endif  // TDX_GEN_WORKLOAD_H_

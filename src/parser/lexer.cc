@@ -1,0 +1,167 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+
+namespace tdx {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '+';
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  auto error = [&](const std::string& what) {
+    return Status::ParseError(what + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(column));
+  };
+  auto push = [&](TokenKind kind, std::string text, std::uint64_t number = 0) {
+    tokens.push_back(Token{kind, std::move(text), number, line, column});
+  };
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < input.size() && input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '>') {
+      push(TokenKind::kArrow, "->");
+      advance(2);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(");
+        advance(1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")");
+        advance(1);
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[");
+        advance(1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",");
+        advance(1);
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";");
+        advance(1);
+        continue;
+      case ':':
+        push(TokenKind::kColon, ":");
+        advance(1);
+        continue;
+      case '&':
+        push(TokenKind::kAmp, "&");
+        advance(1);
+        continue;
+      case '=':
+        push(TokenKind::kEquals, "=");
+        advance(1);
+        continue;
+      case '@':
+        push(TokenKind::kAt, "@");
+        advance(1);
+        continue;
+      default:
+        break;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < input.size() && input[j] != '"' && input[j] != '\n') ++j;
+      if (j >= input.size() || input[j] != '"') {
+        return error("unterminated string literal");
+      }
+      push(TokenKind::kString, std::string(input.substr(i + 1, j - i - 1)));
+      advance(j + 1 - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      std::uint64_t value = 0;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        value = value * 10 + static_cast<std::uint64_t>(input[j] - '0');
+        ++j;
+      }
+      push(TokenKind::kNumber, std::string(input.substr(i, j - i)), value);
+      advance(j - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < input.size() && IsIdentCont(input[j])) ++j;
+      push(TokenKind::kIdentifier, std::string(input.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace tdx

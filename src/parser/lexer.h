@@ -1,0 +1,63 @@
+// Lexer for the tdx text format.
+//
+// The format covers everything the examples and tests need to state a data
+// exchange setting the way the paper writes it:
+//
+//   source E(name, company);
+//   target Emp(name, company, salary);
+//   tgd sigma1: E(n, c) -> exists s: Emp(n, c, s);
+//   egd  e1: Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+//   fact E("Ada", "IBM") @ [2012, 2014);
+//   fact E("Ada", "Intel") @ [2014, inf);
+//   query q(n, s): Emp(n, _, s);
+//
+// Tokens: identifiers, quoted strings, unsigned integers, `inf`, and the
+// punctuation ( ) [ , ; : & = @ -> plus end-of-input. Comments run from `#`
+// to end of line.
+
+#ifndef TDX_PARSER_LEXER_H_
+#define TDX_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tdx {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kString,      ///< "..." (no escapes needed by the format)
+  kNumber,      ///< unsigned decimal integer
+  kLParen,      ///< (
+  kRParen,      ///< )
+  kLBracket,    ///< [
+  kComma,       ///< ,
+  kSemicolon,   ///< ;
+  kColon,       ///< :
+  kAmp,         ///< &
+  kEquals,      ///< =
+  kAt,          ///< @
+  kArrow,       ///< ->
+  kEnd,         ///< end of input
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     ///< identifier/string contents or number spelling
+  std::uint64_t number = 0;  ///< value when kind == kNumber
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// Tokenizes `input`; returns ParseError with line/column info on bad input.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Debug name of a token kind ("identifier", "'('", ...).
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace tdx
+
+#endif  // TDX_PARSER_LEXER_H_

@@ -1,0 +1,404 @@
+#include "src/parser/parser.h"
+
+#include <unordered_map>
+
+#include "src/parser/lexer.h"
+
+namespace tdx {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParsedProgram* program)
+      : tokens_(std::move(tokens)), program_(program) {}
+
+  Status Run() {
+    while (!AtEnd()) {
+      TDX_RETURN_IF_ERROR(ParseStatement());
+    }
+    // Materialize temporal-operator closures now that all facts are known.
+    for (const ParsedProgram::ClosureSpec& spec : program_->closures) {
+      TDX_RETURN_IF_ERROR(MaterializeClosure(program_->source,
+                                             spec.base_concrete, spec.op,
+                                             spec.closure_concrete,
+                                             &program_->source));
+    }
+    // Finalize the mapping and derive the lifted version.
+    TDX_RETURN_IF_ERROR(ValidateMapping(program_->mapping, program_->schema));
+    TDX_ASSIGN_OR_RETURN(program_->lifted,
+                         LiftMapping(program_->mapping, program_->schema));
+    for (const UnionQuery& q : program_->queries) {
+      TDX_RETURN_IF_ERROR(q.Validate());
+    }
+    return Status::OK();
+  }
+
+ private:
+  // ---- token helpers ------------------------------------------------------
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status ErrorHere(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(what + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column) +
+                              " (got " + std::string(TokenKindName(t.kind)) +
+                              (t.text.empty() ? "" : " '" + t.text + "'") +
+                              ")");
+  }
+  Status Expect(TokenKind kind, const std::string& context) {
+    if (Match(kind)) return Status::OK();
+    return ErrorHere("expected " + std::string(TokenKindName(kind)) + " " +
+                     context);
+  }
+
+  // ---- grammar ------------------------------------------------------------
+  Status ParseStatement() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected a statement keyword");
+    }
+    const std::string keyword = Peek().text;
+    if (keyword == "source" || keyword == "target") {
+      return ParseRelationDecl(keyword == "source" ? SchemaRole::kSource
+                                                   : SchemaRole::kTarget);
+    }
+    if (keyword == "tgd") return ParseTgd(/*target=*/false);
+    if (keyword == "ttgd") return ParseTgd(/*target=*/true);
+    if (keyword == "egd") return ParseEgd();
+    if (keyword == "fact") return ParseFact();
+    if (keyword == "query") return ParseQuery();
+    return ErrorHere("unknown statement keyword '" + keyword + "'");
+  }
+
+  Status ParseRelationDecl(SchemaRole role) {
+    Advance();  // keyword
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected relation name");
+    }
+    const std::string name = Advance().text;
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after relation name"));
+    std::vector<std::string> attrs;
+    do {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorHere("expected attribute name");
+      }
+      attrs.push_back(Advance().text);
+    } while (Match(TokenKind::kComma));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after attribute list"));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after declaration"));
+    TDX_ASSIGN_OR_RETURN(
+        RelationId ignored,
+        program_->schema.AddRelationPair(name, std::move(attrs), role));
+    (void)ignored;
+    return Status::OK();
+  }
+
+  /// Variable table scoped to one dependency or query.
+  struct VarScope {
+    std::unordered_map<std::string, VarId> ids;
+    std::vector<std::string> names;
+
+    VarId Get(const std::string& name) {
+      auto it = ids.find(name);
+      if (it != ids.end()) return it->second;
+      const VarId v = static_cast<VarId>(names.size());
+      ids.emplace(name, v);
+      names.push_back(name);
+      return v;
+    }
+    VarId Fresh() {
+      const VarId v = static_cast<VarId>(names.size());
+      names.push_back("_" + std::to_string(v));
+      return v;
+    }
+  };
+
+  Result<Term> ParseTerm(VarScope* scope) {
+    if (Check(TokenKind::kString)) {
+      return Term::Val(program_->universe.Constant(Advance().text));
+    }
+    if (Check(TokenKind::kNumber)) {
+      return Term::Val(program_->universe.Constant(Advance().text));
+    }
+    if (Check(TokenKind::kIdentifier)) {
+      const std::string name = Advance().text;
+      if (name == "_") return Term::Var(scope->Fresh());
+      return Term::Var(scope->Get(name));
+    }
+    return ErrorHere("expected a term (variable, string, or number)");
+  }
+
+  Result<Atom> ParseAtom(VarScope* scope, bool allow_temporal_ops = false) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected relation name in atom");
+    }
+    const Token& name_token = Peek();
+    const std::string name = Advance().text;
+
+    // Temporal operator applied to an atom: op(R(...)).
+    TemporalOp op;
+    if (TemporalOpFromName(name, &op)) {
+      if (!allow_temporal_ops) {
+        return Status::ParseError(
+            "temporal operator '" + name +
+            "' is only allowed in tgd bodies (line " +
+            std::to_string(name_token.line) + ")");
+      }
+      TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after operator"));
+      TDX_ASSIGN_OR_RETURN(Atom inner, ParseAtom(scope, false));
+      TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after operator atom"));
+      TDX_ASSIGN_OR_RETURN(RelationId closure_snap,
+                           ResolveClosureRelation(inner.rel, op));
+      inner.rel = closure_snap;
+      return inner;
+    }
+
+    Result<RelationId> rel = program_->schema.Find(name);
+    if (!rel.ok()) {
+      return Status::ParseError("unknown relation '" + name + "' at line " +
+                                std::to_string(name_token.line));
+    }
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after relation name"));
+    Atom atom;
+    atom.rel = *rel;
+    do {
+      TDX_ASSIGN_OR_RETURN(Term term, ParseTerm(scope));
+      atom.terms.push_back(term);
+    } while (Match(TokenKind::kComma));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after atom terms"));
+    if (atom.terms.size() != program_->schema.relation(*rel).arity()) {
+      return Status::ParseError(
+          "atom over '" + name + "' has arity " +
+          std::to_string(atom.terms.size()) + ", expected " +
+          std::to_string(program_->schema.relation(*rel).arity()) +
+          " at line " + std::to_string(name_token.line));
+    }
+    return atom;
+  }
+
+  Result<Conjunction> ParseConjunction(VarScope* scope,
+                                       bool allow_temporal_ops = false) {
+    Conjunction conj;
+    do {
+      TDX_ASSIGN_OR_RETURN(Atom atom, ParseAtom(scope, allow_temporal_ops));
+      conj.atoms.push_back(std::move(atom));
+    } while (Match(TokenKind::kAmp));
+    return conj;
+  }
+
+  /// Gets or creates the closure relation pair for op over the snapshot
+  /// relation `base_snap`, records the ClosureSpec, and returns the
+  /// closure's snapshot relation id.
+  Result<RelationId> ResolveClosureRelation(RelationId base_snap,
+                                            TemporalOp op) {
+    const RelationSchema& base = program_->schema.relation(base_snap);
+    const std::string name = ClosureRelationName(base.name, op);
+    Result<RelationId> existing = program_->schema.Find(name);
+    if (existing.ok()) return *existing;
+    std::vector<std::string> attrs = base.attributes;
+    TDX_ASSIGN_OR_RETURN(
+        RelationId closure_concrete,
+        program_->schema.AddRelationPair(name, std::move(attrs), base.role));
+    TDX_ASSIGN_OR_RETURN(RelationId base_concrete,
+                         program_->schema.TwinOf(base_snap));
+    program_->closures.push_back(ParsedProgram::ClosureSpec{
+        base_concrete, op, closure_concrete});
+    TDX_ASSIGN_OR_RETURN(RelationId closure_snap,
+                         program_->schema.TwinOf(closure_concrete));
+    return closure_snap;
+  }
+
+  /// Optional "label :" prefix after the tgd/egd keyword: an identifier
+  /// immediately followed by a colon.
+  std::string ParseOptionalLabel() {
+    if (Check(TokenKind::kIdentifier) &&
+        Peek(1).kind == TokenKind::kColon) {
+      const std::string label = Advance().text;
+      Advance();  // colon
+      return label;
+    }
+    return "";
+  }
+
+  Status ParseTgd(bool target) {
+    Advance();  // "tgd" or "ttgd"
+    Tgd tgd;
+    tgd.label = ParseOptionalLabel();
+    VarScope scope;
+    // Temporal operators need source data to materialize closures over, so
+    // they are confined to s-t tgd bodies.
+    TDX_ASSIGN_OR_RETURN(
+        tgd.body, ParseConjunction(&scope, /*allow_temporal_ops=*/!target));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "in tgd"));
+    if (Check(TokenKind::kIdentifier) && Peek().text == "exists") {
+      Advance();
+      do {
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorHere("expected existential variable name");
+        }
+        scope.Get(Advance().text);  // registers the variable
+      } while (Match(TokenKind::kComma));
+      TDX_RETURN_IF_ERROR(
+          Expect(TokenKind::kColon, "after existential variables"));
+    }
+    TDX_ASSIGN_OR_RETURN(tgd.head, ParseConjunction(&scope));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after tgd"));
+    tgd.body.num_vars = tgd.head.num_vars = scope.names.size();
+    tgd.body.var_names = tgd.head.var_names = scope.names;
+    TDX_RETURN_IF_ERROR(tgd.Finalize());
+    if (target) {
+      program_->mapping.target_tgds.push_back(std::move(tgd));
+    } else {
+      program_->mapping.st_tgds.push_back(std::move(tgd));
+    }
+    return Status::OK();
+  }
+
+  Status ParseEgd() {
+    Advance();  // "egd"
+    Egd egd;
+    egd.label = ParseOptionalLabel();
+    VarScope scope;
+    TDX_ASSIGN_OR_RETURN(egd.body, ParseConjunction(&scope));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "in egd"));
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected variable on the left of '='");
+    }
+    egd.x1 = scope.Get(Advance().text);
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "in egd equality"));
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected variable on the right of '='");
+    }
+    egd.x2 = scope.Get(Advance().text);
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after egd"));
+    egd.body.num_vars = scope.names.size();
+    egd.body.var_names = scope.names;
+    TDX_RETURN_IF_ERROR(egd.Finalize());
+    program_->mapping.egds.push_back(std::move(egd));
+    return Status::OK();
+  }
+
+  Result<Interval> ParseInterval() {
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "to open interval"));
+    if (!Check(TokenKind::kNumber)) {
+      return ErrorHere("expected interval start point");
+    }
+    const TimePoint start = Advance().number;
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kComma, "in interval"));
+    TimePoint end = kTimeInfinity;
+    if (Check(TokenKind::kNumber)) {
+      end = Advance().number;
+    } else if (Check(TokenKind::kIdentifier) && Peek().text == "inf") {
+      Advance();
+    } else {
+      return ErrorHere("expected interval end point or 'inf'");
+    }
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close interval"));
+    if (start >= end) {
+      return Status::ParseError("empty interval [" + std::to_string(start) +
+                                ", " + TimePointToString(end) + ")");
+    }
+    return Interval(start, end);
+  }
+
+  Status ParseFact() {
+    Advance();  // "fact"
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected relation name in fact");
+    }
+    const std::string name = Advance().text;
+    TDX_ASSIGN_OR_RETURN(RelationId snap, program_->schema.Find(name));
+    TDX_ASSIGN_OR_RETURN(RelationId conc, program_->schema.TwinOf(snap));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after relation name"));
+    std::vector<Value> data;
+    do {
+      if (Check(TokenKind::kString) || Check(TokenKind::kNumber)) {
+        data.push_back(program_->universe.Constant(Advance().text));
+      } else {
+        return ErrorHere("fact arguments must be constants");
+      }
+    } while (Match(TokenKind::kComma));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after fact arguments"));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kAt, "before fact interval"));
+    TDX_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after fact"));
+    return program_->source.Add(conc, std::move(data), iv);
+  }
+
+  Status ParseQuery() {
+    Advance();  // "query"
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected query name");
+    }
+    ConjunctiveQuery query;
+    query.name = Advance().text;
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after query name"));
+    VarScope scope;
+    std::vector<std::string> head_names;
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorHere("expected head variable");
+        }
+        head_names.push_back(Advance().text);
+      } while (Match(TokenKind::kComma));
+    }
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after query head"));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kColon, "before query body"));
+    for (const std::string& name : head_names) {
+      query.head.push_back(scope.Get(name));
+    }
+    TDX_ASSIGN_OR_RETURN(query.body, ParseConjunction(&scope));
+    TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after query"));
+    query.body.num_vars = scope.names.size();
+    query.body.var_names = scope.names;
+    TDX_RETURN_IF_ERROR(query.Validate());
+
+    for (UnionQuery& uq : program_->queries) {
+      if (uq.name == query.name) {
+        uq.disjuncts.push_back(std::move(query));
+        return Status::OK();
+      }
+    }
+    UnionQuery uq;
+    uq.name = query.name;
+    uq.disjuncts.push_back(std::move(query));
+    program_->queries.push_back(std::move(uq));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParsedProgram* program_;
+};
+
+}  // namespace
+
+Result<const UnionQuery*> ParsedProgram::FindQuery(
+    std::string_view name) const {
+  for (const UnionQuery& q : queries) {
+    if (q.name == name) return &q;
+  }
+  return Status::NotFound("no query named '" + std::string(name) + "'");
+}
+
+Result<std::unique_ptr<ParsedProgram>> ParseProgram(std::string_view text) {
+  TDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  auto program = std::make_unique<ParsedProgram>();
+  Parser parser(std::move(tokens), program.get());
+  TDX_RETURN_IF_ERROR(parser.Run());
+  return program;
+}
+
+}  // namespace tdx

@@ -1,0 +1,189 @@
+#include "src/parser/serialize.h"
+
+#include <optional>
+
+namespace tdx {
+
+namespace {
+
+/// Is `name` an auxiliary closure relation (base__op or base__op+)?
+/// Returns the base snapshot relation name and operator when so.
+std::optional<std::pair<std::string, TemporalOp>> SplitClosureName(
+    std::string_view name) {
+  if (!name.empty() && name.back() == '+') name.remove_suffix(1);
+  const std::size_t sep = name.rfind("__");
+  if (sep == std::string_view::npos) return std::nullopt;
+  TemporalOp op;
+  if (!TemporalOpFromName(name.substr(sep + 2), &op)) return std::nullopt;
+  return std::make_pair(std::string(name.substr(0, sep)), op);
+}
+
+/// Renders a term in the parseable format: variables by name, constants
+/// quoted, anything else is unrepresentable (caller checks).
+std::string RenderTerm(const Term& term, const Conjunction& conj,
+                       const Universe& u) {
+  if (term.is_var()) {
+    const VarId v = term.var();
+    if (v < conj.var_names.size() && !conj.var_names[v].empty()) {
+      return conj.var_names[v];
+    }
+    return "v" + std::to_string(v);
+  }
+  assert(term.value().is_constant() &&
+         "only constants are representable in dependency atoms");
+  return "\"" + std::string(u.symbols().Spelling(term.value().symbol())) +
+         "\"";
+}
+
+/// Renders a conjunction in the parseable format, translating closure
+/// relations back to their operator syntax.
+std::string RenderConjunction(const Conjunction& conj, const Schema& schema,
+                              const Universe& u) {
+  std::string out;
+  for (std::size_t i = 0; i < conj.atoms.size(); ++i) {
+    if (i > 0) out += " & ";
+    const Atom& atom = conj.atoms[i];
+    const std::string& rel_name = schema.relation(atom.rel).name;
+    const auto closure = SplitClosureName(rel_name);
+    if (closure.has_value()) {
+      out += std::string(TemporalOpName(closure->second)) + "(" +
+             closure->first + "(";
+    } else {
+      out += rel_name + "(";
+    }
+    for (std::size_t j = 0; j < atom.terms.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += RenderTerm(atom.terms[j], conj, u);
+    }
+    out += ")";
+    if (closure.has_value()) out += ")";
+  }
+  return out;
+}
+
+std::string VarName(const Conjunction& conj, VarId v) {
+  if (v < conj.var_names.size() && !conj.var_names[v].empty()) {
+    return conj.var_names[v];
+  }
+  return "v" + std::to_string(v);
+}
+
+std::string RenderTgd(const Tgd& tgd, std::string_view keyword,
+                      const Schema& schema, const Universe& u) {
+  std::string out(keyword);
+  out += " ";
+  if (!tgd.label.empty()) out += tgd.label + ": ";
+  out += RenderConjunction(tgd.body, schema, u);
+  out += " -> ";
+  if (!tgd.existential.empty()) {
+    out += "exists ";
+    for (std::size_t i = 0; i < tgd.existential.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += VarName(tgd.head, tgd.existential[i]);
+    }
+    out += ": ";
+  }
+  out += RenderConjunction(tgd.head, schema, u);
+  out += ";\n";
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeSchema(const Schema& schema) {
+  std::string out;
+  for (RelationId rel = 0; rel < schema.relation_count(); ++rel) {
+    const RelationSchema& r = schema.relation(rel);
+    if (r.temporal) continue;                       // emit the snapshot side
+    if (!r.twin.has_value()) continue;              // pairs only
+    if (SplitClosureName(r.name).has_value()) continue;  // re-derived
+    out += (r.role == SchemaRole::kSource ? "source " : "target ");
+    out += r.name + "(";
+    for (std::size_t i = 0; i < r.attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += r.attributes[i];
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+std::string SerializeMapping(const Mapping& mapping, const Schema& schema,
+                             const Universe& u) {
+  std::string out;
+  for (const Tgd& tgd : mapping.st_tgds) {
+    out += RenderTgd(tgd, "tgd", schema, u);
+  }
+  for (const Tgd& tgd : mapping.target_tgds) {
+    out += RenderTgd(tgd, "ttgd", schema, u);
+  }
+  for (const Egd& egd : mapping.egds) {
+    out += "egd ";
+    if (!egd.label.empty()) out += egd.label + ": ";
+    out += RenderConjunction(egd.body, schema, u);
+    out += " -> " + VarName(egd.body, egd.x1) + " = " +
+           VarName(egd.body, egd.x2) + ";\n";
+  }
+  return out;
+}
+
+Result<std::string> SerializeInstanceFacts(const ConcreteInstance& instance,
+                                           const Universe& u) {
+  std::string out;
+  Status status = Status::OK();
+  const Schema& schema = instance.schema();
+  instance.facts().ForEach([&](const Fact& fact) {
+    if (!status.ok()) return;
+    const RelationSchema& rel = schema.relation(fact.relation());
+    if (SplitClosureName(rel.name).has_value()) return;  // re-derived
+    Result<RelationId> snap = schema.TwinOf(fact.relation());
+    if (!snap.ok()) {
+      status = snap.status();
+      return;
+    }
+    out += "fact " + schema.relation(*snap).name + "(";
+    for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
+      const Value& v = fact.arg(i);
+      if (!v.is_constant()) {
+        status = Status::InvalidArgument(
+            "only complete instances are serializable as facts; found a "
+            "null in relation '" + rel.name + "'");
+        return;
+      }
+      if (i > 0) out += ", ";
+      out += "\"" + std::string(u.symbols().Spelling(v.symbol())) + "\"";
+    }
+    out += ") @ " + fact.interval().ToString() + ";\n";
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+std::string SerializeQueries(const std::vector<UnionQuery>& queries,
+                             const Schema& schema, const Universe& u) {
+  std::string out;
+  for (const UnionQuery& uq : queries) {
+    for (const ConjunctiveQuery& q : uq.disjuncts) {
+      out += "query " + uq.name + "(";
+      for (std::size_t i = 0; i < q.head.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += VarName(q.body, q.head[i]);
+      }
+      out += "): " + RenderConjunction(q.body, schema, u) + ";\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> SerializeProgram(const ParsedProgram& program) {
+  std::string out = SerializeSchema(program.schema);
+  out += SerializeMapping(program.mapping, program.schema, program.universe);
+  TDX_ASSIGN_OR_RETURN(std::string facts,
+                       SerializeInstanceFacts(program.source,
+                                              program.universe));
+  out += facts;
+  out += SerializeQueries(program.queries, program.schema, program.universe);
+  return out;
+}
+
+}  // namespace tdx

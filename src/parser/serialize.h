@@ -1,0 +1,45 @@
+// Serialization back into the tdx text format.
+//
+// Everything ParseProgram reads can be written back out: schemas, mappings
+// (including target tgds), facts, and queries. The output parses to an
+// equivalent program (round-trip property, exercised by tests), which makes
+// exchange results durable: `tdx_cli chase --emit-program` produces a
+// program whose facts are the computed solution.
+//
+// Instances containing interval-annotated nulls are NOT serializable as
+// `fact` statements (the format deliberately keeps sources complete, as the
+// paper requires); SerializeInstanceFacts returns InvalidArgument for them.
+
+#ifndef TDX_PARSER_SERIALIZE_H_
+#define TDX_PARSER_SERIALIZE_H_
+
+#include <string>
+
+#include "src/parser/parser.h"
+
+namespace tdx {
+
+/// `source`/`target` declarations for every relation pair in the schema.
+/// Auxiliary closure relations (R__once_past, ...) are skipped: they are
+/// re-derived from the operators in the mapping on re-parse.
+std::string SerializeSchema(const Schema& schema);
+
+/// `tgd`/`ttgd`/`egd` statements. Dependencies must be the NON-temporal
+/// mapping (the lifted form is derived on re-parse).
+std::string SerializeMapping(const Mapping& mapping, const Schema& schema,
+                             const Universe& u);
+
+/// `fact` statements for a complete concrete instance.
+Result<std::string> SerializeInstanceFacts(const ConcreteInstance& instance,
+                                           const Universe& u);
+
+/// `query` statements.
+std::string SerializeQueries(const std::vector<UnionQuery>& queries,
+                             const Schema& schema, const Universe& u);
+
+/// The whole program: schema, mapping, facts, queries.
+Result<std::string> SerializeProgram(const ParsedProgram& program);
+
+}  // namespace tdx
+
+#endif  // TDX_PARSER_SERIALIZE_H_

@@ -1,0 +1,274 @@
+#include "src/relational/chase.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace tdx {
+
+namespace {
+
+/// Universally quantified variables that occur in the head. Two triggers
+/// that agree on these produce interchangeable head images, so they are
+/// deduplicated before firing.
+std::vector<VarId> HeadUniversalVars(const Tgd& tgd) {
+  std::unordered_set<VarId> existential(tgd.existential.begin(),
+                                        tgd.existential.end());
+  std::unordered_set<VarId> seen;
+  std::vector<VarId> out;
+  for (const Atom& atom : tgd.head.atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && existential.count(t.var()) == 0 &&
+          seen.insert(t.var()).second) {
+        out.push_back(t.var());
+      }
+    }
+  }
+  return out;
+}
+
+/// Substitutes `binding` into `atom`; every variable must be bound.
+Fact Instantiate(const Atom& atom, const Binding& binding) {
+  std::vector<Value> args;
+  args.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    args.push_back(t.is_var() ? binding.Get(t.var()) : t.value());
+  }
+  return Fact(atom.rel, std::move(args));
+}
+
+}  // namespace
+
+namespace {
+
+/// Fires all of `tgd`'s triggers found in `source` into `target` (which may
+/// alias `source` for target tgds; triggers are fully collected before any
+/// insertion). Returns true if at least one new fact was inserted.
+bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
+             const FreshNullFactory& fresh, ChaseStats* stats);
+
+}  // namespace
+
+void TgdPhase(const Instance& source, Instance* target,
+              const std::vector<Tgd>& tgds, const FreshNullFactory& fresh,
+              ChaseStats* stats) {
+  for (const Tgd& tgd : tgds) {
+    FireTgd(source, target, tgd, fresh, stats);
+  }
+}
+
+bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
+                    const FreshNullFactory& fresh, ChaseStats* stats) {
+  bool inserted = false;
+  for (const Tgd& tgd : tgds) {
+    if (FireTgd(*target, target, tgd, fresh, stats)) inserted = true;
+  }
+  return inserted;
+}
+
+namespace {
+
+bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
+             const FreshNullFactory& fresh, ChaseStats* stats) {
+  bool inserted_any = false;
+  {
+    // Collect triggers, deduplicated by the head-visible universal values:
+    // triggers agreeing there would fire indistinguishable head images.
+    // Collection completes before any firing, so `source` may alias
+    // `*target` (target tgds) without invalidation.
+    const std::vector<VarId> key_vars = HeadUniversalVars(tgd);
+    std::map<std::vector<Value>, Binding> triggers;
+    HomomorphismFinder source_finder(source);
+    source_finder.ForEach(
+        tgd.body, Binding(tgd.num_vars()),
+        [&](const Binding& binding, const AtomImage&) {
+          ++stats->tgd_triggers;
+          std::vector<Value> key;
+          key.reserve(key_vars.size());
+          for (VarId v : key_vars) key.push_back(binding.Get(v));
+          triggers.emplace(std::move(key), binding);
+          return true;
+        });
+
+    // Fire each unique trigger unless an extension homomorphism already
+    // exists in the current target (restricted chase). With a single-atom
+    // head, a fired fact carries its own trigger's universal values at
+    // every universal position, so it can never witness a DIFFERENT key:
+    // the extension finder built at phase start stays exact and is not
+    // rebuilt. Multi-atom heads can witness other keys through mixed fact
+    // combinations, so there the finder is rebuilt whenever the target
+    // grows.
+    const bool rebuild_on_insert = tgd.head.atoms.size() > 1;
+    std::unique_ptr<HomomorphismFinder> target_finder;
+    bool target_dirty = true;
+    for (auto& [key, binding] : triggers) {
+      if (target_dirty) {
+        target_finder = std::make_unique<HomomorphismFinder>(*target);
+        target_dirty = false;
+      }
+      if (target_finder->Exists(tgd.head, binding)) continue;
+      Binding extended = binding;
+      for (VarId y : tgd.existential) {
+        extended.Bind(y, fresh(tgd, binding));
+        ++stats->fresh_nulls;
+      }
+      for (const Atom& atom : tgd.head.atoms) {
+        if (target->Insert(Instantiate(atom, extended))) {
+          if (rebuild_on_insert) target_dirty = true;
+          inserted_any = true;
+        }
+      }
+      ++stats->tgd_fires;
+    }
+  }
+  return inserted_any;
+}
+
+}  // namespace
+
+ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
+                            ChaseStats* stats, std::string* failure_reason) {
+  // Batched passes: collect every violated equality, merge the equivalence
+  // classes with union-find, rebuild the instance once, repeat. This is
+  // equivalent to applying egd steps one at a time (the egd chase is
+  // confluent up to null renaming) but costs one rebuild per pass instead
+  // of one per step.
+  while (true) {
+    // ---- collect all violated equalities --------------------------------
+    std::vector<std::pair<Value, Value>> pairs;
+    std::string violated_label;
+    {
+      HomomorphismFinder finder(*target);
+      for (const Egd& egd : egds) {
+        finder.ForEach(egd.body, Binding(egd.num_vars()),
+                       [&](const Binding& binding, const AtomImage&) {
+                         const Value& a = binding.Get(egd.x1);
+                         const Value& b = binding.Get(egd.x2);
+                         if (a != b) {
+                           pairs.emplace_back(a, b);
+                           if (violated_label.empty()) {
+                             violated_label = egd.label;
+                           }
+                         }
+                         return true;
+                       });
+      }
+    }
+    if (pairs.empty()) return ChaseResultKind::kSuccess;
+
+    // ---- union-find over the values involved -----------------------------
+    std::unordered_map<Value, std::size_t, ValueHash> index;
+    std::vector<Value> values;
+    std::vector<std::size_t> parent;
+    auto intern = [&](const Value& v) {
+      auto [it, inserted] = index.emplace(v, values.size());
+      if (inserted) {
+        values.push_back(v);
+        parent.push_back(parent.size());
+      }
+      return it->second;
+    };
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (const auto& [a, b] : pairs) {
+      parent[find(intern(a))] = find(intern(b));
+    }
+
+    // ---- pick a representative per class ---------------------------------
+    // A non-null wins; two distinct non-nulls in one class is chase
+    // failure; among nulls, the smallest id wins (deterministic).
+    std::unordered_map<std::size_t, Value> representative;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::size_t root = find(i);
+      const Value& v = values[i];
+      auto it = representative.find(root);
+      if (it == representative.end()) {
+        representative.emplace(root, v);
+        continue;
+      }
+      const Value& cur = it->second;
+      if (!v.is_any_null()) {
+        if (!cur.is_any_null()) {
+          *failure_reason = "egd '" + violated_label +
+                            "' equates two distinct non-null values";
+          return ChaseResultKind::kFailure;
+        }
+        it->second = v;
+      } else if (cur.is_any_null() && v.null_id() < cur.null_id()) {
+        it->second = v;
+      }
+    }
+
+    // ---- apply all merges in one rebuild ----------------------------------
+    Instance next(&target->schema());
+    std::size_t replaced = 0;
+    target->ForEach([&](const Fact& fact) {
+      std::vector<Value> args;
+      args.reserve(fact.arity());
+      for (const Value& v : fact.args()) {
+        auto it = index.find(v);
+        if (it == index.end()) {
+          args.push_back(v);
+          continue;
+        }
+        const Value& rep = representative.at(find(it->second));
+        if (rep != v) ++replaced;
+        args.push_back(rep);
+      }
+      next.Insert(Fact(fact.relation(), std::move(args)));
+    });
+    stats->egd_steps += index.size() - representative.size();
+    (void)replaced;
+    *target = std::move(next);
+  }
+}
+
+Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
+                                   const Mapping& mapping,
+                                   Universe* universe) {
+  ChaseOutcome outcome{ChaseResultKind::kSuccess, Instance(&source.schema()),
+                       ChaseStats{}, ""};
+  const FreshNullFactory fresh = [universe](const Tgd&, const Binding&) {
+    return universe->FreshNull();
+  };
+  TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats);
+
+  // Interleave target-tgd rounds and egd steps to a joint fixpoint. Weak
+  // acyclicity (ValidateMapping) bounds the number of fresh nulls, so this
+  // terminates; the guard is a defensive backstop for unvalidated input.
+  std::size_t guard = 0;
+  while (true) {
+    bool fired = false;
+    while (TargetTgdRound(&outcome.target, mapping.target_tgds, fresh,
+                          &outcome.stats)) {
+      fired = true;
+      if (++guard > 100000) {
+        return Status::Internal(
+            "target-tgd chase exceeded its iteration budget; are the "
+            "target tgds weakly acyclic?");
+      }
+    }
+    const std::size_t egd_before = outcome.stats.egd_steps;
+    outcome.kind = EgdFixpoint(&outcome.target, mapping.egds, &outcome.stats,
+                               &outcome.failure_reason);
+    if (outcome.kind == ChaseResultKind::kFailure) return outcome;
+    if (!fired && outcome.stats.egd_steps == egd_before) break;
+    if (++guard > 100000) {
+      return Status::Internal(
+          "chase exceeded its iteration budget; are the target tgds weakly "
+          "acyclic?");
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tdx

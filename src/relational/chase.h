@@ -1,0 +1,93 @@
+// The classical chase of Fagin, Kolaitis, Miller, and Popa ("Data exchange:
+// semantics and query answering", TCS 2005) restricted to s-t tgds and egds.
+//
+// This is the per-snapshot building block of the paper's *abstract* chase
+// (Section 3): chase(Ia, M) = <chase(db0, M), chase(db1, M), ...>. Because
+// only s-t tgds and egds are allowed, every chase sequence is finite.
+//
+// The chase has two phases:
+//   1. s-t tgd steps: for every homomorphism h from a tgd body to the
+//      source with no extension h' from body & head to (I, J), fire — add
+//      the head facts with a fresh labeled null per existential variable.
+//   2. egd steps to fixpoint: for every homomorphism from an egd body to J
+//      with h(x1) != h(x2): if both are non-nulls, the chase FAILS (no
+//      solution exists, Proposition 4(2)); otherwise a null is replaced
+//      everywhere by the other value.
+//
+// Chase failure is an outcome, not a Status error.
+
+#ifndef TDX_RELATIONAL_CHASE_H_
+#define TDX_RELATIONAL_CHASE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/relational/dependency.h"
+#include "src/relational/instance.h"
+
+namespace tdx {
+
+enum class ChaseResultKind {
+  kSuccess,  ///< target is a universal solution
+  kFailure,  ///< an egd equated two distinct non-null values: no solution
+};
+
+struct ChaseStats {
+  std::size_t tgd_triggers = 0;  ///< body homomorphisms found
+  std::size_t tgd_fires = 0;     ///< triggers that actually fired
+  std::size_t egd_steps = 0;     ///< successful egd applications
+  std::size_t fresh_nulls = 0;   ///< labeled nulls created
+};
+
+struct ChaseOutcome {
+  ChaseResultKind kind = ChaseResultKind::kSuccess;
+  Instance target;
+  ChaseStats stats;
+  /// Human-readable explanation when kind == kFailure.
+  std::string failure_reason;
+};
+
+/// Runs the chase of `source` with `mapping`, materializing a target
+/// instance over the same Schema. Fresh labeled nulls come from `universe`.
+///
+/// Deterministic: tgds fire in declaration order with triggers in canonical
+/// order; egds likewise. The result of a successful chase is a universal
+/// solution (Fagin et al., Theorem 3.3).
+Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
+                                   const Mapping& mapping, Universe* universe);
+
+// ---------------------------------------------------------------------------
+// Building blocks, shared with the concrete chase (core/cchase.h), which
+// differs only in how fresh nulls are minted (interval-annotated with h(t))
+// and in the normalization steps between phases.
+// ---------------------------------------------------------------------------
+
+/// Mints the value substituted for an existential variable when `tgd` fires
+/// with `trigger`. The snapshot chase returns a fresh labeled null; the
+/// concrete chase returns a fresh null annotated with trigger(t).
+using FreshNullFactory =
+    std::function<Value(const Tgd& tgd, const Binding& trigger)>;
+
+/// Phase 1: fires every s-t tgd trigger from `source` into `target`
+/// (restricted chase: triggers whose head is already witnessed are skipped).
+void TgdPhase(const Instance& source, Instance* target,
+              const std::vector<Tgd>& tgds, const FreshNullFactory& fresh,
+              ChaseStats* stats);
+
+/// Phase 2: applies egd steps on `target` until fixpoint. Returns kFailure
+/// (and fills `failure_reason`) when an egd equates two distinct non-null
+/// values. Handles labeled and interval-annotated nulls uniformly.
+ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
+                            ChaseStats* stats, std::string* failure_reason);
+
+/// One round of target-tgd firing: collects all triggers over the current
+/// target, fires those without an extension witness, and returns true if
+/// anything was inserted. Callers loop rounds to a fixpoint (guaranteed to
+/// exist for weakly acyclic target tgds) and interleave with EgdFixpoint.
+bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
+                    const FreshNullFactory& fresh, ChaseStats* stats);
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_CHASE_H_

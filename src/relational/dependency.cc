@@ -1,0 +1,306 @@
+#include "src/relational/dependency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tdx {
+
+namespace {
+
+/// Set of variables appearing in a conjunction.
+std::unordered_set<VarId> VarsOf(const Conjunction& conj) {
+  std::unordered_set<VarId> vars;
+  for (const Atom& atom : conj.atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) vars.insert(t.var());
+    }
+  }
+  return vars;
+}
+
+/// Appends the temporal variable to every atom and remaps relations to
+/// their concrete twins.
+Result<Conjunction> LiftConjunction(const Conjunction& conj,
+                                    const Schema& schema, VarId t_var) {
+  Conjunction out = conj;
+  out.num_vars = std::max<std::size_t>(out.num_vars, t_var + 1);
+  out.var_names.resize(out.num_vars);
+  out.var_names[t_var] = "t";
+  for (Atom& atom : out.atoms) {
+    TDX_ASSIGN_OR_RETURN(RelationId twin, schema.TwinOf(atom.rel));
+    if (!schema.relation(twin).temporal) {
+      return Status::InvalidArgument(
+          "lifting requires the twin of '" + schema.relation(atom.rel).name +
+          "' to be temporal; lift only non-temporal dependencies");
+    }
+    atom.rel = twin;
+    atom.terms.push_back(Term::Var(t_var));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Tgd::Finalize() {
+  if (head.atoms.empty()) {
+    return Status::InvalidArgument("tgd '" + label + "' has an empty head");
+  }
+  const std::size_t nv = std::max(body.num_vars, head.num_vars);
+  body.num_vars = head.num_vars = nv;
+  if (body.var_names.size() < nv) body.var_names.resize(nv);
+  head.var_names = body.var_names;
+  const std::unordered_set<VarId> body_vars = VarsOf(body);
+  const std::unordered_set<VarId> head_vars = VarsOf(head);
+  existential.clear();
+  for (VarId v : head_vars) {
+    if (body_vars.count(v) == 0) existential.push_back(v);
+  }
+  std::sort(existential.begin(), existential.end());
+  return Status::OK();
+}
+
+Status Egd::Finalize() {
+  if (body.atoms.empty()) {
+    return Status::InvalidArgument("egd '" + label + "' has an empty body");
+  }
+  const std::unordered_set<VarId> body_vars = VarsOf(body);
+  if (body_vars.count(x1) == 0 || body_vars.count(x2) == 0) {
+    return Status::InvalidArgument(
+        "egd '" + label + "': equality variables must occur in the body");
+  }
+  if (x1 == x2) {
+    return Status::InvalidArgument("egd '" + label +
+                                   "' equates a variable with itself");
+  }
+  return Status::OK();
+}
+
+std::string Tgd::ToString(const Schema& schema, const Universe& u) const {
+  std::string out = label.empty() ? "" : (label + ": ");
+  out += body.ToString(schema, u);
+  out += " -> ";
+  if (!existential.empty()) {
+    out += "exists ";
+    for (std::size_t i = 0; i < existential.size(); ++i) {
+      if (i > 0) out += ", ";
+      const VarId v = existential[i];
+      out += (v < head.var_names.size() && !head.var_names[v].empty())
+                 ? head.var_names[v]
+                 : ("?" + std::to_string(v));
+    }
+    out += ": ";
+  }
+  out += head.ToString(schema, u);
+  return out;
+}
+
+std::string Egd::ToString(const Schema& schema, const Universe& u) const {
+  auto var_name = [this](VarId v) {
+    return (v < body.var_names.size() && !body.var_names[v].empty())
+               ? body.var_names[v]
+               : ("?" + std::to_string(v));
+  };
+  std::string out = label.empty() ? "" : (label + ": ");
+  out += body.ToString(schema, u);
+  out += " -> " + var_name(x1) + " = " + var_name(x2);
+  return out;
+}
+
+std::vector<Conjunction> Mapping::TgdBodies() const {
+  std::vector<Conjunction> out;
+  out.reserve(st_tgds.size());
+  for (const Tgd& tgd : st_tgds) out.push_back(tgd.body);
+  return out;
+}
+
+std::vector<Conjunction> Mapping::TargetTgdBodies() const {
+  std::vector<Conjunction> out;
+  out.reserve(target_tgds.size());
+  for (const Tgd& tgd : target_tgds) out.push_back(tgd.body);
+  return out;
+}
+
+std::vector<Conjunction> Mapping::EgdBodies() const {
+  std::vector<Conjunction> out;
+  out.reserve(egds.size());
+  for (const Egd& egd : egds) out.push_back(egd.body);
+  return out;
+}
+
+std::string Mapping::ToString(const Schema& schema, const Universe& u) const {
+  std::string out;
+  for (const Tgd& tgd : st_tgds) out += tgd.ToString(schema, u) + "\n";
+  for (const Tgd& tgd : target_tgds) out += tgd.ToString(schema, u) + "\n";
+  for (const Egd& egd : egds) out += egd.ToString(schema, u) + "\n";
+  return out;
+}
+
+Result<Tgd> LiftTgd(const Tgd& tgd, const Schema& schema) {
+  Tgd out = tgd;
+  const VarId t_var = static_cast<VarId>(tgd.num_vars());
+  TDX_ASSIGN_OR_RETURN(out.body, LiftConjunction(tgd.body, schema, t_var));
+  TDX_ASSIGN_OR_RETURN(out.head, LiftConjunction(tgd.head, schema, t_var));
+  out.temporal_var = t_var;
+  if (!out.label.empty()) out.label += "+";
+  TDX_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Result<Egd> LiftEgd(const Egd& egd, const Schema& schema) {
+  Egd out = egd;
+  const VarId t_var = static_cast<VarId>(egd.num_vars());
+  TDX_ASSIGN_OR_RETURN(out.body, LiftConjunction(egd.body, schema, t_var));
+  out.temporal_var = t_var;
+  if (!out.label.empty()) out.label += "+";
+  TDX_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Result<Mapping> LiftMapping(const Mapping& mapping, const Schema& schema) {
+  Mapping out;
+  out.st_tgds.reserve(mapping.st_tgds.size());
+  out.target_tgds.reserve(mapping.target_tgds.size());
+  out.egds.reserve(mapping.egds.size());
+  for (const Tgd& tgd : mapping.st_tgds) {
+    TDX_ASSIGN_OR_RETURN(Tgd lifted, LiftTgd(tgd, schema));
+    out.st_tgds.push_back(std::move(lifted));
+  }
+  for (const Tgd& tgd : mapping.target_tgds) {
+    TDX_ASSIGN_OR_RETURN(Tgd lifted, LiftTgd(tgd, schema));
+    out.target_tgds.push_back(std::move(lifted));
+  }
+  for (const Egd& egd : mapping.egds) {
+    TDX_ASSIGN_OR_RETURN(Egd lifted, LiftEgd(egd, schema));
+    out.egds.push_back(std::move(lifted));
+  }
+  return out;
+}
+
+Status ValidateMapping(const Mapping& mapping, const Schema& schema) {
+  auto check_role = [&schema](const Conjunction& conj, SchemaRole role,
+                              const std::string& what) -> Status {
+    for (const Atom& atom : conj.atoms) {
+      const RelationSchema& rel = schema.relation(atom.rel);
+      if (rel.role != role) {
+        return Status::InvalidArgument(
+            what + " uses relation '" + rel.name + "' with the wrong role");
+      }
+      if (atom.terms.size() != rel.arity()) {
+        return Status::InvalidArgument(what + ": atom over '" + rel.name +
+                                       "' has wrong arity");
+      }
+    }
+    return Status::OK();
+  };
+  for (const Tgd& tgd : mapping.st_tgds) {
+    TDX_RETURN_IF_ERROR(
+        check_role(tgd.body, SchemaRole::kSource, "tgd body " + tgd.label));
+    TDX_RETURN_IF_ERROR(
+        check_role(tgd.head, SchemaRole::kTarget, "tgd head " + tgd.label));
+  }
+  for (const Tgd& tgd : mapping.target_tgds) {
+    TDX_RETURN_IF_ERROR(check_role(tgd.body, SchemaRole::kTarget,
+                                   "target tgd body " + tgd.label));
+    TDX_RETURN_IF_ERROR(check_role(tgd.head, SchemaRole::kTarget,
+                                   "target tgd head " + tgd.label));
+  }
+  for (const Egd& egd : mapping.egds) {
+    TDX_RETURN_IF_ERROR(
+        check_role(egd.body, SchemaRole::kTarget, "egd body " + egd.label));
+  }
+  return CheckWeaklyAcyclic(mapping.target_tgds, schema);
+}
+
+Status CheckWeaklyAcyclic(const std::vector<Tgd>& target_tgds,
+                          const Schema& schema) {
+  if (target_tgds.empty()) return Status::OK();
+
+  // Dense node ids for positions (relation, attribute index).
+  auto node = [&schema](RelationId rel, std::size_t pos) {
+    std::size_t base = 0;
+    for (RelationId r = 0; r < rel; ++r) {
+      base += schema.relation(r).arity();
+    }
+    return base + pos;
+  };
+  std::size_t num_nodes = 0;
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    num_nodes += schema.relation(r).arity();
+  }
+
+  // adjacency[u] = list of (v, special?).
+  std::vector<std::vector<std::pair<std::size_t, bool>>> adj(num_nodes);
+  for (const Tgd& tgd : target_tgds) {
+    const std::unordered_set<VarId> existential(tgd.existential.begin(),
+                                                tgd.existential.end());
+    // Positions of each universally quantified variable in the body.
+    std::unordered_map<VarId, std::vector<std::size_t>> body_positions;
+    for (const Atom& atom : tgd.body.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        if (atom.terms[i].is_var()) {
+          body_positions[atom.terms[i].var()].push_back(node(atom.rel, i));
+        }
+      }
+    }
+    // Positions of existential variables in the head.
+    std::vector<std::size_t> existential_positions;
+    for (const Atom& atom : tgd.head.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (t.is_var() && existential.count(t.var()) != 0) {
+          existential_positions.push_back(node(atom.rel, i));
+        }
+      }
+    }
+    // Regular edges: body position of x -> each head position of x.
+    // Special edges: body position of any head-occurring universal x ->
+    // every position of every existential variable in the head.
+    for (const Atom& atom : tgd.head.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (!t.is_var()) continue;
+        const VarId v = t.var();
+        auto it = body_positions.find(v);
+        if (it == body_positions.end()) continue;  // existential
+        for (std::size_t from : it->second) {
+          adj[from].emplace_back(node(atom.rel, i), false);
+          for (std::size_t special_to : existential_positions) {
+            adj[from].emplace_back(special_to, true);
+          }
+        }
+      }
+    }
+  }
+
+  // Weak acyclicity fails iff some cycle contains a special edge, i.e.
+  // some special edge (u, v) has u reachable from v.
+  auto reaches = [&adj, num_nodes](std::size_t from, std::size_t to) {
+    std::vector<bool> seen(num_nodes, false);
+    std::vector<std::size_t> stack{from};
+    seen[from] = true;
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      for (const auto& [next, special] : adj[cur]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    return false;
+  };
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (const auto& [v, special] : adj[u]) {
+      if (special && reaches(v, u)) {
+        return Status::InvalidArgument(
+            "target tgds are not weakly acyclic: a cycle passes through a "
+            "special (existential) edge; the chase might not terminate");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdx

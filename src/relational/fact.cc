@@ -1,0 +1,26 @@
+#include "src/relational/fact.h"
+
+namespace tdx {
+
+Fact Fact::WithInterval(const Interval& iv) const {
+  assert(has_interval());
+  std::vector<Value> args = args_;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i].is_annotated_null()) args[i] = args[i].Reannotated(iv);
+  }
+  args.back() = Value::OfInterval(iv);
+  return Fact(rel_, std::move(args));
+}
+
+std::string Fact::ToString(const Schema& schema, const Universe& u) const {
+  std::string out = schema.relation(rel_).name;
+  out += "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += u.Render(args_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tdx

@@ -1,0 +1,92 @@
+// Facts: one tuple of one relation.
+//
+// A fact is R(v1, ..., vn); in a concrete instance the last value is the
+// fact's time interval (Value of kind kInterval). The paper's notation
+// f[T] (the time interval of a concrete fact) and f[D] (its data attribute
+// values) is mirrored by interval() and DataEquals().
+
+#ifndef TDX_RELATIONAL_FACT_H_
+#define TDX_RELATIONAL_FACT_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/relational/schema.h"
+
+namespace tdx {
+
+/// One tuple of one relation. Equality/hash/order are structural and include
+/// the relation id, so facts from different relations never collide.
+class Fact {
+ public:
+  Fact(RelationId rel, std::vector<Value> args)
+      : rel_(rel), args_(std::move(args)) {}
+
+  RelationId relation() const { return rel_; }
+  const std::vector<Value>& args() const { return args_; }
+  std::size_t arity() const { return args_.size(); }
+  const Value& arg(std::size_t i) const {
+    assert(i < args_.size());
+    return args_[i];
+  }
+
+  /// f[T]: the time interval of a concrete fact — its last argument, which
+  /// must be an interval value.
+  const Interval& interval() const {
+    assert(!args_.empty() && args_.back().is_interval());
+    return args_.back().interval();
+  }
+  bool has_interval() const {
+    return !args_.empty() && args_.back().is_interval();
+  }
+
+  /// f[D] = g[D]: same data attribute values (all but the last argument).
+  /// Only meaningful for concrete facts of the same relation.
+  bool DataEquals(const Fact& other) const {
+    if (rel_ != other.rel_ || args_.size() != other.args_.size()) return false;
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] != other.args_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Copy of this concrete fact restamped with `iv`; interval-annotated
+  /// nulls among the data values are re-annotated to `iv` as well, keeping
+  /// the paper's invariant that a null's annotation always equals the time
+  /// interval of the fact it occurs in (Section 4.2, after Example 12).
+  Fact WithInterval(const Interval& iv) const;
+
+  std::size_t Hash() const {
+    std::size_t h = std::hash<RelationId>()(rel_);
+    for (const Value& v : args_) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  /// Renders as "R(v1, ..., vn)" resolving names through `u` and `schema`.
+  std::string ToString(const Schema& schema, const Universe& u) const;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.rel_ == b.rel_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.rel_ != b.rel_) return a.rel_ < b.rel_;
+    return a.args_ < b.args_;
+  }
+
+ private:
+  RelationId rel_;
+  std::vector<Value> args_;
+};
+
+struct FactHash {
+  std::size_t operator()(const Fact& f) const { return f.Hash(); }
+};
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_FACT_H_

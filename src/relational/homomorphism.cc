@@ -1,0 +1,166 @@
+#include "src/relational/homomorphism.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+std::string Conjunction::ToString(const Schema& schema,
+                                  const Universe& u) const {
+  std::string out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += schema.relation(atoms[i].rel).name;
+    out += "(";
+    for (std::size_t j = 0; j < atoms[i].terms.size(); ++j) {
+      if (j > 0) out += ", ";
+      const Term& t = atoms[i].terms[j];
+      if (t.is_var()) {
+        out += (t.var() < var_names.size() && !var_names[t.var()].empty())
+                   ? var_names[t.var()]
+                   : ("?" + std::to_string(t.var()));
+      } else {
+        out += u.Render(t.value());
+      }
+    }
+    out += ")";
+  }
+  return out;
+}
+
+bool HomomorphismFinder::MatchAtom(const Atom& atom, const Fact& fact,
+                                   Binding& binding,
+                                   std::vector<VarId>& newly_bound) {
+  if (fact.relation() != atom.rel || fact.arity() != atom.terms.size()) {
+    return false;
+  }
+  const std::size_t first_new = newly_bound.size();
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    const Value& v = fact.arg(i);
+    if (t.is_var()) {
+      if (binding.IsBound(t.var())) {
+        if (binding.Get(t.var()) != v) goto fail;
+      } else {
+        binding.Bind(t.var(), v);
+        newly_bound.push_back(t.var());
+      }
+    } else if (t.value() != v) {
+      goto fail;
+    }
+  }
+  return true;
+fail:
+  for (std::size_t i = first_new; i < newly_bound.size(); ++i) {
+    binding.Unbind(newly_bound[i]);
+  }
+  newly_bound.resize(first_new);
+  return false;
+}
+
+bool HomomorphismFinder::Search(const Conjunction& conj,
+                                std::vector<bool>& done,
+                                std::size_t remaining, Binding& binding,
+                                AtomImage& image, const HomCallback& cb) {
+  if (remaining == 0) return cb(binding, image);
+
+  // Pick the undone atom with the most bound terms (most selective first).
+  std::size_t best = conj.atoms.size();
+  std::size_t best_bound = 0;
+  for (std::size_t i = 0; i < conj.atoms.size(); ++i) {
+    if (done[i]) continue;
+    std::size_t bound = 0;
+    for (const Term& t : conj.atoms[i].terms) {
+      if (!t.is_var() || binding.IsBound(t.var())) ++bound;
+    }
+    if (best == conj.atoms.size() || bound > best_bound) {
+      best = i;
+      best_bound = bound;
+    }
+  }
+  assert(best < conj.atoms.size());
+  const Atom& atom = conj.atoms[best];
+
+  // Candidate facts: index probe on bound positions, else full relation.
+  std::vector<std::uint32_t> positions;
+  std::vector<Value> values;
+  for (std::uint32_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (!t.is_var()) {
+      positions.push_back(i);
+      values.push_back(t.value());
+    } else if (binding.IsBound(t.var())) {
+      positions.push_back(i);
+      values.push_back(binding.Get(t.var()));
+    }
+  }
+
+  const std::vector<Fact>& rel_facts = instance_->facts(atom.rel);
+  done[best] = true;
+  bool keep_going = true;
+  std::vector<VarId> newly_bound;
+
+  auto try_fact = [&](const Fact& fact) {
+    newly_bound.clear();
+    if (!MatchAtom(atom, fact, binding, newly_bound)) return true;
+    image[best] = fact;
+    const bool cont =
+        Search(conj, done, remaining - 1, binding, image, cb);
+    for (VarId v : newly_bound) binding.Unbind(v);
+    return cont;
+  };
+
+  if (positions.empty()) {
+    for (const Fact& fact : rel_facts) {
+      if (!try_fact(fact)) {
+        keep_going = false;
+        break;
+      }
+    }
+  } else {
+    const std::vector<std::uint32_t>& candidates =
+        cache_.Probe(atom.rel, positions, values);
+    for (std::uint32_t idx : candidates) {
+      if (!try_fact(rel_facts[idx])) {
+        keep_going = false;
+        break;
+      }
+    }
+  }
+  done[best] = false;
+  return keep_going;
+}
+
+bool HomomorphismFinder::ForEach(const Conjunction& conj, Binding initial,
+                                 const HomCallback& cb) {
+  assert(initial.size() >= conj.num_vars);
+  if (conj.atoms.empty()) {
+    AtomImage empty_image;
+    return cb(initial, empty_image);
+  }
+  std::vector<bool> done(conj.atoms.size(), false);
+  // Placeholder facts; every slot is overwritten before the callback runs.
+  AtomImage image(conj.atoms.size(), Fact(0, {}));
+  return Search(conj, done, conj.atoms.size(), initial, image, cb);
+}
+
+bool HomomorphismFinder::Exists(const Conjunction& conj, Binding initial) {
+  bool found = false;
+  ForEach(conj, std::move(initial), [&](const Binding&, const AtomImage&) {
+    found = true;
+    return false;  // stop at the first one
+  });
+  return found;
+}
+
+std::optional<Binding> HomomorphismFinder::FindFirst(const Conjunction& conj,
+                                                     Binding initial) {
+  std::optional<Binding> result;
+  ForEach(conj, std::move(initial),
+          [&](const Binding& binding, const AtomImage&) {
+            result = binding;
+            return false;
+          });
+  return result;
+}
+
+}  // namespace tdx

@@ -1,0 +1,149 @@
+// Conjunctions of atomic formulas and the homomorphism (conjunctive-match)
+// engine.
+//
+// A homomorphism h from a conjunction phi(x) to an instance I maps each
+// variable to a value so that the image of every atom is a fact of I
+// (Section 2). This single engine powers:
+//
+//  * chase trigger enumeration (homs from tgd/egd bodies, Sections 3, 4.3),
+//  * the "no extension" check of restricted chase steps (Definition 16),
+//  * the set S of Algorithm 1 (homs from phi* in N(Phi+), Section 4.2),
+//  * conjunctive query evaluation and naive evaluation (Section 5),
+//  * instance-level homomorphism checks (universality, Definition 3).
+//
+// Search is backtracking over atoms, dynamically ordered most-bound-first,
+// with hash-index probes (index.h) for candidate facts. Because the paper
+// treats intervals as values ("intervals behave as constants" after
+// normalization), temporal variables need no special handling here.
+
+#ifndef TDX_RELATIONAL_HOMOMORPHISM_H_
+#define TDX_RELATIONAL_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/relational/index.h"
+#include "src/relational/instance.h"
+
+namespace tdx {
+
+/// Dense variable id within one Conjunction/dependency/query.
+using VarId = std::uint32_t;
+
+/// A term of an atom: either a variable or a fixed value.
+class Term {
+ public:
+  static Term Var(VarId v) { return Term(true, v, Value()); }
+  static Term Val(const Value& value) { return Term(false, 0, value); }
+
+  bool is_var() const { return is_var_; }
+  VarId var() const {
+    assert(is_var_);
+    return var_;
+  }
+  const Value& value() const {
+    assert(!is_var_);
+    return value_;
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+
+ private:
+  Term(bool is_var, VarId var, const Value& value)
+      : is_var_(is_var), var_(var), value_(value) {}
+  bool is_var_;
+  VarId var_;
+  Value value_;
+};
+
+/// One atomic formula R(t1, ..., tn).
+struct Atom {
+  RelationId rel;
+  std::vector<Term> terms;
+};
+
+/// A conjunction of atoms sharing a variable namespace of size num_vars.
+/// var_names is optional display metadata (parser fills it in).
+struct Conjunction {
+  std::vector<Atom> atoms;
+  std::size_t num_vars = 0;
+  std::vector<std::string> var_names;
+
+  /// Renders e.g. "E+(n, c, t) & S+(n, s, t)".
+  std::string ToString(const Schema& schema, const Universe& u) const;
+};
+
+/// A partial assignment of variables to values.
+class Binding {
+ public:
+  explicit Binding(std::size_t num_vars)
+      : values_(num_vars), bound_(num_vars, false) {}
+
+  bool IsBound(VarId v) const { return bound_[v]; }
+  const Value& Get(VarId v) const {
+    assert(bound_[v]);
+    return values_[v];
+  }
+  void Bind(VarId v, const Value& value) {
+    values_[v] = value;
+    bound_[v] = true;
+  }
+  void Unbind(VarId v) { bound_[v] = false; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+};
+
+/// The image of a conjunction under a homomorphism: for each atom (by
+/// position), the fact it was mapped to.
+using AtomImage = std::vector<Fact>;
+
+/// Callback invoked per homomorphism found. Return true to continue
+/// enumeration, false to stop early.
+using HomCallback =
+    std::function<bool(const Binding& binding, const AtomImage& image)>;
+
+/// Short-lived view over an immutable Instance that enumerates
+/// homomorphisms. Do not mutate the instance while a finder is alive.
+class HomomorphismFinder {
+ public:
+  explicit HomomorphismFinder(const Instance& instance)
+      : instance_(&instance), cache_(&instance) {}
+
+  /// Enumerates every homomorphism from `conj` to the instance extending
+  /// `initial` (pass a fresh Binding(conj.num_vars) for no constraints).
+  /// Returns false iff the callback stopped enumeration early.
+  bool ForEach(const Conjunction& conj, Binding initial,
+               const HomCallback& cb);
+
+  /// Does any homomorphism extending `initial` exist?
+  bool Exists(const Conjunction& conj, Binding initial);
+
+  /// First homomorphism extending `initial`, if any.
+  std::optional<Binding> FindFirst(const Conjunction& conj, Binding initial);
+
+ private:
+  bool Search(const Conjunction& conj, std::vector<bool>& done,
+              std::size_t remaining, Binding& binding, AtomImage& image,
+              const HomCallback& cb);
+
+  /// Attempts to match `fact` against `atom` under `binding`; on success
+  /// appends newly bound vars to `newly_bound` and returns true.
+  static bool MatchAtom(const Atom& atom, const Fact& fact, Binding& binding,
+                        std::vector<VarId>& newly_bound);
+
+  const Instance* instance_;
+  IndexCache cache_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_HOMOMORPHISM_H_

@@ -1,0 +1,47 @@
+#include "src/relational/index.h"
+
+namespace tdx {
+
+std::size_t IndexCache::HashValuesAt(
+    const Fact& fact, const std::vector<std::uint32_t>& positions) {
+  std::size_t h = 0;
+  for (std::uint32_t pos : positions) {
+    h ^= fact.arg(pos).Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::size_t IndexCache::HashValues(const std::vector<Value>& values) {
+  std::size_t h = 0;
+  for (const Value& v : values) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+const std::vector<std::uint32_t>& IndexCache::Probe(
+    RelationId rel, const std::vector<std::uint32_t>& positions,
+    const std::vector<Value>& values) {
+  assert(!positions.empty());
+  assert(positions.size() == values.size());
+  std::uint64_t mask = 0;
+  for (std::uint32_t pos : positions) {
+    assert(pos < 64 && "indexes support up to 64 attributes");
+    mask |= (std::uint64_t{1} << pos);
+  }
+  const MaskKey key{rel, mask};
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    MaskIndex index;
+    const std::vector<Fact>& facts = instance_->facts(rel);
+    for (std::uint32_t i = 0; i < facts.size(); ++i) {
+      index.buckets[HashValuesAt(facts[i], positions)].push_back(i);
+    }
+    it = indexes_.emplace(key, std::move(index)).first;
+  }
+  auto bucket = it->second.buckets.find(HashValues(values));
+  if (bucket == it->second.buckets.end()) return empty_;
+  return bucket->second;
+}
+
+}  // namespace tdx

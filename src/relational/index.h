@@ -1,0 +1,69 @@
+// Lazy hash indexes over an Instance, keyed by (relation, set of bound
+// attribute positions).
+//
+// The homomorphism engine (homomorphism.h) probes an index with the values
+// an atom has already bound; the index returns candidate fact positions.
+// Indexes are built on first use per (relation, position mask) and are valid
+// as long as the underlying Instance is not mutated — the engine owns the
+// cache and is itself a short-lived view over an immutable instance.
+//
+// Probing is approximate: candidates are bucketed by a hash of the bound
+// values, and the engine re-verifies every candidate during matching, so
+// hash collisions cost time but never correctness.
+
+#ifndef TDX_RELATIONAL_INDEX_H_
+#define TDX_RELATIONAL_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relational/instance.h"
+
+namespace tdx {
+
+class IndexCache {
+ public:
+  explicit IndexCache(const Instance* instance) : instance_(instance) {}
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Candidate positions (indexes into instance.facts(rel)) of facts whose
+  /// arguments at `positions` hash-match `values`. `positions` must be
+  /// sorted ascending and non-empty; `values[i]` corresponds to
+  /// `positions[i]`. The returned reference is valid until the next Probe.
+  const std::vector<std::uint32_t>& Probe(RelationId rel,
+                                          const std::vector<std::uint32_t>& positions,
+                                          const std::vector<Value>& values);
+
+ private:
+  struct MaskIndex {
+    // bucket hash -> fact positions
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> buckets;
+  };
+  struct MaskKey {
+    RelationId rel;
+    std::uint64_t mask;
+    bool operator==(const MaskKey& other) const {
+      return rel == other.rel && mask == other.mask;
+    }
+  };
+  struct MaskKeyHash {
+    std::size_t operator()(const MaskKey& k) const {
+      return std::hash<std::uint64_t>()((std::uint64_t{k.rel} << 32) ^ k.mask);
+    }
+  };
+
+  static std::size_t HashValuesAt(const Fact& fact,
+                                  const std::vector<std::uint32_t>& positions);
+  static std::size_t HashValues(const std::vector<Value>& values);
+
+  const Instance* instance_;
+  std::unordered_map<MaskKey, MaskIndex, MaskKeyHash> indexes_;
+  std::vector<std::uint32_t> empty_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_INDEX_H_

@@ -1,0 +1,74 @@
+#include "src/relational/instance.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+bool Instance::Insert(Fact fact) {
+  assert(fact.relation() < schema_->relation_count());
+  assert(fact.arity() == schema_->relation(fact.relation()).arity() &&
+         "fact arity must match relation schema");
+  if (fact.relation() >= by_rel_.size()) {
+    by_rel_.resize(schema_->relation_count());
+  }
+  auto [it, inserted] = all_.insert(fact);
+  if (!inserted) return false;
+  by_rel_[fact.relation()].push_back(std::move(fact));
+  return true;
+}
+
+bool Instance::Erase(const Fact& fact) {
+  if (all_.erase(fact) == 0) return false;
+  std::vector<Fact>& vec = by_rel_[fact.relation()];
+  vec.erase(std::remove(vec.begin(), vec.end(), fact), vec.end());
+  return true;
+}
+
+void Instance::ForEach(const std::function<void(const Fact&)>& fn) const {
+  for (const std::vector<Fact>& facts : by_rel_) {
+    for (const Fact& f : facts) fn(f);
+  }
+}
+
+Instance Instance::ReplaceValue(const Value& from, const Value& to) const {
+  Instance out(schema_);
+  ForEach([&](const Fact& f) {
+    std::vector<Value> args = f.args();
+    for (Value& v : args) {
+      if (v == from) v = to;
+    }
+    out.Insert(Fact(f.relation(), std::move(args)));
+  });
+  return out;
+}
+
+Instance Instance::Union(const Instance& a, const Instance& b) {
+  assert(&a.schema() == &b.schema());
+  Instance out(&a.schema());
+  a.ForEach([&](const Fact& f) { out.Insert(f); });
+  b.ForEach([&](const Fact& f) { out.Insert(f); });
+  return out;
+}
+
+bool operator==(const Instance& a, const Instance& b) {
+  if (a.all_.size() != b.all_.size()) return false;
+  for (const Fact& f : a.all_) {
+    if (b.all_.count(f) == 0) return false;
+  }
+  return true;
+}
+
+std::string Instance::ToString(const Universe& u) const {
+  std::vector<Fact> sorted;
+  sorted.reserve(all_.size());
+  ForEach([&](const Fact& f) { sorted.push_back(f); });
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Fact& f : sorted) {
+    out += f.ToString(*schema_, u);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tdx

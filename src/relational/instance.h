@@ -1,0 +1,93 @@
+// In-memory relational instances.
+//
+// An Instance is a set of facts over a Schema, stored per relation in
+// insertion order (for deterministic iteration and reproducible chase runs)
+// with a hash set for O(1) duplicate elimination and membership tests.
+//
+// Instances serve as: snapshots of abstract temporal databases, concrete
+// temporal instances (facts carry an interval as last argument), and the
+// source/target halves of a data exchange problem.
+
+#ifndef TDX_RELATIONAL_INSTANCE_H_
+#define TDX_RELATIONAL_INSTANCE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/relational/fact.h"
+#include "src/relational/schema.h"
+
+namespace tdx {
+
+class Instance {
+ public:
+  /// The schema may still grow after construction (instances are often
+  /// created while a program is being parsed); per-relation storage is
+  /// sized on demand.
+  explicit Instance(const Schema* schema) : schema_(schema) {
+    assert(schema != nullptr);
+    by_rel_.resize(schema->relation_count());
+  }
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Inserts a fact; returns true if newly inserted, false if duplicate.
+  /// Asserts the fact's arity matches its relation's schema.
+  bool Insert(Fact fact);
+
+  /// Convenience: Insert(Fact(rel, args)).
+  bool Insert(RelationId rel, std::vector<Value> args) {
+    return Insert(Fact(rel, std::move(args)));
+  }
+
+  bool Contains(const Fact& fact) const { return all_.count(fact) != 0; }
+
+  /// Removes a fact; returns true if it was present.
+  bool Erase(const Fact& fact);
+
+  /// Facts of one relation in insertion order.
+  const std::vector<Fact>& facts(RelationId rel) const {
+    assert(rel < schema_->relation_count());
+    if (rel >= by_rel_.size()) {
+      static const std::vector<Fact> kEmpty;
+      return kEmpty;
+    }
+    return by_rel_[rel];
+  }
+
+  /// Applies `fn` to every fact (relation id order, then insertion order).
+  void ForEach(const std::function<void(const Fact&)>& fn) const;
+
+  /// Total number of facts.
+  std::size_t size() const { return all_.size(); }
+  bool empty() const { return all_.empty(); }
+
+  /// Returns a copy in which every occurrence of `from` (as an argument) is
+  /// replaced by `to`. This is the substitution primitive of egd chase steps
+  /// ("replaced everywhere", Definition 16). Duplicates created by the
+  /// substitution collapse (set semantics).
+  Instance ReplaceValue(const Value& from, const Value& to) const;
+
+  /// Set-union of two instances over the same schema.
+  static Instance Union(const Instance& a, const Instance& b);
+
+  /// True if both instances contain exactly the same facts.
+  friend bool operator==(const Instance& a, const Instance& b);
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+
+  /// Multi-line rendering, one fact per line, deterministic order.
+  std::string ToString(const Universe& u) const;
+
+ private:
+  const Schema* schema_;
+  std::vector<std::vector<Fact>> by_rel_;
+  std::unordered_set<Fact, FactHash> all_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_INSTANCE_H_

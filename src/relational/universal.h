@@ -1,0 +1,48 @@
+// Instance-level homomorphisms and universality checks.
+//
+// A homomorphism h : J1 -> J2 between relational instances maps constants to
+// themselves and (labeled or interval-annotated) nulls to arbitrary values
+// such that the image of every fact of J1 is a fact of J2 (Section 2). A
+// solution is *universal* iff it has a homomorphism into every solution
+// (Definition 3); homomorphic equivalence between a computed solution and a
+// reference solution is how the paper states correctness (Corollary 20).
+//
+// The check reduces to conjunctive matching: J1's facts become atoms, its
+// distinct nulls become variables, and the engine searches J2.
+
+#ifndef TDX_RELATIONAL_UNIVERSAL_H_
+#define TDX_RELATIONAL_UNIVERSAL_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/relational/homomorphism.h"
+#include "src/relational/instance.h"
+
+namespace tdx {
+
+/// A witness mapping from the nulls of the domain instance to values of the
+/// codomain instance (constants map to themselves and are omitted).
+using NullAssignment = std::unordered_map<Value, Value, ValueHash>;
+
+/// Finds a homomorphism from `from` to `to`, or nullopt if none exists.
+/// Interval values and constants must map to themselves; labeled and
+/// interval-annotated nulls may map to anything.
+std::optional<NullAssignment> FindInstanceHomomorphism(const Instance& from,
+                                                       const Instance& to);
+
+/// Homomorphisms in both directions (Corollary 20's notion of "semantically
+/// aligned" at the instance level).
+bool AreHomomorphicallyEquivalent(const Instance& a, const Instance& b);
+
+/// Converts an instance into a conjunction: each fact becomes an atom, each
+/// distinct null becomes a variable. `null_vars` receives the null -> VarId
+/// assignment (useful for interpreting bindings). Exposed for reuse by the
+/// abstract-homomorphism checker.
+Conjunction InstanceToConjunction(
+    const Instance& instance,
+    std::unordered_map<Value, VarId, ValueHash>* null_vars);
+
+}  // namespace tdx
+
+#endif  // TDX_RELATIONAL_UNIVERSAL_H_

@@ -1,0 +1,67 @@
+#include "src/temporal/abstract_chase.h"
+
+#include <unordered_set>
+
+namespace tdx {
+
+Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
+                                           const Mapping& mapping,
+                                           Universe* universe) {
+  AbstractChaseOutcome outcome{ChaseResultKind::kSuccess,
+                               AbstractInstance(&source.schema()),
+                               std::nullopt, ChaseStats{}};
+  for (const AbstractPiece& piece : source.pieces()) {
+    bool complete = true;
+    piece.snapshot.ForEach([&](const Fact& fact) {
+      for (const Value& v : fact.args()) {
+        if (v.is_any_null()) complete = false;
+      }
+    });
+    if (!complete) {
+      return Status::InvalidArgument(
+          "abstract chase requires a complete source instance");
+    }
+
+    TDX_ASSIGN_OR_RETURN(ChaseOutcome piece_outcome,
+                         ChaseSnapshot(piece.snapshot, mapping, universe));
+    outcome.stats.tgd_triggers += piece_outcome.stats.tgd_triggers;
+    outcome.stats.tgd_fires += piece_outcome.stats.tgd_fires;
+    outcome.stats.egd_steps += piece_outcome.stats.egd_steps;
+    outcome.stats.fresh_nulls += piece_outcome.stats.fresh_nulls;
+    if (piece_outcome.kind == ChaseResultKind::kFailure) {
+      outcome.kind = ChaseResultKind::kFailure;
+      outcome.failure_span = piece.span;
+      return outcome;
+    }
+
+    // Re-label the chase's fresh labeled nulls as interval-annotated nulls
+    // spanning the piece: a distinct unknown at every snapshot (Section 3:
+    // "the fresh labeled nulls produced in a snapshot are distinct from
+    // those produced in the other snapshots").
+    std::unordered_set<NullId> seen;
+    std::vector<Value> to_replace;
+    piece_outcome.target.ForEach([&](const Fact& fact) {
+      for (const Value& v : fact.args()) {
+        if (v.is_null() && seen.insert(v.null_id()).second) {
+          to_replace.push_back(v);
+        }
+      }
+    });
+    Instance relabeled = std::move(piece_outcome.target);
+    for (const Value& old_null : to_replace) {
+      relabeled = relabeled.ReplaceValue(
+          old_null, universe->FreshAnnotatedNull(piece.span));
+    }
+    outcome.target.AddPiece(piece.span, std::move(relabeled));
+  }
+  return outcome;
+}
+
+Result<ChaseOutcome> ChaseSnapshotAt(const AbstractInstance& source,
+                                     TimePoint l, const Mapping& mapping,
+                                     Universe* universe) {
+  const Instance snapshot = source.At(l, universe);
+  return ChaseSnapshot(snapshot, mapping, universe);
+}
+
+}  // namespace tdx

@@ -1,0 +1,55 @@
+#include "src/temporal/coalesce.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace tdx {
+
+ConcreteInstance Coalesce(const ConcreteInstance& instance) {
+  // Group: (relation, canonicalized data values) -> (template fact,
+  // intervals). The template keeps one representative fact whose interval is
+  // re-stamped per merged run (WithInterval also re-annotates nulls).
+  struct Key {
+    RelationId rel;
+    std::vector<Value> data;
+    bool operator<(const Key& other) const {
+      if (rel != other.rel) return rel < other.rel;
+      return data < other.data;
+    }
+  };
+  std::map<Key, std::pair<Fact, std::vector<Interval>>> groups;
+  instance.facts().ForEach([&](const Fact& fact) {
+    Key key{fact.relation(), {}};
+    for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
+      const Value& v = fact.arg(i);
+      key.data.push_back(v.is_annotated_null() ? Value::Null(v.null_id()) : v);
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(std::move(key),
+                     std::make_pair(fact, std::vector<Interval>{fact.interval()}));
+    } else {
+      it->second.second.push_back(fact.interval());
+    }
+  });
+
+  ConcreteInstance out(&instance.schema());
+  for (auto& [key, entry] : groups) {
+    auto& [tmpl, ivs] = entry;
+    std::sort(ivs.begin(), ivs.end());
+    Interval run = ivs.front();
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      if (run.Mergeable(ivs[i])) {
+        run = run.MergeWith(ivs[i]);
+      } else {
+        out.mutable_facts().Insert(tmpl.WithInterval(run));
+        run = ivs[i];
+      }
+    }
+    out.mutable_facts().Insert(tmpl.WithInterval(run));
+  }
+  return out;
+}
+
+}  // namespace tdx

@@ -1,0 +1,28 @@
+// Coalescing of concrete instances (Section 2; Boehlen, Snodgrass, Soo,
+// VLDB 1996).
+//
+// A concrete instance is coalesced if facts with identical data attribute
+// values have pairwise disjoint and non-adjacent time intervals. Every
+// abstract database is represented by a unique coalesced concrete database;
+// coalescing is therefore the canonicalization step that makes concrete
+// instances comparable and keeps normalization output compact.
+//
+// Facts are grouped by (relation, data values) — annotated nulls compare by
+// null id, since fragments of one annotated null denote the same underlying
+// sequence of labeled nulls — and mergeable (overlapping or adjacent)
+// intervals within a group are united by a sort-and-sweep pass.
+
+#ifndef TDX_TEMPORAL_COALESCE_H_
+#define TDX_TEMPORAL_COALESCE_H_
+
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+/// Returns the coalesced form of `instance`. Semantics-preserving:
+/// [[Coalesce(I)]] = [[I]] (exercised by property tests).
+ConcreteInstance Coalesce(const ConcreteInstance& instance);
+
+}  // namespace tdx
+
+#endif  // TDX_TEMPORAL_COALESCE_H_

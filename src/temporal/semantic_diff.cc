@@ -1,0 +1,75 @@
+#include "src/temporal/semantic_diff.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+namespace {
+
+/// Facts of `x` missing from `y`, rendered deterministically.
+std::vector<std::string> MissingFrom(const Instance& x, const Instance& y,
+                                     const Schema& schema,
+                                     const Universe& u) {
+  std::vector<std::string> out;
+  x.ForEach([&](const Fact& f) {
+    if (!y.Contains(f)) out.push_back(f.ToString(schema, u));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string SemanticDiffResult::ToString() const {
+  std::string out;
+  for (const DiffSpan& span : spans) {
+    out += span.span.ToString() + ":\n";
+    for (const std::string& fact : span.only_in_a) {
+      out += "  - " + fact + "\n";
+    }
+    for (const std::string& fact : span.only_in_b) {
+      out += "  + " + fact + "\n";
+    }
+  }
+  return out;
+}
+
+Result<SemanticDiffResult> SemanticDiff(const ConcreteInstance& a,
+                                        const ConcreteInstance& b,
+                                        Universe* universe) {
+  if (&a.schema() != &b.schema()) {
+    return Status::InvalidArgument(
+        "semantic diff requires instances over one Schema object");
+  }
+  TDX_ASSIGN_OR_RETURN(AbstractInstance abs_a,
+                       AbstractInstance::FromConcrete(a));
+  TDX_ASSIGN_OR_RETURN(AbstractInstance abs_b,
+                       AbstractInstance::FromConcrete(b));
+  auto [ra, rb] = AlignPieces(abs_a, abs_b);
+
+  SemanticDiffResult result;
+  for (std::size_t i = 0; i < ra.pieces().size(); ++i) {
+    const Interval& span = ra.pieces()[i].span;
+    // Compare one representative snapshot per aligned piece; within a
+    // piece the template is constant, so one point decides the whole run.
+    const Instance snap_a = ra.At(span.start(), universe);
+    const Instance snap_b = rb.At(span.start(), universe);
+    if (snap_a == snap_b) continue;
+    DiffSpan diff{span,
+                  MissingFrom(snap_a, snap_b, a.schema(), *universe),
+                  MissingFrom(snap_b, snap_a, a.schema(), *universe)};
+    // Merge with the previous span when adjacent and identical in content
+    // (maximal runs).
+    if (!result.spans.empty() &&
+        result.spans.back().span.AdjacentTo(span) &&
+        result.spans.back().only_in_a == diff.only_in_a &&
+        result.spans.back().only_in_b == diff.only_in_b) {
+      result.spans.back().span = result.spans.back().span.MergeWith(span);
+    } else {
+      result.spans.push_back(std::move(diff));
+    }
+  }
+  return result;
+}
+
+}  // namespace tdx

@@ -1,0 +1,30 @@
+#include "src/temporal/snapshot.h"
+
+namespace tdx {
+
+Result<Instance> SnapshotAt(const ConcreteInstance& instance, TimePoint l,
+                            Universe* universe) {
+  const Schema& schema = instance.schema();
+  Instance out(&schema);
+  Status status = Status::OK();
+  instance.facts().ForEach([&](const Fact& fact) {
+    if (!status.ok()) return;
+    if (!fact.interval().Contains(l)) return;
+    Result<RelationId> twin = schema.TwinOf(fact.relation());
+    if (!twin.ok()) {
+      status = twin.status();
+      return;
+    }
+    std::vector<Value> args;
+    args.reserve(fact.arity() - 1);
+    for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
+      const Value& v = fact.arg(i);
+      args.push_back(v.is_annotated_null() ? universe->ProjectNull(v, l) : v);
+    }
+    out.Insert(Fact(*twin, std::move(args)));
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace tdx

@@ -1,0 +1,30 @@
+// The semantics function [[.]]: from concrete instances to snapshots.
+//
+// Section 2 (complete instances) and Section 4.1 (instances with
+// interval-annotated nulls) define
+//
+//   db_l = { R(a, proj_l(N^[s,e)))  |  R+(a, N^[s,e), [s,e)) in Ic,
+//                                      s <= l < e }
+//
+// SnapshotAt materializes db_l over the *snapshot twins* of the concrete
+// relations (R for R+). Projection of annotated nulls goes through
+// Universe::ProjectNull, so repeated materializations are consistent: the
+// same annotated null at the same time point always yields the same labeled
+// null — this is what makes [[.]] a function.
+
+#ifndef TDX_TEMPORAL_SNAPSHOT_H_
+#define TDX_TEMPORAL_SNAPSHOT_H_
+
+#include "src/common/status.h"
+#include "src/temporal/concrete_instance.h"
+
+namespace tdx {
+
+/// Materializes the snapshot db_l of [[instance]] over the snapshot twin
+/// relations. Fails with NotFound if some concrete relation lacks a twin.
+Result<Instance> SnapshotAt(const ConcreteInstance& instance, TimePoint l,
+                            Universe* universe);
+
+}  // namespace tdx
+
+#endif  // TDX_TEMPORAL_SNAPSHOT_H_

@@ -1,0 +1,114 @@
+#include "src/temporal/timeline.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+Timeline Timeline::FromIntervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  Timeline out;
+  for (const Interval& iv : intervals) {
+    if (!out.runs_.empty() && out.runs_.back().Mergeable(iv)) {
+      out.runs_.back() = out.runs_.back().MergeWith(iv);
+    } else {
+      out.runs_.push_back(iv);
+    }
+  }
+  return out;
+}
+
+bool Timeline::Contains(TimePoint t) const {
+  // Binary search on run starts.
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), t,
+      [](TimePoint lhs, const Interval& run) { return lhs < run.start(); });
+  if (it == runs_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+std::optional<std::uint64_t> Timeline::Cardinality() const {
+  std::uint64_t total = 0;
+  for (const Interval& run : runs_) {
+    const auto len = run.length();
+    if (!len.has_value()) return std::nullopt;
+    total += *len;
+  }
+  return total;
+}
+
+std::optional<TimePoint> Timeline::Min() const {
+  if (runs_.empty()) return std::nullopt;
+  return runs_.front().start();
+}
+
+std::optional<TimePoint> Timeline::Max() const {
+  if (runs_.empty() || runs_.back().unbounded()) return std::nullopt;
+  return runs_.back().end();
+}
+
+void Timeline::Add(const Interval& iv) {
+  std::vector<Interval> all = runs_;
+  all.push_back(iv);
+  *this = FromIntervals(std::move(all));
+}
+
+Timeline Timeline::Union(const Timeline& other) const {
+  std::vector<Interval> all = runs_;
+  all.insert(all.end(), other.runs_.begin(), other.runs_.end());
+  return FromIntervals(std::move(all));
+}
+
+Timeline Timeline::Intersect(const Timeline& other) const {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < runs_.size() && j < other.runs_.size()) {
+    const Interval& a = runs_[i];
+    const Interval& b = other.runs_[j];
+    const std::optional<Interval> common = a.Intersect(b);
+    if (common.has_value()) out.push_back(*common);
+    // Advance whichever run ends first.
+    if (a.end() <= b.end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return FromIntervals(std::move(out));
+}
+
+Timeline Timeline::Complement() const {
+  std::vector<Interval> out;
+  TimePoint cursor = 0;
+  for (const Interval& run : runs_) {
+    if (run.start() > cursor) out.emplace_back(cursor, run.start());
+    if (run.unbounded()) return FromIntervals(std::move(out));
+    cursor = run.end();
+  }
+  out.push_back(Interval::FromStart(cursor));
+  return FromIntervals(std::move(out));
+}
+
+Timeline Timeline::Difference(const Timeline& other) const {
+  return Intersect(other.Complement());
+}
+
+Timeline Timeline::Gaps() const {
+  if (runs_.size() < 2) return Timeline();
+  std::vector<Interval> out;
+  for (std::size_t i = 1; i < runs_.size(); ++i) {
+    out.emplace_back(runs_[i - 1].end(), runs_[i].start());
+  }
+  return FromIntervals(std::move(out));
+}
+
+std::string Timeline::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += runs_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tdx

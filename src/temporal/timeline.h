@@ -1,0 +1,77 @@
+// Timeline: a set of time points represented as disjoint, non-adjacent,
+// sorted intervals — the canonical "finite union of intervals" that
+// temporal databases compute with.
+//
+// Timelines answer questions the paper's machinery keeps re-deriving ad
+// hoc: when does a tuple hold (the union of its fact intervals)? when do
+// two histories overlap (intersection)? when is a fact missing
+// (complement)? The temporal-operator closures of Section 7's extension
+// are one-liner timeline computations, and the test suite uses timelines
+// as an independent oracle for coalescing.
+//
+// Representation invariant: intervals are sorted by start, pairwise
+// disjoint, and non-adjacent (maximal runs). All operations preserve it.
+
+#ifndef TDX_TEMPORAL_TIMELINE_H_
+#define TDX_TEMPORAL_TIMELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/interval.h"
+
+namespace tdx {
+
+class Timeline {
+ public:
+  /// The empty set of time points.
+  Timeline() = default;
+
+  /// Normalizes arbitrary intervals into a timeline (sort + merge).
+  static Timeline FromIntervals(std::vector<Interval> intervals);
+
+  /// All of time: [0, inf).
+  static Timeline All() { return FromIntervals({Interval::FromStart(0)}); }
+
+  bool empty() const { return runs_.empty(); }
+  const std::vector<Interval>& runs() const { return runs_; }
+
+  bool Contains(TimePoint t) const;
+  /// Number of time points; nullopt when unbounded.
+  std::optional<std::uint64_t> Cardinality() const;
+  /// First / last+1 covered points; nullopt when empty (Max: or unbounded).
+  std::optional<TimePoint> Min() const;
+  std::optional<TimePoint> Max() const;
+
+  /// Inserts more points (set union with one interval).
+  void Add(const Interval& iv);
+
+  Timeline Union(const Timeline& other) const;
+  Timeline Intersect(const Timeline& other) const;
+  /// Points of this timeline not in `other`.
+  Timeline Difference(const Timeline& other) const;
+  /// [0, inf) minus this timeline.
+  Timeline Complement() const;
+
+  /// The maximal uncovered runs strictly between Min() and Max() (the
+  /// "gaps"); empty for timelines with at most one run.
+  Timeline Gaps() const;
+
+  friend bool operator==(const Timeline& a, const Timeline& b) {
+    return a.runs_ == b.runs_;
+  }
+  friend bool operator!=(const Timeline& a, const Timeline& b) {
+    return !(a == b);
+  }
+
+  /// "{[1, 3), [5, inf)}" or "{}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> runs_;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_TEMPORAL_TIMELINE_H_

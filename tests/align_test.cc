@@ -1,0 +1,107 @@
+#include "src/core/align.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/workload.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+// Figure 10 / Corollary 20 on the paper's running example:
+// [[c-chase(Ic)]] ~ chase([[Ic]]).
+TEST(AlignTest, Corollary20OnPaperExample) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto report = VerifyCorollary20(program->source, program->mapping,
+                                  program->lifted, &program->universe);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->outcome_agreed);
+  EXPECT_TRUE(report->forward);
+  EXPECT_TRUE(report->backward);
+  EXPECT_TRUE(report->aligned());
+}
+
+TEST(AlignTest, FailureOutcomesAgree) {
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    egd Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+    fact E("Ada", "IBM") @ [0, 10);
+    fact S("Ada", "18k") @ [2, 8);
+    fact S("Ada", "20k") @ [4, 6);
+  )");
+  auto report = VerifyCorollary20(program->source, program->mapping,
+                                  program->lifted, &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->outcome_agreed);
+  EXPECT_FALSE(report->forward_checked);  // nothing to compare on failure
+  EXPECT_TRUE(report->aligned());
+}
+
+TEST(AlignTest, MisalignedInstancesDetected) {
+  // Deliberately wrong "solution": the salary constant differs from what
+  // the c-chase produces, so equivalence fails.
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+
+  auto wrong_program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    fact E("Ada", "IBM") @ [2013, 2014);
+    fact S("Ada", "99k") @ [2013, 2014);
+  )");
+  auto wrong_chase =
+      CChase(wrong_program->source, wrong_program->lifted,
+             &wrong_program->universe);
+  ASSERT_TRUE(wrong_chase.ok());
+  auto wrong_abstract =
+      AbstractInstance::FromConcrete(wrong_chase->target);
+  ASSERT_TRUE(wrong_abstract.ok());
+
+  auto report = VerifyAlignment(chase->target, *wrong_abstract);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->forward && report->backward);
+  EXPECT_FALSE(report->aligned());
+}
+
+TEST(AlignTest, GeneratedEmploymentWorkloadsAlign) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto w = MakeEmploymentWorkload(
+        EmploymentConfig{.num_people = 6, .num_companies = 3, .avg_jobs = 2,
+                         .horizon = 30, .salary_known_fraction = 0.6,
+                         .inject_conflict = false, .seed = seed});
+    auto report =
+        VerifyCorollary20(w->source, w->mapping, w->lifted, &w->universe);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->aligned()) << "seed=" << seed;
+  }
+}
+
+TEST(AlignTest, RandomWorkloadsAlignIncludingFailures) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomConfig cfg;
+    cfg.num_facts = 30;
+    cfg.num_names = 4;
+    cfg.num_companies = 2;
+    cfg.num_salaries = 3;
+    cfg.horizon = 15;
+    cfg.max_interval_length = 6;
+    cfg.seed = seed;
+    auto w = MakeRandomWorkload(cfg);
+    auto report =
+        VerifyCorollary20(w->source, w->mapping, w->lifted, &w->universe);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->outcome_agreed) << "seed=" << seed;
+    EXPECT_TRUE(report->aligned()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tdx

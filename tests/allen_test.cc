@@ -1,0 +1,106 @@
+#include "src/common/allen.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+TEST(AllenTest, AllThirteenRelations) {
+  // The canonical witnesses for each of Allen's relations.
+  EXPECT_EQ(Classify(Interval(1, 3), Interval(5, 8)), AllenRelation::kBefore);
+  EXPECT_EQ(Classify(Interval(1, 5), Interval(5, 8)), AllenRelation::kMeets);
+  EXPECT_EQ(Classify(Interval(1, 6), Interval(4, 9)),
+            AllenRelation::kOverlaps);
+  EXPECT_EQ(Classify(Interval(2, 5), Interval(2, 9)), AllenRelation::kStarts);
+  EXPECT_EQ(Classify(Interval(4, 6), Interval(2, 9)), AllenRelation::kDuring);
+  EXPECT_EQ(Classify(Interval(6, 9), Interval(2, 9)),
+            AllenRelation::kFinishes);
+  EXPECT_EQ(Classify(Interval(2, 9), Interval(2, 9)), AllenRelation::kEquals);
+  EXPECT_EQ(Classify(Interval(2, 9), Interval(6, 9)),
+            AllenRelation::kFinishedBy);
+  EXPECT_EQ(Classify(Interval(2, 9), Interval(4, 6)),
+            AllenRelation::kContains);
+  EXPECT_EQ(Classify(Interval(2, 9), Interval(2, 5)),
+            AllenRelation::kStartedBy);
+  EXPECT_EQ(Classify(Interval(4, 9), Interval(1, 6)),
+            AllenRelation::kOverlappedBy);
+  EXPECT_EQ(Classify(Interval(5, 8), Interval(1, 5)), AllenRelation::kMetBy);
+  EXPECT_EQ(Classify(Interval(5, 8), Interval(1, 3)), AllenRelation::kAfter);
+}
+
+TEST(AllenTest, UnboundedEndpoints) {
+  EXPECT_EQ(Classify(Interval::FromStart(5), Interval::FromStart(5)),
+            AllenRelation::kEquals);
+  // Same (infinite) end, a starts earlier: b finishes a.
+  EXPECT_EQ(Classify(Interval::FromStart(2), Interval::FromStart(5)),
+            AllenRelation::kFinishedBy);
+  EXPECT_EQ(Classify(Interval(2, 5), Interval::FromStart(5)),
+            AllenRelation::kMeets);
+  EXPECT_EQ(Classify(Interval(2, 5), Interval::FromStart(7)),
+            AllenRelation::kBefore);
+  EXPECT_EQ(Classify(Interval::FromStart(2), Interval(4, 6)),
+            AllenRelation::kContains);
+  EXPECT_EQ(Classify(Interval(2, kTimeInfinity), Interval(4, kTimeInfinity)),
+            AllenRelation::kFinishedBy);
+}
+
+// Property sweep: Classify is total, inverse-consistent, and partitions.
+class AllenSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(AllenSweep, InverseConsistencyAndTotality) {
+  const auto [as, al, bs, bl] = GetParam();
+  const Interval a(static_cast<TimePoint>(as),
+                   static_cast<TimePoint>(as + al));
+  const Interval b(static_cast<TimePoint>(bs),
+                   static_cast<TimePoint>(bs + bl));
+  const AllenRelation ab = Classify(a, b);
+  const AllenRelation ba = Classify(b, a);
+  EXPECT_EQ(ba, Inverse(ab));
+  EXPECT_EQ(ab, Inverse(ba));
+  // Equality relation holds iff the intervals are equal.
+  EXPECT_EQ(ab == AllenRelation::kEquals, a == b);
+  // SQL OVERLAPS agrees with the seven point-sharing relations.
+  const bool shares_points = a.Overlaps(b);
+  const bool allen_shares =
+      ab != AllenRelation::kBefore && ab != AllenRelation::kMeets &&
+      ab != AllenRelation::kMetBy && ab != AllenRelation::kAfter;
+  EXPECT_EQ(shares_points, allen_shares);
+  EXPECT_EQ(PeriodsOverlap(a, b), shares_points);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllenSweep,
+    ::testing::Combine(::testing::Values(0, 2, 4), ::testing::Values(1, 3, 5),
+                       ::testing::Values(0, 2, 4),
+                       ::testing::Values(1, 3, 5)));
+
+TEST(AllenTest, SqlPredicates) {
+  EXPECT_TRUE(PeriodContains(Interval(1, 9), Interval(3, 5)));
+  EXPECT_TRUE(PeriodContains(Interval(1, 9), Interval(1, 9)));
+  EXPECT_FALSE(PeriodContains(Interval(3, 5), Interval(1, 9)));
+  EXPECT_TRUE(PeriodPrecedes(Interval(1, 3), Interval(5, 8)));
+  EXPECT_TRUE(PeriodPrecedes(Interval(1, 5), Interval(5, 8)));
+  EXPECT_FALSE(PeriodPrecedes(Interval(1, 6), Interval(5, 8)));
+  EXPECT_TRUE(PeriodImmediatelyPrecedes(Interval(1, 5), Interval(5, 8)));
+  EXPECT_FALSE(PeriodImmediatelyPrecedes(Interval(1, 4), Interval(5, 8)));
+}
+
+TEST(AllenTest, NamesAreStable) {
+  EXPECT_EQ(AllenRelationName(AllenRelation::kBefore), "before");
+  EXPECT_EQ(AllenRelationName(AllenRelation::kOverlappedBy), "overlapped_by");
+  EXPECT_EQ(AllenRelationName(AllenRelation::kEquals), "equals");
+}
+
+// Allen's MEETS is exactly the paper's adjacency (Section 2) on the left.
+TEST(AllenTest, MeetsMatchesPaperAdjacency) {
+  const Interval a(1, 5), b(5, 9);
+  EXPECT_EQ(Classify(a, b), AllenRelation::kMeets);
+  EXPECT_TRUE(a.AdjacentTo(b));
+  const Interval c(6, 9);
+  EXPECT_NE(Classify(a, c), AllenRelation::kMeets);
+  EXPECT_FALSE(a.AdjacentTo(c));
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,234 @@
+#include "src/core/cchase.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::HasConcreteFact;
+using ::tdx::testing::ParseOrDie;
+
+class PaperCChaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = ParseOrDie(testing::kPaperProgram);
+    auto outcome = CChase(program_->source, program_->lifted,
+                          &program_->universe);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    outcome_ = std::make_unique<CChaseOutcome>(std::move(outcome).value());
+  }
+
+  std::unique_ptr<ParsedProgram> program_;
+  std::unique_ptr<CChaseOutcome> outcome_;
+};
+
+// Example 17 / Figure 9: the complete rows of the c-chase result.
+TEST_F(PaperCChaseTest, Figure9CompleteRows) {
+  ASSERT_EQ(outcome_->kind, ChaseResultKind::kSuccess);
+  const Universe& u = program_->universe;
+  const ConcreteInstance& jc = outcome_->target;
+  EXPECT_TRUE(
+      HasConcreteFact(jc, u, "Emp+", {"Ada", "IBM", "18k"},
+                      Interval(2013, 2014)));
+  EXPECT_TRUE(HasConcreteFact(jc, u, "Emp+", {"Ada", "Google", "18k"},
+                              Interval::FromStart(2014)));
+  EXPECT_TRUE(HasConcreteFact(jc, u, "Emp+", {"Bob", "IBM", "13k"},
+                              Interval(2015, 2018)));
+}
+
+// Figure 9's two unknown rows carry interval-annotated nulls whose
+// annotations equal the facts' intervals.
+TEST_F(PaperCChaseTest, Figure9AnnotatedNullRows) {
+  const Universe& u = program_->universe;
+  const ConcreteInstance& jc = outcome_->target;
+  const RelationId emp_plus = *program_->schema.Find("Emp+");
+
+  std::size_t null_rows = 0;
+  for (const Fact& fact : jc.facts().facts(emp_plus)) {
+    const Value& salary = fact.arg(2);
+    if (!salary.is_annotated_null()) continue;
+    ++null_rows;
+    EXPECT_EQ(salary.interval(), fact.interval());
+    const std::string name = u.Render(fact.arg(0));
+    if (name == "Ada") {
+      EXPECT_EQ(fact.interval(), Interval(2012, 2013));
+      EXPECT_EQ(u.Render(fact.arg(1)), "IBM");
+    } else {
+      EXPECT_EQ(name, "Bob");
+      EXPECT_EQ(fact.interval(), Interval(2013, 2015));
+      EXPECT_EQ(u.Render(fact.arg(1)), "IBM");
+    }
+  }
+  EXPECT_EQ(null_rows, 2u);
+  EXPECT_EQ(jc.size(), 5u);  // exactly the five rows of Figure 9
+}
+
+TEST_F(PaperCChaseTest, NormalizedSourceIsFigure5) {
+  // Step 1 of the c-chase materializes Figure 5.
+  EXPECT_EQ(outcome_->source_norm_stats.output_facts, 9u);
+  EXPECT_TRUE(HasConcreteFact(outcome_->normalized_source,
+                              program_->universe, "E+", {"Bob", "IBM"},
+                              Interval(2013, 2015)));
+}
+
+TEST_F(PaperCChaseTest, TargetIsValidConcreteInstance) {
+  EXPECT_TRUE(outcome_->target.Validate().ok());
+  EXPECT_FALSE(outcome_->target.IsComplete());
+}
+
+TEST(CChaseTest, FailsOnConflictingConstants) {
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    egd Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+    fact E("Ada", "IBM") @ [0, 10);
+    fact S("Ada", "18k") @ [0, 10);
+    fact S("Ada", "20k") @ [5, 10);
+  )");
+  auto outcome = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kFailure);
+  EXPECT_FALSE(outcome->failure_reason.empty());
+}
+
+TEST(CChaseTest, DisjointConflictDoesNotFail) {
+  // The same two salaries on DISJOINT intervals are consistent: the egd's
+  // shared t never binds across them.
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    egd Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+    fact E("Ada", "IBM") @ [0, 10);
+    fact S("Ada", "18k") @ [0, 5);
+    fact S("Ada", "20k") @ [5, 10);
+  )");
+  auto outcome = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  EXPECT_TRUE(HasConcreteFact(outcome->target, program->universe, "Emp+",
+                              {"Ada", "IBM", "18k"}, Interval(0, 5)));
+  EXPECT_TRUE(HasConcreteFact(outcome->target, program->universe, "Emp+",
+                              {"Ada", "IBM", "20k"}, Interval(5, 10)));
+}
+
+TEST(CChaseTest, RejectsIncompleteSource) {
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    target T(name);
+    tgd E(n, c) -> T(n);
+  )");
+  const RelationId e_plus = *program->schema.Find("E+");
+  ASSERT_TRUE(program->source
+                  .Add(e_plus,
+                       {program->universe.Constant("Ada"),
+                        program->universe.FreshAnnotatedNull(Interval(0, 2))},
+                       Interval(0, 2))
+                  .ok());
+  EXPECT_FALSE(CChase(program->source, program->lifted,
+                      &program->universe)
+                   .ok());
+}
+
+TEST(CChaseTest, EgdFragmentsTargetBeforeMerging) {
+  // sigma1 produces Emp(Ada, IBM, N^[0,10), [0,10)); sigma2 produces
+  // Emp(Ada, IBM, 18k, [3,6)). Target normalization w.r.t. the egd body
+  // must fragment the null row so the egd can equate the middle piece.
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd sigma1: E(n, c) -> exists s: Emp(n, c, s);
+    tgd sigma2: E(n, c) & S(n, s) -> Emp(n, c, s);
+    egd Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+    fact E("Ada", "IBM") @ [0, 10);
+    fact S("Ada", "18k") @ [3, 6);
+  )");
+  auto outcome = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  const Universe& u = program->universe;
+  EXPECT_TRUE(HasConcreteFact(outcome->target, u, "Emp+",
+                              {"Ada", "IBM", "18k"}, Interval(3, 6)));
+  // The unknown pieces surround the known one.
+  EXPECT_TRUE(HasConcreteFact(outcome->target, u, "Emp+", {"Ada", "IBM", "_"},
+                              Interval(0, 3)));
+  EXPECT_TRUE(HasConcreteFact(outcome->target, u, "Emp+", {"Ada", "IBM", "_"},
+                              Interval(6, 10)));
+  EXPECT_EQ(outcome->target.size(), 3u);
+  EXPECT_TRUE(outcome->target.Validate().ok());
+}
+
+TEST(CChaseTest, CoalesceOptionCompactsResult) {
+  auto program = ParseOrDie(R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    fact E("Ada", "IBM") @ [0, 10);
+    fact S("Ada", "18k") @ [0, 4);
+    fact S("Ada", "18k") @ [4, 10);
+  )");
+  CChaseOptions plain;
+  auto loose = CChase(program->source, program->lifted, &program->universe,
+                      plain);
+  ASSERT_TRUE(loose.ok());
+  CChaseOptions opts;
+  opts.coalesce_result = true;
+  auto tight = CChase(program->source, program->lifted, &program->universe,
+                      opts);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(loose->target.size(), tight->target.size());
+  EXPECT_TRUE(HasConcreteFact(tight->target, program->universe, "Emp+",
+                              {"Ada", "IBM", "18k"}, Interval(0, 10)));
+}
+
+TEST(CChaseTest, NaiveNormalizerOptionGivesEquivalentResult) {
+  auto p1 = ParseOrDie(testing::kPaperProgram);
+  auto p2 = ParseOrDie(testing::kPaperProgram);
+  auto with_alg = CChase(p1->source, p1->lifted, &p1->universe);
+  CChaseOptions opts;
+  opts.use_naive_normalizer = true;
+  auto with_naive = CChase(p2->source, p2->lifted, &p2->universe, opts);
+  ASSERT_TRUE(with_alg.ok());
+  ASSERT_TRUE(with_naive.ok());
+  EXPECT_EQ(with_alg->kind, with_naive->kind);
+  // The naive normalizer fragments more, so the target has at least as
+  // many rows; both contain the fully known rows.
+  EXPECT_GE(with_naive->target.size(), with_alg->target.size());
+  EXPECT_TRUE(HasConcreteFact(with_naive->target, p2->universe, "Emp+",
+                              {"Ada", "IBM", "18k"}, Interval(2013, 2014)));
+}
+
+TEST(CChaseTest, InferTemporalVarValidation) {
+  Schema schema;
+  const RelationId r =
+      *schema.AddTemporalRelation("R+", {"a"}, SchemaRole::kSource);
+  Conjunction good;
+  Atom a1, a2;
+  a1.rel = r;
+  a1.terms = {Term::Var(0), Term::Var(2)};
+  a2.rel = r;
+  a2.terms = {Term::Var(1), Term::Var(2)};
+  good.atoms = {a1, a2};
+  good.num_vars = 3;
+  auto t = InferTemporalVar(good);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 2u);
+
+  Conjunction mismatched = good;
+  mismatched.atoms[1].terms.back() = Term::Var(1);
+  EXPECT_FALSE(InferTemporalVar(mismatched).ok());
+
+  Conjunction non_var = good;
+  non_var.atoms[0].terms.back() = Term::Val(Value::OfInterval(Interval(0, 1)));
+  EXPECT_FALSE(InferTemporalVar(non_var).ok());
+}
+
+}  // namespace
+}  // namespace tdx

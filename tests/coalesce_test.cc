@@ -1,0 +1,150 @@
+#include "src/temporal/coalesce.h"
+
+#include <gtest/gtest.h>
+
+#include "src/temporal/snapshot.h"
+
+namespace tdx {
+namespace {
+
+class CoalesceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    e_plus_ = *schema_.AddRelationPair("E", {"name", "company"},
+                                       SchemaRole::kSource);
+  }
+
+  void Add(ConcreteInstance* ic, const std::string& n, const std::string& c,
+           const Interval& iv) {
+    ASSERT_TRUE(ic->Add(e_plus_, {u_.Constant(n), u_.Constant(c)}, iv).ok());
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_plus_ = 0;
+};
+
+TEST_F(CoalesceTest, MergesAdjacentIntervals) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 3));
+  Add(&ic, "Ada", "IBM", Interval(3, 5));
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.facts().Contains(
+      Fact(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM"),
+                     Value::OfInterval(Interval(1, 5))})));
+  EXPECT_TRUE(out.IsCoalesced());
+}
+
+TEST_F(CoalesceTest, MergesOverlappingIntervals) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 4));
+  Add(&ic, "Ada", "IBM", Interval(3, 8));
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.facts().Contains(
+      Fact(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM"),
+                     Value::OfInterval(Interval(1, 8))})));
+}
+
+TEST_F(CoalesceTest, KeepsDisjointRuns) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 3));
+  Add(&ic, "Ada", "IBM", Interval(5, 7));
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CoalesceTest, DifferentDataNotMerged) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 3));
+  Add(&ic, "Ada", "Google", Interval(3, 5));
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CoalesceTest, MergesChainIntoOne) {
+  ConcreteInstance ic(&schema_);
+  for (TimePoint t = 0; t < 10; ++t) {
+    Add(&ic, "Ada", "IBM", Interval(t, t + 1));
+  }
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.facts().Contains(
+      Fact(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM"),
+                     Value::OfInterval(Interval(0, 10))})));
+}
+
+TEST_F(CoalesceTest, UnboundedTailMerges) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 5));
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval::FromStart(5))
+                  .ok());
+  const ConcreteInstance out = Coalesce(ic);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.facts().Contains(
+      Fact(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM"),
+                     Value::OfInterval(Interval::FromStart(1))})));
+}
+
+TEST_F(CoalesceTest, AnnotatedNullFragmentsReunite) {
+  ConcreteInstance ic(&schema_);
+  const Value n = u_.FreshAnnotatedNull(Interval(1, 9));
+  ASSERT_TRUE(ic.Add(e_plus_,
+                     {u_.Constant("Ada"), n.Reannotated(Interval(1, 4))},
+                     Interval(1, 4))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_,
+                     {u_.Constant("Ada"), n.Reannotated(Interval(4, 9))},
+                     Interval(4, 9))
+                  .ok());
+  const ConcreteInstance out = Coalesce(ic);
+  ASSERT_EQ(out.size(), 1u);
+  const Fact& fact = out.facts().facts(e_plus_)[0];
+  EXPECT_EQ(fact.interval(), Interval(1, 9));
+  ASSERT_TRUE(fact.arg(1).is_annotated_null());
+  EXPECT_EQ(fact.arg(1).null_id(), n.null_id());
+  EXPECT_EQ(fact.arg(1).interval(), Interval(1, 9));
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST_F(CoalesceTest, DistinctNullsStaySeparate) {
+  ConcreteInstance ic(&schema_);
+  const Value n1 = u_.FreshAnnotatedNull(Interval(1, 4));
+  const Value n2 = u_.FreshAnnotatedNull(Interval(4, 9));
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), n1}, Interval(1, 4)).ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), n2}, Interval(4, 9)).ok());
+  EXPECT_EQ(Coalesce(ic).size(), 2u);
+}
+
+// Property: coalescing preserves the snapshot semantics [[.]] for complete
+// instances at every time point in and around the instance's span.
+TEST_F(CoalesceTest, PreservesSnapshotsOfCompleteInstances) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 4));
+  Add(&ic, "Ada", "IBM", Interval(4, 6));
+  Add(&ic, "Ada", "Google", Interval(2, 9));
+  Add(&ic, "Bob", "IBM", Interval(3, 5));
+  Add(&ic, "Bob", "IBM", Interval(4, 8));
+  const ConcreteInstance out = Coalesce(ic);
+  for (TimePoint l = 0; l < 12; ++l) {
+    auto before = SnapshotAt(ic, l, &u_);
+    auto after = SnapshotAt(out, l, &u_);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << "snapshot differs at l=" << l;
+  }
+}
+
+TEST_F(CoalesceTest, IdempotentOnCoalescedInput) {
+  ConcreteInstance ic(&schema_);
+  Add(&ic, "Ada", "IBM", Interval(1, 4));
+  Add(&ic, "Bob", "IBM", Interval(2, 6));
+  const ConcreteInstance once = Coalesce(ic);
+  const ConcreteInstance twice = Coalesce(once);
+  EXPECT_EQ(once.facts(), twice.facts());
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,126 @@
+#include "src/temporal/concrete_instance.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+class ConcreteInstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    e_plus_ = *schema_.AddRelationPair("E", {"name", "company"},
+                                       SchemaRole::kSource);
+    e_ = *schema_.TwinOf(e_plus_);
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_plus_ = 0, e_ = 0;
+};
+
+TEST_F(ConcreteInstanceTest, AddValidFact) {
+  ConcreteInstance ic(&schema_);
+  EXPECT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(2012, 2014))
+                  .ok());
+  EXPECT_EQ(ic.size(), 1u);
+  EXPECT_TRUE(ic.Validate().ok());
+  EXPECT_TRUE(ic.IsComplete());
+}
+
+TEST_F(ConcreteInstanceTest, AddRejectsNonTemporalRelation) {
+  ConcreteInstance ic(&schema_);
+  const Status s =
+      ic.Add(e_, {u_.Constant("Ada"), u_.Constant("IBM")}, Interval(1, 2));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConcreteInstanceTest, AddRejectsWrongArity) {
+  ConcreteInstance ic(&schema_);
+  EXPECT_FALSE(ic.Add(e_plus_, {u_.Constant("Ada")}, Interval(1, 2)).ok());
+}
+
+TEST_F(ConcreteInstanceTest, AddRejectsPlainLabeledNull) {
+  ConcreteInstance ic(&schema_);
+  EXPECT_FALSE(
+      ic.Add(e_plus_, {u_.Constant("Ada"), u_.FreshNull()}, Interval(1, 2))
+          .ok());
+}
+
+TEST_F(ConcreteInstanceTest, AddRejectsMisannotatedNull) {
+  ConcreteInstance ic(&schema_);
+  const Value n = u_.FreshAnnotatedNull(Interval(1, 3));
+  EXPECT_FALSE(ic.Add(e_plus_, {u_.Constant("Ada"), n}, Interval(1, 2)).ok());
+  EXPECT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), n}, Interval(1, 3)).ok());
+  EXPECT_FALSE(ic.IsComplete());
+}
+
+TEST_F(ConcreteInstanceTest, EndpointsSortedDistinct) {
+  ConcreteInstance ic(&schema_);
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(2012, 2014))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("Google")},
+                     Interval::FromStart(2014))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Bob"), u_.Constant("IBM")},
+                     Interval(2013, 2018))
+                  .ok());
+  EXPECT_EQ(ic.Endpoints(),
+            (std::vector<TimePoint>{2012, 2013, 2014, 2018}));
+  EXPECT_EQ(ic.StabilizationPoint(), 2018u);
+}
+
+TEST_F(ConcreteInstanceTest, CoalescedDetection) {
+  ConcreteInstance ic(&schema_);
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(1, 3))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(5, 7))
+                  .ok());
+  EXPECT_TRUE(ic.IsCoalesced());
+  // Adjacent same-data intervals violate coalescing.
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(3, 5))
+                  .ok());
+  EXPECT_FALSE(ic.IsCoalesced());
+}
+
+TEST_F(ConcreteInstanceTest, OverlapWithDifferentDataIsCoalesced) {
+  ConcreteInstance ic(&schema_);
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("IBM")},
+                     Interval(1, 5))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), u_.Constant("Google")},
+                     Interval(3, 8))
+                  .ok());
+  EXPECT_TRUE(ic.IsCoalesced());
+}
+
+TEST_F(ConcreteInstanceTest, FragmentedNullCountsAsSameData) {
+  // Fragments of one annotated null denote the same sequence; adjacent
+  // intervals with the same null id are not coalesced.
+  ConcreteInstance ic(&schema_);
+  const Value n = u_.FreshAnnotatedNull(Interval(1, 5));
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), n.Reannotated(Interval(1, 3))},
+                     Interval(1, 3))
+                  .ok());
+  ASSERT_TRUE(ic.Add(e_plus_, {u_.Constant("Ada"), n.Reannotated(Interval(3, 5))},
+                     Interval(3, 5))
+                  .ok());
+  EXPECT_FALSE(ic.IsCoalesced());
+}
+
+TEST_F(ConcreteInstanceTest, EmptyInstanceProperties) {
+  ConcreteInstance ic(&schema_);
+  EXPECT_TRUE(ic.empty());
+  EXPECT_TRUE(ic.Validate().ok());
+  EXPECT_TRUE(ic.IsComplete());
+  EXPECT_TRUE(ic.IsCoalesced());
+  EXPECT_TRUE(ic.Endpoints().empty());
+  EXPECT_EQ(ic.StabilizationPoint(), 0u);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,187 @@
+#include "src/relational/dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    e_ = *schema_.AddRelationPair("E", {"name", "company"},
+                                  SchemaRole::kSource);
+    s_ = *schema_.AddRelationPair("S", {"name", "salary"},
+                                  SchemaRole::kSource);
+    emp_ = *schema_.AddRelationPair("Emp", {"name", "company", "salary"},
+                                    SchemaRole::kTarget);
+    e_snap_ = *schema_.TwinOf(e_);
+    s_snap_ = *schema_.TwinOf(s_);
+    emp_snap_ = *schema_.TwinOf(emp_);
+  }
+
+  Atom MakeAtom(RelationId rel, std::vector<Term> terms) {
+    Atom atom;
+    atom.rel = rel;
+    atom.terms = std::move(terms);
+    return atom;
+  }
+
+  Tgd MakeSigma1() {
+    // E(n, c) -> exists s: Emp(n, c, s)
+    Tgd tgd;
+    tgd.label = "sigma1";
+    tgd.body.atoms = {MakeAtom(e_snap_, {Term::Var(0), Term::Var(1)})};
+    tgd.head.atoms = {
+        MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(2)})};
+    tgd.body.num_vars = tgd.head.num_vars = 3;
+    tgd.body.var_names = {"n", "c", "s"};
+    return tgd;
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_ = 0, s_ = 0, emp_ = 0;
+  RelationId e_snap_ = 0, s_snap_ = 0, emp_snap_ = 0;
+};
+
+TEST_F(DependencyTest, FinalizeComputesExistentialVars) {
+  Tgd tgd = MakeSigma1();
+  ASSERT_TRUE(tgd.Finalize().ok());
+  ASSERT_EQ(tgd.existential.size(), 1u);
+  EXPECT_EQ(tgd.existential[0], 2u);
+}
+
+TEST_F(DependencyTest, FinalizeRejectsEmptyHead) {
+  Tgd tgd = MakeSigma1();
+  tgd.head.atoms.clear();
+  EXPECT_FALSE(tgd.Finalize().ok());
+}
+
+TEST_F(DependencyTest, EgdFinalizeValidatesVariables) {
+  Egd egd;
+  egd.body.atoms = {
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(2)}),
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(3)})};
+  egd.body.num_vars = 4;
+  egd.x1 = 2;
+  egd.x2 = 3;
+  EXPECT_TRUE(egd.Finalize().ok());
+
+  Egd self = egd;
+  self.x2 = 2;
+  EXPECT_FALSE(self.Finalize().ok());
+
+  Egd missing = egd;
+  missing.x2 = 9;
+  missing.body.num_vars = 10;
+  EXPECT_FALSE(missing.Finalize().ok());
+}
+
+TEST_F(DependencyTest, LiftTgdAddsTemporalVariable) {
+  Tgd tgd = MakeSigma1();
+  ASSERT_TRUE(tgd.Finalize().ok());
+  auto lifted = LiftTgd(tgd, schema_);
+  ASSERT_TRUE(lifted.ok()) << lifted.status();
+  ASSERT_TRUE(lifted->temporal_var.has_value());
+  EXPECT_EQ(*lifted->temporal_var, 3u);
+  // Every atom moved to its concrete twin and gained the t variable.
+  EXPECT_EQ(lifted->body.atoms[0].rel, e_);
+  EXPECT_EQ(lifted->body.atoms[0].terms.size(), 3u);
+  EXPECT_TRUE(lifted->body.atoms[0].terms.back().is_var());
+  EXPECT_EQ(lifted->body.atoms[0].terms.back().var(), 3u);
+  EXPECT_EQ(lifted->head.atoms[0].rel, emp_);
+  EXPECT_EQ(lifted->head.atoms[0].terms.back().var(), 3u);
+  // Existential variables unchanged by lifting.
+  ASSERT_EQ(lifted->existential.size(), 1u);
+  EXPECT_EQ(lifted->existential[0], 2u);
+  EXPECT_EQ(lifted->label, "sigma1+");
+}
+
+TEST_F(DependencyTest, LiftEgdAddsTemporalVariable) {
+  Egd egd;
+  egd.label = "e1";
+  egd.body.atoms = {
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(2)}),
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(3)})};
+  egd.body.num_vars = 4;
+  egd.x1 = 2;
+  egd.x2 = 3;
+  ASSERT_TRUE(egd.Finalize().ok());
+  auto lifted = LiftEgd(egd, schema_);
+  ASSERT_TRUE(lifted.ok());
+  ASSERT_TRUE(lifted->temporal_var.has_value());
+  EXPECT_EQ(*lifted->temporal_var, 4u);
+  for (const Atom& atom : lifted->body.atoms) {
+    EXPECT_EQ(atom.rel, emp_);
+    EXPECT_EQ(atom.terms.back().var(), 4u);
+  }
+}
+
+TEST_F(DependencyTest, LiftFailsWithoutTwin) {
+  Schema bare;
+  const RelationId r = *bare.AddRelation("R", {"a"}, SchemaRole::kSource);
+  const RelationId t =
+      *bare.AddRelation("T", {"a"}, SchemaRole::kTarget);
+  Tgd tgd;
+  tgd.body.atoms = {MakeAtom(r, {Term::Var(0)})};
+  tgd.head.atoms = {MakeAtom(t, {Term::Var(0)})};
+  tgd.body.num_vars = tgd.head.num_vars = 1;
+  ASSERT_TRUE(tgd.Finalize().ok());
+  EXPECT_FALSE(LiftTgd(tgd, bare).ok());
+}
+
+TEST_F(DependencyTest, ValidateMappingChecksRoles) {
+  Tgd tgd = MakeSigma1();
+  ASSERT_TRUE(tgd.Finalize().ok());
+  Mapping mapping;
+  mapping.st_tgds = {tgd};
+  EXPECT_TRUE(ValidateMapping(mapping, schema_).ok());
+
+  // A tgd whose body uses a target relation is rejected.
+  Tgd backwards;
+  backwards.body.atoms = {
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(2)})};
+  backwards.head.atoms = {MakeAtom(e_snap_, {Term::Var(0), Term::Var(1)})};
+  backwards.body.num_vars = backwards.head.num_vars = 3;
+  ASSERT_TRUE(backwards.Finalize().ok());
+  Mapping bad;
+  bad.st_tgds = {backwards};
+  EXPECT_FALSE(ValidateMapping(bad, schema_).ok());
+}
+
+TEST_F(DependencyTest, ValidateMappingChecksArity) {
+  Tgd tgd = MakeSigma1();
+  tgd.body.atoms[0].terms.push_back(Term::Var(0));  // E with 3 terms
+  ASSERT_TRUE(tgd.Finalize().ok());
+  Mapping mapping;
+  mapping.st_tgds = {tgd};
+  EXPECT_FALSE(ValidateMapping(mapping, schema_).ok());
+}
+
+TEST_F(DependencyTest, MappingBodiesAccessors) {
+  Tgd tgd = MakeSigma1();
+  ASSERT_TRUE(tgd.Finalize().ok());
+  Egd egd;
+  egd.body.atoms = {
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(2)}),
+      MakeAtom(emp_snap_, {Term::Var(0), Term::Var(1), Term::Var(3)})};
+  egd.body.num_vars = 4;
+  egd.x1 = 2;
+  egd.x2 = 3;
+  ASSERT_TRUE(egd.Finalize().ok());
+  Mapping mapping;
+  mapping.st_tgds = {tgd};
+  mapping.egds = {egd};
+  EXPECT_EQ(mapping.TgdBodies().size(), 1u);
+  EXPECT_EQ(mapping.EgdBodies().size(), 1u);
+}
+
+TEST_F(DependencyTest, ToStringRendersReadably) {
+  Tgd tgd = MakeSigma1();
+  ASSERT_TRUE(tgd.Finalize().ok());
+  EXPECT_EQ(tgd.ToString(schema_, u_),
+            "sigma1: E(n, c) -> exists s: Emp(n, c, s)");
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,72 @@
+#include "src/core/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+TEST(ExchangeTest, FullWorkflowOnPaperExample) {
+  auto exchange = Exchange::FromProgram(testing::kPaperProgram);
+  ASSERT_TRUE(exchange.ok()) << exchange.status();
+  Exchange& ex = **exchange;
+  ASSERT_TRUE(ex.HasSolution());
+  EXPECT_EQ(ex.Solution().size(), 5u);  // Figure 9
+
+  auto answers = ex.CertainAnswers("salaries");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 3u);
+
+  auto at2013 = ex.AnswersAt("salaries", 2013);
+  ASSERT_TRUE(at2013.ok());
+  ASSERT_EQ(at2013->size(), 1u);
+  EXPECT_EQ(ex.universe().Render((*at2013)[0][0]), "Ada");
+
+  auto report = ex.Verify();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->aligned());
+}
+
+TEST(ExchangeTest, ParseErrorsPropagate) {
+  auto exchange = Exchange::FromProgram("bogus;");
+  EXPECT_FALSE(exchange.ok());
+  EXPECT_EQ(exchange.status().code(), StatusCode::kParseError);
+}
+
+TEST(ExchangeTest, FailureIsAnOutcomeNotAnError) {
+  auto exchange = Exchange::FromProgram(R"(
+    source A(x, y);
+    target T(x, y);
+    tgd A(x, y) -> T(x, y);
+    egd T(x, y) & T(x, y2) -> y = y2;
+    fact A("k", "1") @ [0, 5);
+    fact A("k", "2") @ [3, 8);
+  )");
+  ASSERT_TRUE(exchange.ok());
+  EXPECT_FALSE((*exchange)->HasSolution());
+  EXPECT_FALSE((*exchange)->failure_reason().empty());
+  // Certain answers are rejected without a solution.
+  EXPECT_FALSE((*exchange)->CertainAnswers("anything").ok());
+}
+
+TEST(ExchangeTest, UnknownQueryNameIsNotFound) {
+  auto exchange = Exchange::FromProgram(testing::kPaperProgram);
+  ASSERT_TRUE(exchange.ok());
+  auto missing = (*exchange)->CertainAnswers("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExchangeTest, RepeatedQueriesUseCachedLifting) {
+  auto exchange = Exchange::FromProgram(testing::kPaperProgram);
+  ASSERT_TRUE(exchange.ok());
+  auto a1 = (*exchange)->CertainAnswers("salaries");
+  auto a2 = (*exchange)->CertainAnswers("salaries");
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a1, *a2);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,112 @@
+// Fuzz-style property tests over RANDOM schemas and mappings (not just the
+// employment shape): the paper's correctness statements must hold for any
+// valid setting. Each seed yields a different schema, tgd/egd structure,
+// and source instance.
+
+#include <gtest/gtest.h>
+
+#include "src/core/align.h"
+#include "src/core/naive_eval.h"
+#include "src/core/normalize.h"
+#include "src/core/solution_core.h"
+#include "src/gen/workload.h"
+#include "src/relational/universal.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/snapshot.h"
+#include "src/temporal/abstract_hom.h"
+
+namespace tdx {
+namespace {
+
+class FuzzMappingSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::unique_ptr<Workload> MakeWorkload() const {
+    RandomMappingConfig cfg;
+    cfg.seed = GetParam();
+    return MakeRandomMappingWorkload(cfg);
+  }
+
+  std::vector<TimePoint> ProbePoints(const ConcreteInstance& ic) const {
+    std::vector<TimePoint> pts = ic.Endpoints();
+    pts.push_back(ic.StabilizationPoint() + 2);
+    pts.push_back(0);
+    return pts;
+  }
+};
+
+TEST_P(FuzzMappingSweep, GeneratedSettingIsWellFormed) {
+  auto w = MakeWorkload();
+  EXPECT_TRUE(ValidateMapping(w->mapping, w->schema).ok());
+  EXPECT_TRUE(w->source.Validate().ok());
+  EXPECT_TRUE(w->source.IsComplete());
+  EXPECT_FALSE(w->mapping.st_tgds.empty());
+}
+
+TEST_P(FuzzMappingSweep, Corollary20OnRandomMappings) {
+  auto w = MakeWorkload();
+  auto report =
+      VerifyCorollary20(w->source, w->mapping, w->lifted, &w->universe);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->outcome_agreed) << "seed=" << GetParam();
+  EXPECT_TRUE(report->aligned()) << "seed=" << GetParam();
+}
+
+TEST_P(FuzzMappingSweep, NormalizationPropertiesOnRandomMappings) {
+  auto w = MakeWorkload();
+  const auto phis = w->lifted.TgdBodies();
+  const ConcreteInstance normalized = Normalize(w->source, phis);
+  EXPECT_TRUE(HasEmptyIntersectionProperty(normalized, phis));
+  EXPECT_LE(normalized.size(), NaiveNormalize(w->source).size());
+  for (TimePoint l : ProbePoints(w->source)) {
+    auto before = SnapshotAt(w->source, l, &w->universe);
+    auto after = SnapshotAt(normalized, l, &w->universe);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << "l=" << l;
+  }
+}
+
+TEST_P(FuzzMappingSweep, CChaseResultIsValidAndUniversalPerSnapshot) {
+  auto w = MakeWorkload();
+  auto concrete = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(concrete.ok()) << concrete.status();
+  if (concrete->kind == ChaseResultKind::kFailure) {
+    GTEST_SKIP() << "no solution for seed " << GetParam();
+  }
+  EXPECT_TRUE(concrete->target.Validate().ok());
+
+  auto jc_abs = AbstractInstance::FromConcrete(concrete->target);
+  ASSERT_TRUE(jc_abs.ok());
+  auto ia = AbstractInstance::FromConcrete(w->source);
+  ASSERT_TRUE(ia.ok());
+  for (TimePoint l : ProbePoints(w->source)) {
+    auto ground = ChaseSnapshotAt(*ia, l, w->mapping, &w->universe);
+    ASSERT_TRUE(ground.ok());
+    ASSERT_EQ(ground->kind, ChaseResultKind::kSuccess);
+    EXPECT_TRUE(AreHomomorphicallyEquivalent(ground->target,
+                                             jc_abs->At(l, &w->universe)))
+        << "seed=" << GetParam() << " l=" << l;
+  }
+}
+
+TEST_P(FuzzMappingSweep, CoreStaysEquivalentOnRandomMappings) {
+  auto w = MakeWorkload();
+  auto concrete = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(concrete.ok());
+  if (concrete->kind == ChaseResultKind::kFailure) {
+    GTEST_SKIP() << "no solution for seed " << GetParam();
+  }
+  const ConcreteInstance core = ComputeConcreteCore(concrete->target);
+  EXPECT_LE(core.size(), concrete->target.size());
+  auto a = AbstractInstance::FromConcrete(core);
+  auto b = AbstractInstance::FromConcrete(concrete->target);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AreAbstractEquivalent(*a, *b)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMappingSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,121 @@
+#include "src/relational/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tdx {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    e_ = *schema_.AddRelation("E", {"a", "b", "c"}, SchemaRole::kSource);
+    instance_ = std::make_unique<Instance>(&schema_);
+    for (int i = 0; i < 100; ++i) {
+      instance_->Insert(e_, {u_.Constant("x" + std::to_string(i % 10)),
+                             u_.Constant("y" + std::to_string(i % 5)),
+                             u_.Constant("z" + std::to_string(i))});
+    }
+  }
+
+  /// Verified candidates: probe, then filter by actual equality (the
+  /// engine always re-verifies, so the index may over-approximate).
+  std::size_t VerifiedCount(IndexCache* cache,
+                            const std::vector<std::uint32_t>& positions,
+                            const std::vector<Value>& values) {
+    const auto& candidates = cache->Probe(e_, positions, values);
+    std::size_t count = 0;
+    for (std::uint32_t idx : candidates) {
+      const Fact& f = instance_->facts(e_)[idx];
+      bool match = true;
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (f.arg(positions[i]) != values[i]) match = false;
+      }
+      if (match) ++count;
+    }
+    return count;
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_ = 0;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(IndexTest, SingleColumnProbe) {
+  IndexCache cache(instance_.get());
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("x3")}), 10u);
+  EXPECT_EQ(VerifiedCount(&cache, {1}, {u_.Constant("y2")}), 20u);
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z42")}), 1u);
+}
+
+TEST_F(IndexTest, MultiColumnProbe) {
+  IndexCache cache(instance_.get());
+  // i % 10 == 3 and i % 5 == 3: i in {3, 13, 23, ...}: 10 facts.
+  EXPECT_EQ(VerifiedCount(&cache, {0, 1},
+                          {u_.Constant("x3"), u_.Constant("y3")}),
+            10u);
+  // i % 10 == 3 and i % 5 == 2: impossible (3 mod 5 != 2 for i=3 mod 10).
+  EXPECT_EQ(VerifiedCount(&cache, {0, 1},
+                          {u_.Constant("x3"), u_.Constant("y2")}),
+            0u);
+}
+
+TEST_F(IndexTest, MissingKeyYieldsEmpty) {
+  IndexCache cache(instance_.get());
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("nope")}), 0u);
+}
+
+TEST_F(IndexTest, DifferentMasksAreIndependent) {
+  IndexCache cache(instance_.get());
+  // Build three different per-mask indexes in one cache; results must not
+  // interfere.
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("x1")}), 10u);
+  EXPECT_EQ(VerifiedCount(&cache, {1}, {u_.Constant("y1")}), 20u);
+  EXPECT_EQ(VerifiedCount(&cache, {0, 2},
+                          {u_.Constant("x1"), u_.Constant("z1")}),
+            1u);
+  // Repeat the first probe: cached path.
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("x1")}), 10u);
+}
+
+TEST_F(IndexTest, CandidatesContainAllTrueMatches) {
+  // Soundness of the approximation: every real match is among candidates.
+  IndexCache cache(instance_.get());
+  const std::vector<std::uint32_t> positions{1};
+  const std::vector<Value> values{u_.Constant("y0")};
+  const auto& candidates = cache.Probe(e_, positions, values);
+  std::size_t real = 0;
+  const auto& facts = instance_->facts(e_);
+  for (std::uint32_t i = 0; i < facts.size(); ++i) {
+    if (facts[i].arg(1) == values[0]) {
+      ++real;
+      EXPECT_NE(std::find(candidates.begin(), candidates.end(), i),
+                candidates.end());
+    }
+  }
+  EXPECT_EQ(real, 20u);
+}
+
+TEST_F(IndexTest, IntervalValuesAreIndexable) {
+  Schema schema;
+  const RelationId r =
+      *schema.AddTemporalRelation("R+", {"a"}, SchemaRole::kSource);
+  Instance inst(&schema);
+  Universe u;
+  for (TimePoint t = 0; t < 50; ++t) {
+    inst.Insert(r, {u.Constant("v"), Value::OfInterval(Interval(t, t + 1))});
+  }
+  IndexCache cache(&inst);
+  const auto& hits =
+      cache.Probe(r, {1}, {Value::OfInterval(Interval(7, 8))});
+  std::size_t verified = 0;
+  for (std::uint32_t i : hits) {
+    if (inst.facts(r)[i].interval() == Interval(7, 8)) ++verified;
+  }
+  EXPECT_EQ(verified, 1u);
+}
+
+}  // namespace
+}  // namespace tdx

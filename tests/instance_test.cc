@@ -1,0 +1,150 @@
+#include "src/relational/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto e = schema_.AddRelation("E", {"name", "company"}, SchemaRole::kSource);
+    ASSERT_TRUE(e.ok());
+    e_ = *e;
+    auto s = schema_.AddRelation("S", {"name", "salary"}, SchemaRole::kSource);
+    ASSERT_TRUE(s.ok());
+    s_ = *s;
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_ = 0;
+  RelationId s_ = 0;
+};
+
+TEST_F(InstanceTest, InsertAndContains) {
+  Instance inst(&schema_);
+  const Fact f(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  EXPECT_TRUE(inst.Insert(f));
+  EXPECT_TRUE(inst.Contains(f));
+  EXPECT_EQ(inst.size(), 1u);
+}
+
+TEST_F(InstanceTest, DuplicateInsertIsNoop) {
+  Instance inst(&schema_);
+  const Fact f(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  EXPECT_TRUE(inst.Insert(f));
+  EXPECT_FALSE(inst.Insert(f));
+  EXPECT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst.facts(e_).size(), 1u);
+}
+
+TEST_F(InstanceTest, EraseRemovesEverywhere) {
+  Instance inst(&schema_);
+  const Fact f(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  inst.Insert(f);
+  EXPECT_TRUE(inst.Erase(f));
+  EXPECT_FALSE(inst.Contains(f));
+  EXPECT_TRUE(inst.facts(e_).empty());
+  EXPECT_FALSE(inst.Erase(f));
+}
+
+TEST_F(InstanceTest, FactsAreKeptPerRelation) {
+  Instance inst(&schema_);
+  inst.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  inst.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  EXPECT_EQ(inst.facts(e_).size(), 1u);
+  EXPECT_EQ(inst.facts(s_).size(), 1u);
+  EXPECT_EQ(inst.size(), 2u);
+}
+
+TEST_F(InstanceTest, ForEachVisitsAllFacts) {
+  Instance inst(&schema_);
+  inst.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  inst.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  std::size_t count = 0;
+  inst.ForEach([&](const Fact&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(InstanceTest, ReplaceValueSubstitutesEverywhere) {
+  Instance inst(&schema_);
+  const Value n = u_.FreshNull();
+  inst.Insert(e_, {u_.Constant("Ada"), n});
+  inst.Insert(s_, {n, u_.Constant("18k")});
+  const Instance replaced = inst.ReplaceValue(n, u_.Constant("IBM"));
+  EXPECT_TRUE(replaced.Contains(
+      Fact(e_, {u_.Constant("Ada"), u_.Constant("IBM")})));
+  EXPECT_TRUE(replaced.Contains(
+      Fact(s_, {u_.Constant("IBM"), u_.Constant("18k")})));
+  EXPECT_EQ(replaced.size(), 2u);
+}
+
+TEST_F(InstanceTest, ReplaceValueCollapsesDuplicates) {
+  Instance inst(&schema_);
+  const Value n = u_.FreshNull();
+  inst.Insert(e_, {u_.Constant("Ada"), n});
+  inst.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  const Instance replaced = inst.ReplaceValue(n, u_.Constant("IBM"));
+  EXPECT_EQ(replaced.size(), 1u);
+}
+
+TEST_F(InstanceTest, UnionMergesSets) {
+  Instance a(&schema_);
+  a.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  Instance b(&schema_);
+  b.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  b.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  const Instance merged = Instance::Union(a, b);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST_F(InstanceTest, EqualityIsSetEquality) {
+  Instance a(&schema_);
+  Instance b(&schema_);
+  a.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  a.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  b.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  b.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  EXPECT_EQ(a, b);
+  b.Insert(e_, {u_.Constant("Bob"), u_.Constant("IBM")});
+  EXPECT_NE(a, b);
+}
+
+TEST_F(InstanceTest, ToStringIsSortedAndDeterministic) {
+  Instance inst(&schema_);
+  inst.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
+  inst.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
+  EXPECT_EQ(inst.ToString(u_), "E(Ada, IBM)\nS(Ada, 18k)\n");
+}
+
+TEST_F(InstanceTest, FactDataEquals) {
+  auto ep = schema_.AddTemporalRelation("E+", {"name", "company"},
+                                        SchemaRole::kSource);
+  ASSERT_TRUE(ep.ok());
+  const Fact f1(*ep, {u_.Constant("Ada"), u_.Constant("IBM"),
+                      Value::OfInterval(Interval(1, 3))});
+  const Fact f2(*ep, {u_.Constant("Ada"), u_.Constant("IBM"),
+                      Value::OfInterval(Interval(5, 9))});
+  const Fact f3(*ep, {u_.Constant("Bob"), u_.Constant("IBM"),
+                      Value::OfInterval(Interval(1, 3))});
+  EXPECT_TRUE(f1.DataEquals(f2));
+  EXPECT_FALSE(f1.DataEquals(f3));
+  EXPECT_EQ(f1.interval(), Interval(1, 3));
+}
+
+TEST_F(InstanceTest, FactWithIntervalReannotatesNulls) {
+  auto ep = schema_.AddTemporalRelation("E+", {"name", "company"},
+                                        SchemaRole::kSource);
+  ASSERT_TRUE(ep.ok());
+  const Value n = u_.FreshAnnotatedNull(Interval(1, 9));
+  const Fact f(*ep, {u_.Constant("Ada"), n, Value::OfInterval(Interval(1, 9))});
+  const Fact frag = f.WithInterval(Interval(1, 4));
+  EXPECT_EQ(frag.interval(), Interval(1, 4));
+  ASSERT_TRUE(frag.arg(1).is_annotated_null());
+  EXPECT_EQ(frag.arg(1).interval(), Interval(1, 4));
+  EXPECT_EQ(frag.arg(1).null_id(), n.null_id());
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,170 @@
+#include "src/common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+TEST(IntervalTest, BasicAccessors) {
+  const Interval iv(3, 7);
+  EXPECT_EQ(iv.start(), 3u);
+  EXPECT_EQ(iv.end(), 7u);
+  EXPECT_FALSE(iv.unbounded());
+  ASSERT_TRUE(iv.length().has_value());
+  EXPECT_EQ(*iv.length(), 4u);
+}
+
+TEST(IntervalTest, UnboundedInterval) {
+  const Interval iv = Interval::FromStart(5);
+  EXPECT_TRUE(iv.unbounded());
+  EXPECT_EQ(iv.end(), kTimeInfinity);
+  EXPECT_FALSE(iv.length().has_value());
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(1000000));
+  EXPECT_FALSE(iv.Contains(4));
+}
+
+TEST(IntervalTest, ContainsTimePoint) {
+  const Interval iv(3, 7);
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(6));
+  EXPECT_FALSE(iv.Contains(7));  // half-open
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  const Interval outer(3, 10);
+  EXPECT_TRUE(outer.Contains(Interval(3, 10)));
+  EXPECT_TRUE(outer.Contains(Interval(4, 9)));
+  EXPECT_FALSE(outer.Contains(Interval(2, 9)));
+  EXPECT_FALSE(outer.Contains(Interval(4, 11)));
+  EXPECT_TRUE(Interval::FromStart(0).Contains(Interval::FromStart(5)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(4, 8)));
+  EXPECT_TRUE(Interval(4, 8).Overlaps(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(5, 8)));  // adjacent
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(6, 8)));
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(1, 5)));
+  EXPECT_TRUE(Interval::FromStart(3).Overlaps(Interval(0, 4)));
+}
+
+TEST(IntervalTest, AdjacencyMatchesPaperDefinition) {
+  // Section 2: [s,e), [s',e') adjacent iff s' = e or s = e'.
+  EXPECT_TRUE(Interval(1, 5).AdjacentTo(Interval(5, 8)));
+  EXPECT_TRUE(Interval(5, 8).AdjacentTo(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).AdjacentTo(Interval(6, 8)));
+  EXPECT_FALSE(Interval(1, 5).AdjacentTo(Interval(4, 8)));  // overlap
+}
+
+TEST(IntervalTest, Intersect) {
+  const auto i1 = Interval(1, 5).Intersect(Interval(3, 8));
+  ASSERT_TRUE(i1.has_value());
+  EXPECT_EQ(*i1, Interval(3, 5));
+  EXPECT_FALSE(Interval(1, 5).Intersect(Interval(5, 8)).has_value());
+  const auto i2 = Interval::FromStart(3).Intersect(Interval(0, 10));
+  ASSERT_TRUE(i2.has_value());
+  EXPECT_EQ(*i2, Interval(3, 10));
+  const auto i3 = Interval::FromStart(3).Intersect(Interval::FromStart(7));
+  ASSERT_TRUE(i3.has_value());
+  EXPECT_EQ(*i3, Interval::FromStart(7));
+}
+
+TEST(IntervalTest, MergeWith) {
+  EXPECT_EQ(Interval(1, 5).MergeWith(Interval(5, 8)), Interval(1, 8));
+  EXPECT_EQ(Interval(1, 5).MergeWith(Interval(3, 8)), Interval(1, 8));
+  EXPECT_EQ(Interval(1, 5).MergeWith(Interval::FromStart(4)),
+            Interval::FromStart(1));
+}
+
+TEST(IntervalTest, SplitAt) {
+  const auto [left, right] = Interval(2, 9).SplitAt(5);
+  EXPECT_EQ(left, Interval(2, 5));
+  EXPECT_EQ(right, Interval(5, 9));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(2012, 2014).ToString(), "[2012, 2014)");
+  EXPECT_EQ(Interval::FromStart(2014).ToString(), "[2014, inf)");
+}
+
+TEST(IntervalTest, Ordering) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5));
+  EXPECT_LT(Interval(1, 5), Interval::FromStart(1));
+}
+
+TEST(IntervalTest, HashEqualIntervalsAgree) {
+  IntervalHash hash;
+  EXPECT_EQ(hash(Interval(1, 5)), hash(Interval(1, 5)));
+  EXPECT_NE(hash(Interval(1, 5)), hash(Interval(1, 6)));  // overwhelmingly
+}
+
+TEST(FragmentIntervalTest, NoInteriorCutsIsIdentity) {
+  const auto fragments = FragmentInterval(Interval(3, 8), {1, 3, 8, 10});
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0], Interval(3, 8));
+}
+
+TEST(FragmentIntervalTest, InteriorCutsSplit) {
+  const auto fragments = FragmentInterval(Interval(3, 10), {5, 7});
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[0], Interval(3, 5));
+  EXPECT_EQ(fragments[1], Interval(5, 7));
+  EXPECT_EQ(fragments[2], Interval(7, 10));
+}
+
+TEST(FragmentIntervalTest, UnboundedIntervalKeepsUnboundedTail) {
+  const auto fragments = FragmentInterval(Interval::FromStart(3), {5, 9});
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[2], Interval::FromStart(9));
+}
+
+TEST(FragmentIntervalTest, FragmentsCoverOriginal) {
+  const Interval iv(0, 20);
+  const auto fragments = FragmentInterval(iv, {1, 4, 9, 13, 19});
+  TimePoint cursor = iv.start();
+  for (const Interval& f : fragments) {
+    EXPECT_EQ(f.start(), cursor);
+    cursor = f.end();
+  }
+  EXPECT_EQ(cursor, iv.end());
+}
+
+TEST(DistinctFiniteEndpointsTest, SortsAndDedupes) {
+  const auto pts = DistinctFiniteEndpoints(
+      {Interval(5, 11), Interval(8, 15), Interval::FromStart(8)});
+  EXPECT_EQ(pts, (std::vector<TimePoint>{5, 8, 11, 15}));
+}
+
+TEST(DistinctFiniteEndpointsTest, OmitsInfinity) {
+  const auto pts = DistinctFiniteEndpoints({Interval::FromStart(3)});
+  EXPECT_EQ(pts, (std::vector<TimePoint>{3}));
+}
+
+// Property sweep: fragmentation at arbitrary cut sets always yields
+// contiguous, non-empty fragments covering the original interval.
+class FragmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragmentSweep, CoversAndContiguous) {
+  const int mask = GetParam();
+  std::vector<TimePoint> cuts;
+  for (int bit = 0; bit < 10; ++bit) {
+    if (mask & (1 << bit)) cuts.push_back(static_cast<TimePoint>(bit + 1));
+  }
+  const Interval iv(2, 9);
+  const auto fragments = FragmentInterval(iv, cuts);
+  ASSERT_FALSE(fragments.empty());
+  EXPECT_EQ(fragments.front().start(), iv.start());
+  EXPECT_EQ(fragments.back().end(), iv.end());
+  for (std::size_t i = 1; i < fragments.size(); ++i) {
+    EXPECT_EQ(fragments[i].start(), fragments[i - 1].end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCutMasks, FragmentSweep,
+                         ::testing::Range(0, 1 << 10, 37));
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,96 @@
+#include "src/parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, TokenizesFactStatement) {
+  auto tokens = Tokenize(R"(fact E("Ada", "IBM") @ [2012, 2014);)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kIdentifier,
+                TokenKind::kLParen, TokenKind::kString, TokenKind::kComma,
+                TokenKind::kString, TokenKind::kRParen, TokenKind::kAt,
+                TokenKind::kLBracket, TokenKind::kNumber, TokenKind::kComma,
+                TokenKind::kNumber, TokenKind::kRParen,
+                TokenKind::kSemicolon, TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[3].text, "Ada");
+  EXPECT_EQ((*tokens)[9].number, 2012u);
+}
+
+TEST(LexerTest, ArrowAndAmpersand) {
+  auto tokens = Tokenize("E(n, c) & S(n, s) -> Emp(n, c, s)");
+  ASSERT_TRUE(tokens.ok());
+  bool has_arrow = false, has_amp = false;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kArrow) has_arrow = true;
+    if (t.kind == TokenKind::kAmp) has_amp = true;
+  }
+  EXPECT_TRUE(has_arrow);
+  EXPECT_TRUE(has_amp);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("# a comment\nfoo # trailing\nbar");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // foo, bar, end
+  EXPECT_EQ((*tokens)[0].text, "foo");
+  EXPECT_EQ((*tokens)[1].text, "bar");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[0].column, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("fact E(\"Ada");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Tokenize("a $ b");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, InfIsAnIdentifier) {
+  auto tokens = Tokenize("[2014, inf)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[3].text, "inf");
+}
+
+TEST(LexerTest, IdentifiersMayContainPlus) {
+  auto tokens = Tokenize("Emp+");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Emp+");
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersParseValue) {
+  auto tokens = Tokenize("18446744073709551614");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 18446744073709551614ull);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,181 @@
+// Regenerates every figure of the paper as structured output and checks it
+// against the published tables. These are the repository's "golden" paper
+// reproduction tests; the examples/ binaries print the same artifacts.
+
+#include <gtest/gtest.h>
+
+#include "src/core/align.h"
+#include "src/core/cchase.h"
+#include "src/core/naive_eval.h"
+#include "src/core/normalize.h"
+#include "src/parser/printer.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/abstract_hom.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+/// Collapses runs of spaces so table checks are independent of column
+/// widths chosen by the pretty-printer.
+std::string Squash(const std::string& text) {
+  std::string out;
+  bool in_space = false;
+  for (char c : text) {
+    if (c == ' ') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty() && out.back() != '\n') out += ' ';
+    in_space = false;
+    out += c;
+  }
+  return out;
+}
+
+class PaperFiguresTest : public ::testing::Test {
+ protected:
+  void SetUp() override { program_ = ParseOrDie(testing::kPaperProgram); }
+  std::unique_ptr<ParsedProgram> program_;
+};
+
+// Figure 1: snapshots of the abstract view of the source.
+TEST_F(PaperFiguresTest, Figure1AbstractSourceSnapshots) {
+  auto ia = AbstractInstance::FromConcrete(program_->source);
+  ASSERT_TRUE(ia.ok());
+  Universe& u = program_->universe;
+  const RelationId e = *program_->schema.Find("E");
+  const RelationId s = *program_->schema.Find("S");
+
+  struct Row {
+    TimePoint year;
+    std::size_t e_count;
+    std::size_t s_count;
+  };
+  // Figure 1's rows: 2012 {E(Ada,IBM)}; 2013 {E(Ada,IBM), S(Ada,18k),
+  // E(Bob,IBM)}; 2014 {E(Ada,Google), S(Ada,18k), E(Bob,IBM)};
+  // 2015 {.., S(Bob,13k)}; 2018 {E(Ada,Google), S(Ada,18k), S(Bob,13k)}.
+  for (const Row& row : std::vector<Row>{{2012, 1, 0},
+                                         {2013, 2, 1},
+                                         {2014, 2, 1},
+                                         {2015, 2, 2},
+                                         {2018, 1, 2}}) {
+    const Instance db = ia->At(row.year, &u);
+    EXPECT_EQ(db.facts(e).size(), row.e_count) << row.year;
+    EXPECT_EQ(db.facts(s).size(), row.s_count) << row.year;
+  }
+  const Instance db2012 = ia->At(2012, &u);
+  EXPECT_TRUE(
+      db2012.Contains(Fact(e, {u.Constant("Ada"), u.Constant("IBM")})));
+}
+
+// Figure 2: two abstract instances with nulls; J2 -> J1 but not J1 -> J2.
+// (Covered in depth by abstract_hom_test; here as the figure's statement.)
+TEST_F(PaperFiguresTest, Figure2HomomorphismAsymmetry) {
+  Schema& schema = program_->schema;
+  Universe& u = program_->universe;
+  const RelationId emp = *schema.Find("Emp");
+
+  AbstractInstance j1(&schema);
+  Instance j1_snap(&schema);
+  j1_snap.Insert(emp, {u.Constant("Ada"), u.Constant("IBM"), u.FreshNull()});
+  j1.AddPiece(Interval(0, 2), std::move(j1_snap));
+  j1.AddPiece(Interval::FromStart(2), Instance(&schema));
+
+  AbstractInstance j2(&schema);
+  Instance j2_snap(&schema);
+  j2_snap.Insert(emp, {u.Constant("Ada"), u.Constant("IBM"),
+                       u.FreshAnnotatedNull(Interval(0, 2))});
+  j2.AddPiece(Interval(0, 2), std::move(j2_snap));
+  j2.AddPiece(Interval::FromStart(2), Instance(&schema));
+
+  EXPECT_TRUE(AbstractHomomorphismExists(j2, j1));
+  EXPECT_FALSE(AbstractHomomorphismExists(j1, j2));
+}
+
+// Figure 3 / Example 5: the abstract chase result, snapshot by snapshot.
+TEST_F(PaperFiguresTest, Figure3AbstractChaseResult) {
+  auto ia = AbstractInstance::FromConcrete(program_->source);
+  ASSERT_TRUE(ia.ok());
+  auto outcome = AbstractChase(*ia, program_->mapping, &program_->universe);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  Universe& u = program_->universe;
+  const RelationId emp = *program_->schema.Find("Emp");
+
+  const Instance db2014 = outcome->target.At(2014, &u);
+  EXPECT_EQ(db2014.facts(emp).size(), 2u);
+  EXPECT_TRUE(db2014.Contains(Fact(
+      emp, {u.Constant("Ada"), u.Constant("Google"), u.Constant("18k")})));
+  bool bob_null = false;
+  for (const Fact& f : db2014.facts(emp)) {
+    if (f.arg(0) == u.Constant("Bob")) bob_null = f.arg(2).is_null();
+  }
+  EXPECT_TRUE(bob_null);
+}
+
+// Figure 4: the concrete source instance as printed tables.
+TEST_F(PaperFiguresTest, Figure4ConcreteSourceTables) {
+  const std::string out = Squash(
+      RenderConcreteInstance(program_->source, program_->universe));
+  EXPECT_NE(out.find("Ada IBM [2012, 2014)"), std::string::npos) << out;
+  EXPECT_NE(out.find("Ada Google [2014, inf)"), std::string::npos);
+  EXPECT_NE(out.find("Bob IBM [2013, 2018)"), std::string::npos);
+  EXPECT_NE(out.find("Ada 18k [2013, inf)"), std::string::npos);
+  EXPECT_NE(out.find("Bob 13k [2015, inf)"), std::string::npos);
+}
+
+// Figure 5: norm(Ic, Phi+) output table (counts checked in normalize_test;
+// here the rendered artifact).
+TEST_F(PaperFiguresTest, Figure5NormalizedTables) {
+  const ConcreteInstance normalized =
+      Normalize(program_->source, program_->lifted.TgdBodies());
+  const std::string out = Squash(
+      RenderConcreteInstance(normalized, program_->universe));
+  EXPECT_NE(out.find("Ada IBM [2012, 2013)"), std::string::npos) << out;
+  EXPECT_NE(out.find("Ada IBM [2013, 2014)"), std::string::npos);
+  EXPECT_NE(out.find("Bob IBM [2013, 2015)"), std::string::npos);
+  EXPECT_NE(out.find("Bob IBM [2015, 2018)"), std::string::npos);
+  EXPECT_NE(out.find("Ada 18k [2013, 2014)"), std::string::npos);
+  EXPECT_NE(out.find("Bob 13k [2018, inf)"), std::string::npos);
+}
+
+// Figure 6: the naive normalizer's strictly larger table.
+TEST_F(PaperFiguresTest, Figure6NaiveNormalizedTables) {
+  NormalizeStats alg_stats, naive_stats;
+  Normalize(program_->source, program_->lifted.TgdBodies(), &alg_stats);
+  NaiveNormalize(program_->source, &naive_stats);
+  EXPECT_EQ(alg_stats.output_facts, 9u);
+  EXPECT_EQ(naive_stats.output_facts, 14u);
+}
+
+// Figures 7-8 are exercised in normalize_test (Example 14); Figure 9 here.
+TEST_F(PaperFiguresTest, Figure9ConcreteChaseTable) {
+  auto outcome =
+      CChase(program_->source, program_->lifted, &program_->universe);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  const std::string out = Squash(
+      RenderConcreteInstance(outcome->target, program_->universe));
+  // The three complete rows of Figure 9.
+  EXPECT_NE(out.find("Ada IBM 18k [2013, 2014)"), std::string::npos) << out;
+  EXPECT_NE(out.find("Ada Google 18k [2014, inf)"), std::string::npos);
+  EXPECT_NE(out.find("Bob IBM 13k [2015, 2018)"), std::string::npos);
+  // The two interval-annotated null rows.
+  EXPECT_NE(out.find("^[2012, 2013)"), std::string::npos);
+  EXPECT_NE(out.find("^[2013, 2015)"), std::string::npos);
+}
+
+// Figure 10: the commuting square — c-chase then [[.]] is equivalent to
+// [[.]] then abstract chase.
+TEST_F(PaperFiguresTest, Figure10CommutingSquare) {
+  auto report = VerifyCorollary20(program_->source, program_->mapping,
+                                  program_->lifted, &program_->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->aligned());
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,167 @@
+#include "src/parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::HasConcreteFact;
+using ::tdx::testing::ParseOrDie;
+
+TEST(ParserTest, ParsesThePaperProgram) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  EXPECT_EQ(program->mapping.st_tgds.size(), 2u);
+  EXPECT_EQ(program->mapping.egds.size(), 1u);
+  EXPECT_EQ(program->lifted.st_tgds.size(), 2u);
+  EXPECT_EQ(program->source.size(), 5u);
+  EXPECT_EQ(program->queries.size(), 1u);
+  EXPECT_TRUE(program->source.Validate().ok());
+  EXPECT_TRUE(program->source.IsComplete());
+  EXPECT_TRUE(HasConcreteFact(program->source, program->universe, "E+",
+                              {"Ada", "IBM"}, Interval(2012, 2014)));
+  EXPECT_TRUE(HasConcreteFact(program->source, program->universe, "S+",
+                              {"Bob", "13k"}, Interval::FromStart(2015)));
+}
+
+TEST(ParserTest, TgdStructure) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  const Tgd& sigma1 = program->mapping.st_tgds[0];
+  EXPECT_EQ(sigma1.label, "sigma1");
+  EXPECT_EQ(sigma1.body.atoms.size(), 1u);
+  EXPECT_EQ(sigma1.head.atoms.size(), 1u);
+  EXPECT_EQ(sigma1.existential.size(), 1u);
+  const Tgd& sigma2 = program->mapping.st_tgds[1];
+  EXPECT_EQ(sigma2.body.atoms.size(), 2u);
+  EXPECT_TRUE(sigma2.existential.empty());
+}
+
+TEST(ParserTest, LiftedMappingHasTemporalVars) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  for (const Tgd& tgd : program->lifted.st_tgds) {
+    ASSERT_TRUE(tgd.temporal_var.has_value());
+    for (const Atom& atom : tgd.body.atoms) {
+      EXPECT_TRUE(program->schema.relation(atom.rel).temporal);
+    }
+  }
+  ASSERT_EQ(program->lifted.egds.size(), 1u);
+  EXPECT_TRUE(program->lifted.egds[0].temporal_var.has_value());
+}
+
+TEST(ParserTest, EgdEqualityVariables) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  const Egd& egd = program->mapping.egds[0];
+  EXPECT_NE(egd.x1, egd.x2);
+  EXPECT_EQ(egd.body.var_names[egd.x1], "s");
+  EXPECT_EQ(egd.body.var_names[egd.x2], "s2");
+}
+
+TEST(ParserTest, AnonymousVariablesAreFresh) {
+  auto program = ParseOrDie(R"(
+    source E(a, b);
+    target T(a, b);
+    tgd E(x, y) -> T(x, y);
+    query q(x): T(x, _) & T(_, x);
+  )");
+  const ConjunctiveQuery& q = program->queries[0].disjuncts[0];
+  // x plus two distinct anonymous variables.
+  EXPECT_EQ(q.body.num_vars, 3u);
+}
+
+TEST(ParserTest, NumbersAreConstants) {
+  auto program = ParseOrDie(R"(
+    source E(a);
+    target T(a);
+    tgd E(x) -> T(x);
+    fact E(42) @ [0, 5);
+  )");
+  EXPECT_TRUE(HasConcreteFact(program->source, program->universe, "E+",
+                              {"42"}, Interval(0, 5)));
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  auto r1 = ParseProgram("source E(a;");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+
+  auto r2 = ParseProgram("bogus X;");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(ParserTest, UnknownRelationInAtomFails) {
+  auto r = ParseProgram(R"(
+    source E(a);
+    target T(a);
+    tgd Nope(x) -> T(x);
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Nope"), std::string::npos);
+}
+
+TEST(ParserTest, ArityMismatchFails) {
+  auto r = ParseProgram(R"(
+    source E(a, b);
+    target T(a);
+    tgd E(x) -> T(x);
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, WrongRoleFails) {
+  auto r = ParseProgram(R"(
+    source E(a);
+    target T(a);
+    tgd T(x) -> E(x);
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, EmptyIntervalFails) {
+  auto r = ParseProgram(R"(
+    source E(a);
+    target T(a);
+    tgd E(x) -> T(x);
+    fact E("x") @ [5, 5);
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, FactsMustBeGround) {
+  auto r = ParseProgram(R"(
+    source E(a);
+    target T(a);
+    tgd E(x) -> T(x);
+    fact E(x) @ [0, 5);
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, DuplicateQueryNamesFormUnion) {
+  auto program = ParseOrDie(R"(
+    source A(x);
+    source B(x);
+    target Ta(x);
+    target Tb(x);
+    tgd A(x) -> Ta(x);
+    tgd B(x) -> Tb(x);
+    query u(x): Ta(x);
+    query u(x): Tb(x);
+  )");
+  ASSERT_EQ(program->queries.size(), 1u);
+  EXPECT_EQ(program->queries[0].disjuncts.size(), 2u);
+  EXPECT_TRUE(program->FindQuery("u").ok());
+  EXPECT_FALSE(program->FindQuery("v").ok());
+}
+
+TEST(ParserTest, ExistentialListMultipleVars) {
+  auto program = ParseOrDie(R"(
+    source E(a);
+    target T(a, b, c);
+    tgd E(x) -> exists y, z: T(x, y, z);
+  )");
+  EXPECT_EQ(program->mapping.st_tgds[0].existential.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,173 @@
+#include "src/core/possible.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cchase.h"
+#include "src/core/naive_eval.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+class PossibleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    emp_ = *schema_.AddRelation("Emp", {"name", "company", "salary"},
+                                SchemaRole::kTarget);
+    // q(n, s) :- Emp(n, c, s)
+    Atom atom;
+    atom.rel = emp_;
+    atom.terms = {Term::Var(0), Term::Var(1), Term::Var(2)};
+    ConjunctiveQuery q;
+    q.body.atoms = {atom};
+    q.body.num_vars = 3;
+    q.head = {0, 2};
+    query_.name = "q";
+    query_.disjuncts = {q};
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId emp_ = 0;
+  UnionQuery query_;
+};
+
+TEST_F(PossibleTest, CompleteFactsAreBothCertainAndPossible) {
+  Instance db(&schema_);
+  db.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  const auto possible = PossibleAnswers(query_, db);
+  ASSERT_EQ(possible.size(), 1u);
+  EXPECT_EQ(possible[0], (Tuple{u_.Constant("Ada"), u_.Constant("18k")}));
+}
+
+TEST_F(PossibleTest, NullInHeadPositionIsAWildcard) {
+  Instance db(&schema_);
+  const Value n = u_.FreshNull();
+  db.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), n});
+  const auto possible = PossibleAnswers(query_, db);
+  ASSERT_EQ(possible.size(), 1u);
+  EXPECT_EQ(possible[0][0], u_.Constant("Bob"));
+  EXPECT_EQ(possible[0][1], n);  // any salary is possible
+  // Certain answers drop the tuple entirely.
+  EXPECT_TRUE(DropTuplesWithNulls(Evaluate(query_, db)).empty());
+}
+
+TEST_F(PossibleTest, NullUnifiesWithQueryConstant) {
+  // q'(n) :- Emp(n, c, "18k"): with an unknown salary, Bob is possible.
+  Atom atom;
+  atom.rel = emp_;
+  atom.terms = {Term::Var(0), Term::Var(1), Term::Val(u_.Constant("18k"))};
+  ConjunctiveQuery q;
+  q.body.atoms = {atom};
+  q.body.num_vars = 2;
+  q.head = {0};
+  UnionQuery uq;
+  uq.name = "q18";
+  uq.disjuncts = {q};
+
+  Instance db(&schema_);
+  db.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  db.Insert(emp_, {u_.Constant("Eve"), u_.Constant("IBM"), u_.Constant("20k")});
+  const auto possible = PossibleAnswers(uq, db);
+  ASSERT_EQ(possible.size(), 1u);
+  EXPECT_EQ(possible[0][0], u_.Constant("Bob"));
+  // Standard (certain-flavored) evaluation sees no match at all.
+  EXPECT_TRUE(Evaluate(uq, db).empty());
+}
+
+TEST_F(PossibleTest, OneNullTakesOneValuePerMatch) {
+  // q''() :- Emp(n, c, "18k") & Emp(n, c, "20k"): a single null salary
+  // cannot be both 18k and 20k within one valuation.
+  Atom a1, a2;
+  a1.rel = a2.rel = emp_;
+  a1.terms = {Term::Var(0), Term::Var(1), Term::Val(u_.Constant("18k"))};
+  a2.terms = {Term::Var(0), Term::Var(1), Term::Val(u_.Constant("20k"))};
+  ConjunctiveQuery q;
+  q.body.atoms = {a1, a2};
+  q.body.num_vars = 2;
+  q.head = {};
+  UnionQuery uq;
+  uq.name = "conflict";
+  uq.disjuncts = {q};
+
+  Instance db(&schema_);
+  db.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  EXPECT_TRUE(PossibleAnswers(uq, db).empty());
+
+  // With two distinct nulls the valuation can split: possible.
+  Instance db2(&schema_);
+  db2.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  db2.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  EXPECT_EQ(PossibleAnswers(uq, db2).size(), 1u);  // the empty tuple
+}
+
+TEST_F(PossibleTest, TwoNullsUnifyWithEachOther) {
+  // q(n1, n2) :- Emp(n1, c, s) & Emp(n2, c, s): join through the salary.
+  Atom a1, a2;
+  a1.rel = a2.rel = emp_;
+  a1.terms = {Term::Var(0), Term::Var(2), Term::Var(3)};
+  a2.terms = {Term::Var(1), Term::Var(2), Term::Var(3)};
+  ConjunctiveQuery q;
+  q.body.atoms = {a1, a2};
+  q.body.num_vars = 4;
+  q.head = {0, 1};
+  UnionQuery uq;
+  uq.name = "colleagues";
+  uq.disjuncts = {q};
+
+  Instance db(&schema_);
+  db.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  db.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  // Possible: the two unknown salaries may be equal.
+  const auto possible = PossibleAnswers(uq, db);
+  bool ada_bob = false;
+  for (const Tuple& t : possible) {
+    if (t[0] == u_.Constant("Ada") && t[1] == u_.Constant("Bob")) {
+      ada_bob = true;
+    }
+  }
+  EXPECT_TRUE(ada_bob);
+  // Certain: only the reflexive pairs.
+  const auto certain = DropTuplesWithNulls(Evaluate(uq, db));
+  EXPECT_EQ(certain.size(), 2u);
+}
+
+TEST_F(PossibleTest, CertainAnswersAreAlwaysPossible) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  const UnionQuery& q = **program->FindQuery("salaries");
+  auto lifted = LiftUnionQuery(q, program->schema);
+  ASSERT_TRUE(lifted.ok());
+  auto temporal = NaiveEvaluateConcrete(*lifted, chase->target);
+  ASSERT_TRUE(temporal.ok());
+  for (TimePoint l : {2012u, 2013u, 2015u, 2020u}) {
+    auto possible =
+        PossibleAnswersAt(q, chase->target, l, &program->universe);
+    ASSERT_TRUE(possible.ok());
+    for (const Tuple& t : ConcreteAnswersAt(*temporal, l)) {
+      EXPECT_NE(std::find(possible->begin(), possible->end(), t),
+                possible->end())
+          << "certain answer not possible at l=" << l;
+    }
+  }
+}
+
+TEST_F(PossibleTest, WildcardAnswersAppearWhereCertainHasNone) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  const UnionQuery& q = **program->FindQuery("salaries");
+  // 2012: Ada's salary is unknown — certain empty, possible has a wildcard.
+  auto possible =
+      PossibleAnswersAt(q, chase->target, 2012, &program->universe);
+  ASSERT_TRUE(possible.ok());
+  ASSERT_EQ(possible->size(), 1u);
+  EXPECT_EQ((*possible)[0][0], program->universe.Constant("Ada"));
+  EXPECT_TRUE((*possible)[0][1].is_any_null());
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,291 @@
+// Randomized property tests: the paper's theorems, checked over families of
+// generated workloads (TEST_P sweeps over seeds and size profiles).
+
+#include <gtest/gtest.h>
+
+#include "src/core/align.h"
+#include "src/core/certain.h"
+#include "src/core/naive_eval.h"
+#include "src/core/normalize.h"
+#include "src/gen/workload.h"
+#include "src/relational/universal.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/coalesce.h"
+#include "src/temporal/snapshot.h"
+
+namespace tdx {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  std::size_t num_facts;
+  TimePoint horizon;
+  TimePoint max_len;
+  double unbounded_probability;
+};
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    params.push_back({seed, 20 + 7 * seed, 12 + seed, 4 + seed % 5,
+                      (seed % 3) * 0.1});
+  }
+  return params;
+}
+
+class RandomWorkloadSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  std::unique_ptr<Workload> MakeWorkload() const {
+    const SweepParam& p = GetParam();
+    RandomConfig cfg;
+    cfg.num_facts = p.num_facts;
+    cfg.num_names = 5;
+    cfg.num_companies = 3;
+    cfg.num_salaries = 3;
+    cfg.horizon = p.horizon;
+    cfg.max_interval_length = p.max_len;
+    cfg.unbounded_probability = p.unbounded_probability;
+    cfg.seed = p.seed;
+    return MakeRandomWorkload(cfg);
+  }
+
+  /// Same profile but with a single salary constant: the egd can never
+  /// equate two distinct constants, so the chase always succeeds. Used by
+  /// the properties that need a solution to exist.
+  std::unique_ptr<Workload> MakeSolvableWorkload() const {
+    const SweepParam& p = GetParam();
+    RandomConfig cfg;
+    cfg.num_facts = p.num_facts;
+    cfg.num_names = 5;
+    cfg.num_companies = 3;
+    cfg.num_salaries = 1;
+    cfg.horizon = p.horizon;
+    cfg.max_interval_length = p.max_len;
+    cfg.unbounded_probability = p.unbounded_probability;
+    cfg.seed = p.seed;
+    return MakeRandomWorkload(cfg);
+  }
+
+  /// Interesting time points: all endpoints, one point between, one beyond.
+  std::vector<TimePoint> ProbePoints(const ConcreteInstance& ic) const {
+    std::vector<TimePoint> pts = ic.Endpoints();
+    pts.push_back(ic.StabilizationPoint() + 3);
+    pts.push_back(0);
+    return pts;
+  }
+};
+
+// Coalescing is semantics-preserving and canonical.
+TEST_P(RandomWorkloadSweep, CoalescePreservesSemantics) {
+  auto w = MakeWorkload();
+  const ConcreteInstance coalesced = Coalesce(w->source);
+  EXPECT_TRUE(coalesced.IsCoalesced());
+  EXPECT_LE(coalesced.size(), w->source.size());
+  for (TimePoint l : ProbePoints(w->source)) {
+    auto before = SnapshotAt(w->source, l, &w->universe);
+    auto after = SnapshotAt(coalesced, l, &w->universe);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << "l=" << l;
+  }
+}
+
+// Theorem 11 / Theorem 15: Algorithm 1's output has the empty intersection
+// property, preserves semantics, and is never larger than the naive one.
+TEST_P(RandomWorkloadSweep, NormalizationProperties) {
+  auto w = MakeWorkload();
+  const auto phis = w->lifted.TgdBodies();
+  NormalizeStats alg_stats, naive_stats;
+  const ConcreteInstance byalg = Normalize(w->source, phis, &alg_stats);
+  const ConcreteInstance bynaive = NaiveNormalize(w->source, &naive_stats);
+
+  EXPECT_TRUE(HasEmptyIntersectionProperty(byalg, phis));
+  EXPECT_TRUE(HasEmptyIntersectionProperty(bynaive, phis));
+  EXPECT_LE(byalg.size(), bynaive.size());
+
+  for (TimePoint l : ProbePoints(w->source)) {
+    auto before = SnapshotAt(w->source, l, &w->universe);
+    auto after = SnapshotAt(byalg, l, &w->universe);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << "l=" << l;
+  }
+}
+
+// Corollary 20 end to end: success/failure agreement plus homomorphic
+// equivalence of [[c-chase(Ic)]] and chase([[Ic]]).
+TEST_P(RandomWorkloadSweep, Corollary20Alignment) {
+  auto w = MakeWorkload();
+  auto report =
+      VerifyCorollary20(w->source, w->mapping, w->lifted, &w->universe);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->outcome_agreed);
+  EXPECT_TRUE(report->aligned());
+}
+
+// The c-chase must agree snapshot-wise with the ground-truth chase of each
+// materialized snapshot (homomorphic equivalence per snapshot).
+TEST_P(RandomWorkloadSweep, CChaseMatchesPerSnapshotChase) {
+  auto w = MakeSolvableWorkload();
+  auto concrete = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(concrete.ok());
+  ASSERT_EQ(concrete->kind, ChaseResultKind::kSuccess);
+  auto jc_abs = AbstractInstance::FromConcrete(concrete->target);
+  ASSERT_TRUE(jc_abs.ok());
+  auto ia = AbstractInstance::FromConcrete(w->source);
+  ASSERT_TRUE(ia.ok());
+  for (TimePoint l : ProbePoints(w->source)) {
+    auto ground = ChaseSnapshotAt(*ia, l, w->mapping, &w->universe);
+    ASSERT_TRUE(ground.ok());
+    ASSERT_EQ(ground->kind, ChaseResultKind::kSuccess);
+    EXPECT_TRUE(AreHomomorphicallyEquivalent(ground->target,
+                                             jc_abs->At(l, &w->universe)))
+        << "l=" << l;
+  }
+}
+
+// Theorem 21 on random instances: [[q+(Jc)!]] = q([[Jc]])! snapshot-wise.
+TEST_P(RandomWorkloadSweep, Theorem21OnRandomWorkloads) {
+  auto w = MakeSolvableWorkload();
+  auto concrete = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(concrete.ok());
+  ASSERT_EQ(concrete->kind, ChaseResultKind::kSuccess);
+
+  // q(n, s) :- Emp(n, c, s) over the snapshot target schema.
+  const RelationId emp = *w->schema.Find("Emp");
+  ConjunctiveQuery q;
+  q.name = "salaries";
+  Atom atom;
+  atom.rel = emp;
+  atom.terms = {Term::Var(0), Term::Var(1), Term::Var(2)};
+  q.body.atoms = {atom};
+  q.body.num_vars = 3;
+  q.head = {0, 2};
+  UnionQuery uq;
+  uq.name = q.name;
+  uq.disjuncts = {q};
+  auto lifted = LiftUnionQuery(uq, w->schema);
+  ASSERT_TRUE(lifted.ok());
+
+  auto answers = NaiveEvaluateConcrete(*lifted, concrete->target);
+  ASSERT_TRUE(answers.ok());
+  auto jc_abs = AbstractInstance::FromConcrete(concrete->target);
+  ASSERT_TRUE(jc_abs.ok());
+  for (TimePoint l : ProbePoints(w->source)) {
+    EXPECT_EQ(ConcreteAnswersAt(*answers, l),
+              NaiveEvaluateAbstractAt(uq, *jc_abs, l, &w->universe))
+        << "l=" << l;
+  }
+}
+
+// The c-chase result is a valid concrete instance whose annotated nulls obey
+// the annotation-equals-interval invariant, and the chase is deterministic.
+TEST_P(RandomWorkloadSweep, CChaseInvariantsAndDeterminism) {
+  auto w1 = MakeWorkload();
+  auto w2 = MakeWorkload();
+  auto o1 = CChase(w1->source, w1->lifted, &w1->universe);
+  auto o2 = CChase(w2->source, w2->lifted, &w2->universe);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1->kind, o2->kind);
+  if (o1->kind == ChaseResultKind::kSuccess) {
+    EXPECT_TRUE(o1->target.Validate().ok());
+    // Same universes evolve identically, so rendering must agree.
+    EXPECT_EQ(o1->target.facts().ToString(w1->universe),
+              o2->target.facts().ToString(w2->universe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSweep,
+                         ::testing::ValuesIn(MakeSweep()),
+                         [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+                           return "seed" + std::to_string(param_info.param.seed);
+                         });
+
+// Employment-shaped sweeps: larger, more structured instances.
+class EmploymentSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmploymentSweep, Corollary20OnEmploymentHistories) {
+  auto w = MakeEmploymentWorkload(
+      EmploymentConfig{.num_people = 8, .num_companies = 3, .avg_jobs = 3,
+                       .horizon = 40, .salary_known_fraction = 0.5,
+                       .inject_conflict = false, .seed = GetParam()});
+  auto report =
+      VerifyCorollary20(w->source, w->mapping, w->lifted, &w->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->aligned());
+}
+
+TEST_P(EmploymentSweep, CertainAnswersHoldInPerturbedSolutions) {
+  auto w = MakeEmploymentWorkload(
+      EmploymentConfig{.num_people = 5, .num_companies = 2, .avg_jobs = 2,
+                       .horizon = 25, .salary_known_fraction = 0.6,
+                       .inject_conflict = false, .seed = GetParam()});
+  auto chase = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(chase.ok());
+  ASSERT_EQ(chase->kind, ChaseResultKind::kSuccess);
+
+  const RelationId emp = *w->schema.Find("Emp");
+  ConjunctiveQuery q;
+  Atom atom;
+  atom.rel = emp;
+  atom.terms = {Term::Var(0), Term::Var(1), Term::Var(2)};
+  q.body.atoms = {atom};
+  q.body.num_vars = 3;
+  q.head = {0, 2};
+  UnionQuery uq;
+  uq.disjuncts = {q};
+  uq.name = "q";
+  auto lifted = LiftUnionQuery(uq, w->schema);
+  ASSERT_TRUE(lifted.ok());
+  auto answers = NaiveEvaluateConcrete(*lifted, chase->target);
+  ASSERT_TRUE(answers.ok());
+
+  // Build a perturbed solution: substitute all nulls, add a noise fact.
+  Instance solution = chase->target.facts();
+  std::vector<Value> nulls;
+  solution.ForEach([&](const Fact& f) {
+    for (const Value& v : f.args()) {
+      if (v.is_annotated_null()) nulls.push_back(v);
+    }
+  });
+  int i = 0;
+  for (const Value& n : nulls) {
+    solution = solution.ReplaceValue(
+        n, w->universe.Constant("subst" + std::to_string(i++)));
+  }
+  ConcreteInstance sol_ci(std::move(solution));
+  auto sol_abs = AbstractInstance::FromConcrete(sol_ci);
+  ASSERT_TRUE(sol_abs.ok());
+
+  for (TimePoint l : {3u, 10u, 20u}) {
+    const std::vector<Tuple> solution_answers = DropTuplesWithNulls(
+        Evaluate(uq, sol_abs->At(l, &w->universe)));
+    for (const Tuple& t : ConcreteAnswersAt(*answers, l)) {
+      EXPECT_NE(std::find(solution_answers.begin(), solution_answers.end(), t),
+                solution_answers.end())
+          << "l=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmploymentSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// Theorem 13 sweep: the worst-case family's normalized size is exactly n^2.
+class WorstCaseSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorstCaseSweep, QuadraticNormalizedSize) {
+  const std::size_t n = GetParam();
+  auto w = MakeWorstCaseNormalizationWorkload(n);
+  const ConcreteInstance normalized =
+      Normalize(w->source, w->lifted.TgdBodies());
+  EXPECT_EQ(normalized.size(), n * n);
+  EXPECT_TRUE(
+      HasEmptyIntersectionProperty(normalized, w->lifted.TgdBodies()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorstCaseSweep,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,131 @@
+#include "src/core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = ParseOrDie(R"(
+      source E(name, company);
+      target Emp(name, company, salary);
+      tgd E(n, c) -> exists s: Emp(n, c, s);
+      query names(n): Emp(n, _, _);
+      query pairs(n, s): Emp(n, _, s);
+    )");
+    emp_ = *program_->schema.Find("Emp");
+  }
+
+  std::unique_ptr<ParsedProgram> program_;
+  RelationId emp_ = 0;
+};
+
+TEST_F(QueryTest, EvaluateProjectsHead) {
+  Universe& u = program_->universe;
+  Instance inst(&program_->schema);
+  inst.Insert(emp_, {u.Constant("Ada"), u.Constant("IBM"), u.Constant("18k")});
+  inst.Insert(emp_, {u.Constant("Bob"), u.Constant("IBM"), u.Constant("13k")});
+  const UnionQuery* q = *program_->FindQuery("names");
+  const std::vector<Tuple> answers = Evaluate(*q, inst);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], Tuple{u.Constant("Ada")});
+  EXPECT_EQ(answers[1], Tuple{u.Constant("Bob")});
+}
+
+TEST_F(QueryTest, EvaluateDeduplicates) {
+  Universe& u = program_->universe;
+  Instance inst(&program_->schema);
+  inst.Insert(emp_, {u.Constant("Ada"), u.Constant("IBM"), u.Constant("18k")});
+  inst.Insert(emp_,
+              {u.Constant("Ada"), u.Constant("Google"), u.Constant("20k")});
+  const UnionQuery* q = *program_->FindQuery("names");
+  EXPECT_EQ(Evaluate(*q, inst).size(), 1u);
+}
+
+TEST_F(QueryTest, NullsFlowIntoAnswers) {
+  Universe& u = program_->universe;
+  Instance inst(&program_->schema);
+  const Value n = u.FreshNull();
+  inst.Insert(emp_, {u.Constant("Ada"), u.Constant("IBM"), n});
+  const UnionQuery* q = *program_->FindQuery("pairs");
+  const std::vector<Tuple> raw = Evaluate(*q, inst);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0][1], n);
+  EXPECT_TRUE(DropTuplesWithNulls(raw).empty());
+}
+
+TEST_F(QueryTest, LiftQueryAddsTemporalHead) {
+  const UnionQuery* q = *program_->FindQuery("pairs");
+  auto lifted = LiftUnionQuery(*q, program_->schema);
+  ASSERT_TRUE(lifted.ok());
+  const ConjunctiveQuery& lq = lifted->disjuncts[0];
+  ASSERT_TRUE(lq.temporal_var.has_value());
+  EXPECT_EQ(lq.head.size(), 3u);  // n, s, t
+  EXPECT_EQ(lq.head.back(), *lq.temporal_var);
+  for (const Atom& atom : lq.body.atoms) {
+    EXPECT_TRUE(program_->schema.relation(atom.rel).temporal);
+    EXPECT_EQ(atom.terms.back().var(), *lq.temporal_var);
+  }
+}
+
+TEST_F(QueryTest, UnionQueryValidateChecksArity) {
+  UnionQuery uq;
+  uq.name = "bad";
+  ConjunctiveQuery q1 = (*program_->FindQuery("names"))->disjuncts[0];
+  ConjunctiveQuery q2 = (*program_->FindQuery("pairs"))->disjuncts[0];
+  uq.disjuncts = {q1, q2};
+  EXPECT_FALSE(uq.Validate().ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsHeadVarNotInBody) {
+  ConjunctiveQuery q = (*program_->FindQuery("names"))->disjuncts[0];
+  q.head.push_back(99);
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST_F(QueryTest, UnionOfDisjunctsMergesAnswers) {
+  auto program = ParseOrDie(R"(
+    source A(x);
+    source B(x);
+    target Ta(x);
+    target Tb(x);
+    tgd A(x) -> Ta(x);
+    tgd B(x) -> Tb(x);
+    query both(x): Ta(x);
+    query both(x): Tb(x);
+  )");
+  Universe& u = program->universe;
+  Instance inst(&program->schema);
+  inst.Insert(*program->schema.Find("Ta"), {u.Constant("1")});
+  inst.Insert(*program->schema.Find("Tb"), {u.Constant("2")});
+  inst.Insert(*program->schema.Find("Tb"), {u.Constant("1")});
+  const UnionQuery* q = *program->FindQuery("both");
+  ASSERT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_EQ(Evaluate(*q, inst).size(), 2u);  // {1, 2}, deduplicated
+}
+
+TEST_F(QueryTest, BooleanQueryYieldsEmptyTupleWhenSatisfied) {
+  auto program = ParseOrDie(R"(
+    source A(x);
+    target Ta(x);
+    tgd A(x) -> Ta(x);
+    query any(): Ta(x);
+  )");
+  Universe& u = program->universe;
+  Instance inst(&program->schema);
+  const UnionQuery* q = *program->FindQuery("any");
+  EXPECT_TRUE(Evaluate(*q, inst).empty());
+  inst.Insert(*program->schema.Find("Ta"), {u.Constant("1")});
+  const std::vector<Tuple> answers = Evaluate(*q, inst);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_TRUE(answers[0].empty());
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,170 @@
+#include "src/core/satisfaction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+TEST(SatisfactionTest, ChaseResultIsASolution) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  ASSERT_EQ(chase->kind, ChaseResultKind::kSuccess);
+  auto report = CheckSolution(program->source, chase->target,
+                              program->mapping, &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->violation;
+}
+
+TEST(SatisfactionTest, EmptyTargetViolatesTgds) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  ConcreteInstance empty(&program->schema);
+  auto report = CheckSolution(program->source, empty, program->mapping,
+                              &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->satisfied);
+  EXPECT_NE(report->violation.find("sigma1"), std::string::npos);
+  ASSERT_TRUE(report->violation_time.has_value());
+  EXPECT_EQ(*report->violation_time, 2012u);  // first populated snapshot
+}
+
+TEST(SatisfactionTest, RemovingAFactBreaksTheSolution) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  // Drop Bob's 13k row: sigma2 is then violated during [2015, 2018).
+  ConcreteInstance damaged = chase->target;
+  const RelationId emp_plus = *program->schema.Find("Emp+");
+  Universe& u = program->universe;
+  ASSERT_TRUE(damaged.mutable_facts().Erase(
+      Fact(emp_plus, {u.Constant("Bob"), u.Constant("IBM"),
+                      u.Constant("13k"),
+                      Value::OfInterval(Interval(2015, 2018))})));
+  auto report = CheckSolution(program->source, damaged, program->mapping,
+                              &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->satisfied);
+  ASSERT_TRUE(report->violation_time.has_value());
+  EXPECT_GE(*report->violation_time, 2015u);
+  EXPECT_LT(*report->violation_time, 2018u);
+}
+
+TEST(SatisfactionTest, ExtraFactsRemainASolution) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  ConcreteInstance padded = chase->target;
+  Universe& u = program->universe;
+  const RelationId emp_plus = *program->schema.Find("Emp+");
+  ASSERT_TRUE(padded
+                  .Add(emp_plus,
+                       {u.Constant("Eve"), u.Constant("ACME"),
+                        u.Constant("5k")},
+                       Interval(2000, 2005))
+                  .ok());
+  auto report = CheckSolution(program->source, padded, program->mapping,
+                              &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied);
+}
+
+TEST(SatisfactionTest, ExtraFactsCanBreakEgds) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  ConcreteInstance padded = chase->target;
+  Universe& u = program->universe;
+  const RelationId emp_plus = *program->schema.Find("Emp+");
+  // A second salary for Ada at IBM during 2013: egd violation.
+  ASSERT_TRUE(padded
+                  .Add(emp_plus,
+                       {u.Constant("Ada"), u.Constant("IBM"),
+                        u.Constant("99k")},
+                       Interval(2013, 2014))
+                  .ok());
+  auto report = CheckSolution(program->source, padded, program->mapping,
+                              &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->satisfied);
+  EXPECT_NE(report->violation.find("e1"), std::string::npos);
+}
+
+TEST(SatisfactionTest, FragmentedSolutionStillSatisfies) {
+  // Satisfaction is semantic: fragmenting the target's facts changes
+  // nothing (the per-snapshot views are identical).
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  ConcreteInstance fragmented(&program->schema);
+  chase->target.facts().ForEach([&](const Fact& f) {
+    const Interval& iv = f.interval();
+    if (!iv.unbounded() && *iv.length() >= 2) {
+      const TimePoint mid = iv.start() + *iv.length() / 2;
+      fragmented.mutable_facts().Insert(
+          f.WithInterval(Interval(iv.start(), mid)));
+      fragmented.mutable_facts().Insert(
+          f.WithInterval(Interval(mid, iv.end())));
+    } else {
+      fragmented.mutable_facts().Insert(f);
+    }
+  });
+  auto report = CheckSolution(program->source, fragmented, program->mapping,
+                              &program->universe);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->violation;
+}
+
+TEST(SatisfactionTest, TargetTgdSolutionsChecked) {
+  auto program = ParseOrDie(R"(
+    source Flight(from, to);
+    target Reach(from, to);
+    tgd Flight(x, y) -> Reach(x, y);
+    ttgd Reach(x, y) & Reach(y, z) -> Reach(x, z);
+    fact Flight("a", "b") @ [0, 10);
+    fact Flight("b", "c") @ [0, 10);
+  )");
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  auto good = CheckSolution(program->source, chase->target, program->mapping,
+                            &program->universe);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->satisfied);
+
+  // Remove the transitive fact: the target tgd is violated.
+  ConcreteInstance damaged = chase->target;
+  const RelationId reach_plus = *program->schema.Find("Reach+");
+  Universe& u = program->universe;
+  ASSERT_TRUE(damaged.mutable_facts().Erase(
+      Fact(reach_plus, {u.Constant("a"), u.Constant("c"),
+                        Value::OfInterval(Interval(0, 10))})));
+  auto bad = CheckSolution(program->source, damaged, program->mapping,
+                           &program->universe);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->satisfied);
+  EXPECT_NE(bad->violation.find("target tgd"), std::string::npos);
+}
+
+TEST(SatisfactionTest, FuzzChaseResultsAreAlwaysSolutions) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomMappingConfig cfg;
+    cfg.seed = seed;
+    auto w = MakeRandomMappingWorkload(cfg);
+    auto chase = CChase(w->source, w->lifted, &w->universe);
+    ASSERT_TRUE(chase.ok());
+    if (chase->kind == ChaseResultKind::kFailure) continue;
+    auto report = CheckSolution(w->source, chase->target, w->mapping,
+                                &w->universe);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->satisfied)
+        << "seed=" << seed << ": " << report->violation;
+  }
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,116 @@
+#include "src/temporal/semantic_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/temporal/coalesce.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+class SemanticDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    e_plus_ = *schema_.AddRelationPair("E", {"name", "company"},
+                                       SchemaRole::kSource);
+  }
+
+  void Add(ConcreteInstance* ic, const char* n, const char* c,
+           const Interval& iv) {
+    ASSERT_TRUE(ic->Add(e_plus_, {u_.Constant(n), u_.Constant(c)}, iv).ok());
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId e_plus_ = 0;
+};
+
+TEST_F(SemanticDiffTest, IdenticalInstancesAreEqual) {
+  ConcreteInstance a(&schema_);
+  Add(&a, "Ada", "IBM", Interval(0, 5));
+  auto diff = SemanticDiff(a, a, &u_);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->equal());
+  EXPECT_TRUE(diff->ToString().empty());
+}
+
+TEST_F(SemanticDiffTest, FragmentationIsInvisible) {
+  ConcreteInstance whole(&schema_);
+  Add(&whole, "Ada", "IBM", Interval(0, 10));
+  ConcreteInstance split(&schema_);
+  Add(&split, "Ada", "IBM", Interval(0, 4));
+  Add(&split, "Ada", "IBM", Interval(4, 10));
+  auto diff = SemanticDiff(whole, split, &u_);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->equal());
+}
+
+TEST_F(SemanticDiffTest, ReportsDifferingRun) {
+  ConcreteInstance a(&schema_);
+  Add(&a, "Ada", "IBM", Interval(0, 10));
+  ConcreteInstance b(&schema_);
+  Add(&b, "Ada", "IBM", Interval(0, 6));
+  auto diff = SemanticDiff(a, b, &u_);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->spans.size(), 1u);
+  EXPECT_EQ(diff->spans[0].span, Interval(6, 10));
+  ASSERT_EQ(diff->spans[0].only_in_a.size(), 1u);
+  EXPECT_EQ(diff->spans[0].only_in_a[0], "E(Ada, IBM)");
+  EXPECT_TRUE(diff->spans[0].only_in_b.empty());
+}
+
+TEST_F(SemanticDiffTest, MergesAdjacentIdenticalSpans) {
+  // a has the fact on [0,4) and [6,10); b never — the diff spans the two
+  // runs separately (gap at [4,6) where both agree on emptiness).
+  ConcreteInstance a(&schema_);
+  Add(&a, "Ada", "IBM", Interval(0, 4));
+  Add(&a, "Ada", "IBM", Interval(6, 10));
+  ConcreteInstance b(&schema_);
+  auto diff = SemanticDiff(a, b, &u_);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->spans.size(), 2u);
+  EXPECT_EQ(diff->spans[0].span, Interval(0, 4));
+  EXPECT_EQ(diff->spans[1].span, Interval(6, 10));
+}
+
+TEST_F(SemanticDiffTest, BothDirectionsReported) {
+  ConcreteInstance a(&schema_);
+  Add(&a, "Ada", "IBM", Interval(0, 5));
+  ConcreteInstance b(&schema_);
+  Add(&b, "Ada", "Google", Interval(0, 5));
+  auto diff = SemanticDiff(a, b, &u_);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->spans.size(), 1u);
+  EXPECT_EQ(diff->spans[0].only_in_a[0], "E(Ada, IBM)");
+  EXPECT_EQ(diff->spans[0].only_in_b[0], "E(Ada, Google)");
+  const std::string report = diff->ToString();
+  EXPECT_NE(report.find("- E(Ada, IBM)"), std::string::npos);
+  EXPECT_NE(report.find("+ E(Ada, Google)"), std::string::npos);
+}
+
+TEST_F(SemanticDiffTest, UnboundedTailDifference) {
+  ConcreteInstance a(&schema_);
+  Add(&a, "Ada", "IBM", Interval::FromStart(3));
+  ConcreteInstance b(&schema_);
+  auto diff = SemanticDiff(a, b, &u_);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->spans.size(), 1u);
+  EXPECT_EQ(diff->spans[0].span, Interval::FromStart(3));
+}
+
+TEST_F(SemanticDiffTest, NormalizationAndCoalescingAreNoOpsSemantically) {
+  auto program = ::tdx::testing::ParseOrDie(::tdx::testing::kPaperProgram);
+  const ConcreteInstance normalized =
+      Normalize(program->source, program->lifted.TgdBodies());
+  const ConcreteInstance coalesced = Coalesce(program->source);
+  auto d1 = SemanticDiff(program->source, normalized, &program->universe);
+  auto d2 = SemanticDiff(program->source, coalesced, &program->universe);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(d1->equal()) << d1->ToString();
+  EXPECT_TRUE(d2->equal()) << d2->ToString();
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,151 @@
+#include "src/parser/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/align.h"
+#include "src/core/cchase.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::ParseOrDie;
+
+TEST(SerializeTest, SchemaEmitsPairsOnly) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  const std::string out = SerializeSchema(program->schema);
+  EXPECT_NE(out.find("source E(name, company);"), std::string::npos);
+  EXPECT_NE(out.find("source S(name, salary);"), std::string::npos);
+  EXPECT_NE(out.find("target Emp(name, company, salary);"),
+            std::string::npos);
+  EXPECT_EQ(out.find("E+"), std::string::npos);  // concrete side implicit
+}
+
+TEST(SerializeTest, MappingEmitsParseableDependencies) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  const std::string out =
+      SerializeMapping(program->mapping, program->schema, program->universe);
+  EXPECT_NE(out.find("tgd sigma1: E(n, c) -> exists s: Emp(n, c, s);"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("egd e1: Emp(n, c, s) & Emp(n, c, s2) -> s = s2;"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, FactsQuoteConstants) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto out = SerializeInstanceFacts(program->source, program->universe);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("fact E(\"Ada\", \"IBM\") @ [2012, 2014);"),
+            std::string::npos)
+      << *out;
+  EXPECT_NE(out->find("fact S(\"Bob\", \"13k\") @ [2015, inf);"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, InstancesWithNullsAreRejected) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto chase = CChase(program->source, program->lifted, &program->universe);
+  ASSERT_TRUE(chase.ok());
+  // The solution contains annotated nulls — not serializable as facts.
+  EXPECT_FALSE(
+      SerializeInstanceFacts(chase->target, program->universe).ok());
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto text = SerializeProgram(*program);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = ParseOrDie(*text);
+
+  EXPECT_EQ(reparsed->mapping.st_tgds.size(),
+            program->mapping.st_tgds.size());
+  EXPECT_EQ(reparsed->mapping.egds.size(), program->mapping.egds.size());
+  EXPECT_EQ(reparsed->source.size(), program->source.size());
+  EXPECT_EQ(reparsed->queries.size(), program->queries.size());
+  // Same rendered source instance (universes differ, spellings agree).
+  EXPECT_EQ(reparsed->source.facts().ToString(reparsed->universe),
+            program->source.facts().ToString(program->universe));
+}
+
+TEST(SerializeTest, RoundTripProducesSameChaseResult) {
+  auto program = ParseOrDie(testing::kPaperProgram);
+  auto text = SerializeProgram(*program);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseOrDie(*text);
+
+  auto chase1 = CChase(program->source, program->lifted, &program->universe);
+  auto chase2 =
+      CChase(reparsed->source, reparsed->lifted, &reparsed->universe);
+  ASSERT_TRUE(chase1.ok());
+  ASSERT_TRUE(chase2.ok());
+  EXPECT_EQ(chase1->kind, chase2->kind);
+  EXPECT_EQ(chase1->target.facts().ToString(program->universe),
+            chase2->target.facts().ToString(reparsed->universe));
+}
+
+TEST(SerializeTest, TemporalOperatorsRoundTrip) {
+  auto program = ParseOrDie(R"(
+    source Grad(name);
+    source Cand(name, adviser);
+    target Alum(name, adviser);
+    tgd g1: Grad(n) & once_past(Cand(n, a)) -> Alum(n, a);
+    fact Cand("ada", "turing") @ [1, 4);
+    fact Grad("ada") @ [6, inf);
+  )");
+  auto text = SerializeProgram(*program);
+  ASSERT_TRUE(text.ok()) << text.status();
+  // Operator syntax restored; closure relation and its facts omitted.
+  EXPECT_NE(text->find("once_past(Cand(n, a))"), std::string::npos) << *text;
+  EXPECT_EQ(text->find("Cand__once_past("), std::string::npos);
+  EXPECT_EQ(text->find("fact Cand__once_past"), std::string::npos);
+
+  auto reparsed = ParseOrDie(*text);
+  EXPECT_EQ(reparsed->closures.size(), 1u);
+  auto chase =
+      CChase(reparsed->source, reparsed->lifted, &reparsed->universe);
+  ASSERT_TRUE(chase.ok());
+  EXPECT_TRUE(::tdx::testing::HasConcreteFact(
+      chase->target, reparsed->universe, "Alum+", {"ada", "turing"},
+      Interval::FromStart(6)));
+}
+
+TEST(SerializeTest, TargetTgdsAndConstantsRoundTrip) {
+  auto program = ParseOrDie(R"(
+    source Flight(from, to);
+    target Reach(from, to);
+    target Kind(from, kind);
+    tgd Flight(x, y) -> Reach(x, y);
+    tgd Flight(x, "hub") -> Kind(x, "feeder");
+    ttgd tc: Reach(x, y) & Reach(y, z) -> Reach(x, z);
+    fact Flight("a", "hub") @ [0, 5);
+  )");
+  auto text = SerializeProgram(*program);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("ttgd tc:"), std::string::npos) << *text;
+  EXPECT_NE(text->find("\"feeder\""), std::string::npos);
+  auto reparsed = ParseOrDie(*text);
+  EXPECT_EQ(reparsed->mapping.target_tgds.size(), 1u);
+  EXPECT_EQ(reparsed->mapping.st_tgds.size(), 2u);
+}
+
+TEST(SerializeTest, QueriesRoundTripIncludingUnions) {
+  auto program = ParseOrDie(R"(
+    source A(x);
+    source B(x);
+    target Ta(x);
+    target Tb(x);
+    tgd A(x) -> Ta(x);
+    tgd B(x) -> Tb(x);
+    query u(x): Ta(x);
+    query u(x): Tb(x);
+  )");
+  auto text = SerializeProgram(*program);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseOrDie(*text);
+  ASSERT_EQ(reparsed->queries.size(), 1u);
+  EXPECT_EQ(reparsed->queries[0].disjuncts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,60 @@
+#include "src/common/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tdx {
+namespace {
+
+TEST(SymbolTableTest, InternReturnsStableIds) {
+  SymbolTable table;
+  const SymbolId a = table.Intern("Ada");
+  const SymbolId b = table.Intern("Bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("Ada"), a);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, SpellingRoundTrips) {
+  SymbolTable table;
+  const SymbolId id = table.Intern("IBM");
+  EXPECT_EQ(table.Spelling(id), "IBM");
+}
+
+TEST(SymbolTableTest, LookupDoesNotIntern) {
+  SymbolTable table;
+  SymbolId out = 0;
+  EXPECT_FALSE(table.Lookup("missing", &out));
+  EXPECT_EQ(table.size(), 0u);
+  const SymbolId id = table.Intern("x");
+  EXPECT_TRUE(table.Lookup("x", &out));
+  EXPECT_EQ(out, id);
+}
+
+TEST(SymbolTableTest, EmptyStringIsInternable) {
+  SymbolTable table;
+  const SymbolId id = table.Intern("");
+  EXPECT_EQ(table.Spelling(id), "");
+  EXPECT_EQ(table.Intern(""), id);
+}
+
+// Regression guard for the SSO-dangling-view hazard: ids and spellings must
+// survive heavy growth (reallocation of any backing storage).
+TEST(SymbolTableTest, SpellingsSurviveGrowth) {
+  SymbolTable table;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.Spelling(ids[i]), "sym" + std::to_string(i));
+    SymbolId out = 0;
+    ASSERT_TRUE(table.Lookup("sym" + std::to_string(i), &out));
+    EXPECT_EQ(out, ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,158 @@
+#include "src/temporal/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/temporal/coalesce.h"
+
+namespace tdx {
+namespace {
+
+TEST(TimelineTest, FromIntervalsNormalizes) {
+  const Timeline t = Timeline::FromIntervals(
+      {Interval(5, 8), Interval(1, 3), Interval(3, 5), Interval(10, 12)});
+  ASSERT_EQ(t.runs().size(), 2u);
+  EXPECT_EQ(t.runs()[0], Interval(1, 8));
+  EXPECT_EQ(t.runs()[1], Interval(10, 12));
+  EXPECT_EQ(t.ToString(), "{[1, 8), [10, 12)}");
+}
+
+TEST(TimelineTest, EmptyAndAll) {
+  const Timeline empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.ToString(), "{}");
+  EXPECT_EQ(*empty.Cardinality(), 0u);
+  EXPECT_FALSE(empty.Min().has_value());
+
+  const Timeline all = Timeline::All();
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(1u << 30));
+  EXPECT_FALSE(all.Cardinality().has_value());
+  EXPECT_EQ(all.Complement(), Timeline());
+}
+
+TEST(TimelineTest, ContainsBinarySearch) {
+  const Timeline t = Timeline::FromIntervals(
+      {Interval(1, 3), Interval(6, 9), Interval::FromStart(20)});
+  EXPECT_FALSE(t.Contains(0));
+  EXPECT_TRUE(t.Contains(1));
+  EXPECT_TRUE(t.Contains(2));
+  EXPECT_FALSE(t.Contains(3));
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_TRUE(t.Contains(8));
+  EXPECT_FALSE(t.Contains(19));
+  EXPECT_TRUE(t.Contains(20));
+  EXPECT_TRUE(t.Contains(1000000));
+}
+
+TEST(TimelineTest, CardinalityAndBounds) {
+  const Timeline t = Timeline::FromIntervals({Interval(1, 3), Interval(6, 9)});
+  EXPECT_EQ(*t.Cardinality(), 5u);
+  EXPECT_EQ(*t.Min(), 1u);
+  EXPECT_EQ(*t.Max(), 9u);
+  const Timeline open = Timeline::FromIntervals({Interval::FromStart(4)});
+  EXPECT_FALSE(open.Cardinality().has_value());
+  EXPECT_FALSE(open.Max().has_value());
+}
+
+TEST(TimelineTest, UnionIntersectDifference) {
+  const Timeline a = Timeline::FromIntervals({Interval(0, 5), Interval(8, 12)});
+  const Timeline b = Timeline::FromIntervals({Interval(3, 9)});
+  EXPECT_EQ(a.Union(b),
+            Timeline::FromIntervals({Interval(0, 12)}));
+  EXPECT_EQ(a.Intersect(b),
+            Timeline::FromIntervals({Interval(3, 5), Interval(8, 9)}));
+  EXPECT_EQ(a.Difference(b),
+            Timeline::FromIntervals({Interval(0, 3), Interval(9, 12)}));
+  EXPECT_EQ(b.Difference(a), Timeline::FromIntervals({Interval(5, 8)}));
+}
+
+TEST(TimelineTest, ComplementRoundTrips) {
+  const Timeline t = Timeline::FromIntervals(
+      {Interval(2, 4), Interval(7, 9), Interval::FromStart(15)});
+  const Timeline c = t.Complement();
+  EXPECT_EQ(c, Timeline::FromIntervals(
+                   {Interval(0, 2), Interval(4, 7), Interval(9, 15)}));
+  EXPECT_EQ(c.Complement(), t);
+  EXPECT_TRUE(t.Intersect(c).empty());
+  EXPECT_EQ(t.Union(c), Timeline::All());
+}
+
+TEST(TimelineTest, Gaps) {
+  const Timeline t = Timeline::FromIntervals(
+      {Interval(1, 3), Interval(5, 7), Interval(10, 11)});
+  EXPECT_EQ(t.Gaps(),
+            Timeline::FromIntervals({Interval(3, 5), Interval(7, 10)}));
+  EXPECT_TRUE(Timeline::FromIntervals({Interval(1, 3)}).Gaps().empty());
+  EXPECT_TRUE(Timeline().Gaps().empty());
+}
+
+TEST(TimelineTest, AddMergesInPlace) {
+  Timeline t;
+  t.Add(Interval(5, 8));
+  t.Add(Interval(1, 2));
+  t.Add(Interval(2, 5));
+  EXPECT_EQ(t, Timeline::FromIntervals({Interval(1, 8)}));
+}
+
+// Timeline as an independent oracle for coalescing: the coalesced runs of
+// one data tuple are exactly Timeline::FromIntervals of its fact intervals.
+TEST(TimelineTest, AgreesWithCoalesce) {
+  Universe u;
+  Schema schema;
+  const RelationId e_plus =
+      *schema.AddRelationPair("E", {"name"}, SchemaRole::kSource);
+  ConcreteInstance ic(&schema);
+  const std::vector<Interval> ivs = {Interval(1, 4), Interval(4, 6),
+                                     Interval(9, 12), Interval(11, 15)};
+  for (const Interval& iv : ivs) {
+    ASSERT_TRUE(ic.Add(e_plus, {u.Constant("x")}, iv).ok());
+  }
+  const ConcreteInstance coalesced = Coalesce(ic);
+  std::vector<Interval> coalesced_ivs;
+  coalesced.facts().ForEach(
+      [&](const Fact& f) { coalesced_ivs.push_back(f.interval()); });
+  std::sort(coalesced_ivs.begin(), coalesced_ivs.end());
+  EXPECT_EQ(Timeline::FromIntervals(ivs).runs(), coalesced_ivs);
+}
+
+// Property sweep: set-algebra laws on dense small universes.
+class TimelineLaws : public ::testing::TestWithParam<int> {
+ protected:
+  /// Decodes a bitmask over points 0..7 into a timeline.
+  static Timeline FromMask(int mask) {
+    std::vector<Interval> ivs;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (mask & (1 << bit)) {
+        ivs.emplace_back(static_cast<TimePoint>(bit),
+                         static_cast<TimePoint>(bit + 1));
+      }
+    }
+    return Timeline::FromIntervals(std::move(ivs));
+  }
+  static bool MaskBit(int mask, int bit) { return (mask >> bit) & 1; }
+};
+
+TEST_P(TimelineLaws, PointwiseSemantics) {
+  const int combined = GetParam();
+  const int mask_a = combined & 0xFF;
+  const int mask_b = (combined >> 8) & 0xFF;
+  const Timeline a = FromMask(mask_a);
+  const Timeline b = FromMask(mask_b);
+  const Timeline u = a.Union(b);
+  const Timeline i = a.Intersect(b);
+  const Timeline d = a.Difference(b);
+  for (int p = 0; p < 10; ++p) {
+    const bool in_a = p < 8 && MaskBit(mask_a, p);
+    const bool in_b = p < 8 && MaskBit(mask_b, p);
+    EXPECT_EQ(u.Contains(p), in_a || in_b) << p;
+    EXPECT_EQ(i.Contains(p), in_a && in_b) << p;
+    EXPECT_EQ(d.Contains(p), in_a && !in_b) << p;
+    EXPECT_EQ(a.Complement().Contains(p), !in_a) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskPairs, TimelineLaws,
+                         ::testing::Range(0, 1 << 16, 1309));
+
+}  // namespace
+}  // namespace tdx

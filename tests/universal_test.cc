@@ -1,0 +1,130 @@
+#include "src/relational/universal.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+class UniversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    emp_ = *schema_.AddRelation("Emp", {"name", "company", "salary"},
+                                SchemaRole::kTarget);
+  }
+
+  Universe u_;
+  Schema schema_;
+  RelationId emp_ = 0;
+};
+
+TEST_F(UniversalTest, IdentityHomomorphismAlwaysExists) {
+  Instance j(&schema_);
+  j.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  EXPECT_TRUE(FindInstanceHomomorphism(j, j).has_value());
+}
+
+TEST_F(UniversalTest, NullMapsToConstant) {
+  Instance j1(&schema_);
+  const Value n = u_.FreshNull();
+  j1.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), n});
+  Instance j2(&schema_);
+  j2.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  auto hom = FindInstanceHomomorphism(j1, j2);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->at(n), u_.Constant("18k"));
+  // The reverse direction does not hold: constants must map to themselves.
+  EXPECT_FALSE(FindInstanceHomomorphism(j2, j1).has_value());
+}
+
+TEST_F(UniversalTest, ConstantsArePreserved) {
+  Instance j1(&schema_);
+  j1.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  Instance j2(&schema_);
+  j2.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("20k")});
+  EXPECT_FALSE(FindInstanceHomomorphism(j1, j2).has_value());
+}
+
+TEST_F(UniversalTest, SharedNullForcesConsistentImage) {
+  // Emp(Ada, IBM, N) and Emp(Bob, IBM, N): N must map to one value.
+  Instance j1(&schema_);
+  const Value n = u_.FreshNull();
+  j1.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), n});
+  j1.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), n});
+
+  Instance j2(&schema_);
+  j2.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  j2.Insert(emp_,
+            {u_.Constant("Bob"), u_.Constant("IBM"), u_.Constant("18k")});
+  EXPECT_TRUE(FindInstanceHomomorphism(j1, j2).has_value());
+
+  Instance j3(&schema_);
+  j3.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  j3.Insert(emp_,
+            {u_.Constant("Bob"), u_.Constant("IBM"), u_.Constant("20k")});
+  EXPECT_FALSE(FindInstanceHomomorphism(j1, j3).has_value());
+}
+
+TEST_F(UniversalTest, DistinctNullsMayMapIndependently) {
+  Instance j1(&schema_);
+  j1.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  j1.Insert(emp_, {u_.Constant("Bob"), u_.Constant("IBM"), u_.FreshNull()});
+  Instance j2(&schema_);
+  j2.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  j2.Insert(emp_,
+            {u_.Constant("Bob"), u_.Constant("IBM"), u_.Constant("20k")});
+  EXPECT_TRUE(FindInstanceHomomorphism(j1, j2).has_value());
+}
+
+TEST_F(UniversalTest, NullMayMapToNull) {
+  Instance j1(&schema_);
+  j1.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  Instance j2(&schema_);
+  j2.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  EXPECT_TRUE(AreHomomorphicallyEquivalent(j1, j2));
+}
+
+TEST_F(UniversalTest, ExtraFactsInCodomainAreFine) {
+  Instance j1(&schema_);
+  j1.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.FreshNull()});
+  Instance j2(&schema_);
+  j2.Insert(emp_,
+            {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k")});
+  j2.Insert(emp_,
+            {u_.Constant("Eve"), u_.Constant("ACME"), u_.Constant("5k")});
+  EXPECT_TRUE(FindInstanceHomomorphism(j1, j2).has_value());
+  EXPECT_FALSE(FindInstanceHomomorphism(j2, j1).has_value());
+  EXPECT_FALSE(AreHomomorphicallyEquivalent(j1, j2));
+}
+
+TEST_F(UniversalTest, EmptyInstanceMapsAnywhere) {
+  Instance empty(&schema_);
+  Instance j(&schema_);
+  j.Insert(emp_, {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("1k")});
+  EXPECT_TRUE(FindInstanceHomomorphism(empty, j).has_value());
+  EXPECT_FALSE(FindInstanceHomomorphism(j, empty).has_value());
+}
+
+TEST_F(UniversalTest, AnnotatedNullsActAsNulls) {
+  auto ep = schema_.AddTemporalRelation("Emp+", {"name", "company", "salary"},
+                                        SchemaRole::kTarget);
+  ASSERT_TRUE(ep.ok());
+  Instance j1(&schema_);
+  const Value n = u_.FreshAnnotatedNull(Interval(1, 5));
+  j1.Insert(*ep, {u_.Constant("Ada"), u_.Constant("IBM"), n,
+                  Value::OfInterval(Interval(1, 5))});
+  Instance j2(&schema_);
+  j2.Insert(*ep, {u_.Constant("Ada"), u_.Constant("IBM"), u_.Constant("18k"),
+                  Value::OfInterval(Interval(1, 5))});
+  auto hom = FindInstanceHomomorphism(j1, j2);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->at(n), u_.Constant("18k"));
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,147 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tdx {
+namespace {
+
+TEST(ValueTest, ConstantIdentity) {
+  Universe u;
+  const Value ada1 = u.Constant("Ada");
+  const Value ada2 = u.Constant("Ada");
+  const Value bob = u.Constant("Bob");
+  EXPECT_EQ(ada1, ada2);
+  EXPECT_NE(ada1, bob);
+  EXPECT_TRUE(ada1.is_constant());
+  EXPECT_FALSE(ada1.is_any_null());
+}
+
+TEST(ValueTest, FreshNullsAreDistinct) {
+  Universe u;
+  const Value n1 = u.FreshNull();
+  const Value n2 = u.FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.is_null());
+  EXPECT_TRUE(n1.is_any_null());
+  EXPECT_FALSE(n1.is_annotated_null());
+}
+
+TEST(ValueTest, AnnotatedNullIdentityIncludesAnnotation) {
+  Universe u;
+  const Value n = u.FreshAnnotatedNull(Interval(0, 5));
+  const Value same(Value::AnnotatedNull(n.null_id(), Interval(0, 5)));
+  const Value other_span(Value::AnnotatedNull(n.null_id(), Interval(0, 3)));
+  EXPECT_EQ(n, same);
+  EXPECT_NE(n, other_span);
+  EXPECT_TRUE(n.is_annotated_null());
+  EXPECT_TRUE(n.is_any_null());
+}
+
+TEST(ValueTest, ReannotatedKeepsNullId) {
+  Universe u;
+  const Value n = u.FreshAnnotatedNull(Interval(0, 5));
+  const Value frag = n.Reannotated(Interval(0, 2));
+  EXPECT_EQ(frag.null_id(), n.null_id());
+  EXPECT_EQ(frag.interval(), Interval(0, 2));
+}
+
+TEST(ValueTest, IntervalValues) {
+  const Value iv = Value::OfInterval(Interval(3, 7));
+  EXPECT_TRUE(iv.is_interval());
+  EXPECT_EQ(iv.interval(), Interval(3, 7));
+  EXPECT_EQ(iv, Value::OfInterval(Interval(3, 7)));
+  EXPECT_NE(iv, Value::OfInterval(Interval(3, 8)));
+}
+
+TEST(ValueTest, KindsNeverCompareEqual) {
+  Universe u;
+  const Value c = u.Constant("x");
+  const Value n = u.FreshNull();
+  const Value a = u.FreshAnnotatedNull(Interval(0, 1));
+  const Value iv = Value::OfInterval(Interval(0, 1));
+  EXPECT_NE(c, n);
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, iv);
+  EXPECT_NE(n, a);
+  EXPECT_NE(n, iv);
+  EXPECT_NE(a, iv);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Universe u;
+  ValueHash hash;
+  const Value a1 = u.Constant("Ada");
+  const Value a2 = u.Constant("Ada");
+  EXPECT_EQ(hash(a1), hash(a2));
+  const Value n = u.FreshAnnotatedNull(Interval(2, 9));
+  EXPECT_EQ(hash(n), hash(Value::AnnotatedNull(n.null_id(), Interval(2, 9))));
+}
+
+// Section 4.1: proj_l(N^[s,e)) = N_l — deterministic, distinct per l, and
+// annotation-independent for fragments of the same null.
+TEST(ProjectionTest, DeterministicPerTimePoint) {
+  Universe u;
+  const Value n = u.FreshAnnotatedNull(Interval(8, kTimeInfinity));
+  const Value n8a = u.ProjectNull(n, 8);
+  const Value n8b = u.ProjectNull(n, 8);
+  const Value n9 = u.ProjectNull(n, 9);
+  EXPECT_EQ(n8a, n8b);
+  EXPECT_NE(n8a, n9);
+  EXPECT_TRUE(n8a.is_null());
+}
+
+TEST(ProjectionTest, FragmentsProjectOntoSameSequence) {
+  Universe u;
+  const Value n = u.FreshAnnotatedNull(Interval(0, 10));
+  const Value left = n.Reannotated(Interval(0, 5));
+  const Value right = n.Reannotated(Interval(5, 10));
+  EXPECT_EQ(u.ProjectNull(left, 4), u.ProjectNull(n, 4));
+  EXPECT_EQ(u.ProjectNull(right, 7), u.ProjectNull(n, 7));
+}
+
+TEST(ProjectionTest, DistinctNullsProjectDistinctly) {
+  Universe u;
+  const Value n = u.FreshAnnotatedNull(Interval(0, 10));
+  const Value m = u.FreshAnnotatedNull(Interval(0, 10));
+  EXPECT_NE(u.ProjectNull(n, 3), u.ProjectNull(m, 3));
+}
+
+TEST(RenderTest, RendersEveryKind) {
+  Universe u;
+  EXPECT_EQ(u.Render(u.Constant("Ada")), "Ada");
+  const Value n = u.FreshNull("N");
+  EXPECT_EQ(u.Render(n), "N");
+  const Value m = u.FreshAnnotatedNull("M", Interval(8, kTimeInfinity));
+  EXPECT_EQ(u.Render(m), "M^[8, inf)");
+  EXPECT_EQ(u.Render(Value::OfInterval(Interval(1, 2))), "[1, 2)");
+}
+
+TEST(RenderTest, GeneratedNullNames) {
+  Universe u;
+  const Value n0 = u.FreshNull();
+  const Value n1 = u.FreshNull();
+  EXPECT_EQ(u.Render(n0), "N0");
+  EXPECT_EQ(u.Render(n1), "N1");
+}
+
+TEST(RenderTest, ProjectedNullNameMentionsTimePoint) {
+  Universe u;
+  const Value m = u.FreshAnnotatedNull("M", Interval(3, 6));
+  EXPECT_EQ(u.Render(u.ProjectNull(m, 4)), "M_4");
+}
+
+TEST(ValueOrderTest, TotalOrderIsStrict) {
+  Universe u;
+  std::vector<Value> values = {
+      u.Constant("b"), u.Constant("a"), u.FreshNull(),
+      u.FreshAnnotatedNull(Interval(0, 2)), Value::OfInterval(Interval(1, 4)),
+  };
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_TRUE(values[i - 1] < values[i] || values[i - 1] == values[i]);
+    EXPECT_FALSE(values[i] < values[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,102 @@
+#include "src/gen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cchase.h"
+
+namespace tdx {
+namespace {
+
+TEST(EmploymentWorkloadTest, ProducesValidCompleteSource) {
+  auto w = MakeEmploymentWorkload(
+      EmploymentConfig{.num_people = 20, .num_companies = 4, .avg_jobs = 3,
+                       .horizon = 60, .salary_known_fraction = 0.5,
+                       .inject_conflict = false, .seed = 7});
+  EXPECT_TRUE(w->source.Validate().ok());
+  EXPECT_TRUE(w->source.IsComplete());
+  EXPECT_GT(w->source.size(), 20u);
+  EXPECT_TRUE(ValidateMapping(w->mapping, w->schema).ok());
+  EXPECT_EQ(w->lifted.st_tgds.size(), 2u);
+  EXPECT_EQ(w->lifted.egds.size(), 1u);
+}
+
+TEST(EmploymentWorkloadTest, DeterministicForFixedSeed) {
+  const EmploymentConfig cfg{.num_people = 10, .num_companies = 3,
+                             .avg_jobs = 2, .horizon = 40,
+                             .salary_known_fraction = 0.5,
+                             .inject_conflict = false, .seed = 11};
+  auto w1 = MakeEmploymentWorkload(cfg);
+  auto w2 = MakeEmploymentWorkload(cfg);
+  EXPECT_EQ(w1->source.size(), w2->source.size());
+}
+
+TEST(EmploymentWorkloadTest, DifferentSeedsDiffer) {
+  EmploymentConfig cfg{.num_people = 10, .num_companies = 3, .avg_jobs = 2,
+                       .horizon = 40, .salary_known_fraction = 0.5,
+                       .inject_conflict = false, .seed = 11};
+  auto w1 = MakeEmploymentWorkload(cfg);
+  cfg.seed = 12;
+  auto w2 = MakeEmploymentWorkload(cfg);
+  // Extremely likely to differ in size or content.
+  EXPECT_NE(w1->source.facts().ToString(w1->universe),
+            w2->source.facts().ToString(w2->universe));
+}
+
+TEST(EmploymentWorkloadTest, ConflictInjectionCanFailChase) {
+  // With conflicts injected, at least one seed in a small range must
+  // produce a failing chase (two salaries for one employment span).
+  bool saw_failure = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !saw_failure; ++seed) {
+    auto w = MakeEmploymentWorkload(
+        EmploymentConfig{.num_people = 20, .num_companies = 3, .avg_jobs = 3,
+                         .horizon = 50, .salary_known_fraction = 0.9,
+                         .inject_conflict = true, .seed = seed});
+    auto outcome = CChase(w->source, w->lifted, &w->universe);
+    ASSERT_TRUE(outcome.ok());
+    saw_failure = (outcome->kind == ChaseResultKind::kFailure);
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(WorstCaseWorkloadTest, AllIntervalsPairwiseOverlap) {
+  auto w = MakeWorstCaseNormalizationWorkload(10);
+  EXPECT_EQ(w->source.size(), 10u);
+  std::vector<Interval> ivs;
+  w->source.facts().ForEach(
+      [&](const Fact& f) { ivs.push_back(f.interval()); });
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    for (std::size_t j = i + 1; j < ivs.size(); ++j) {
+      EXPECT_TRUE(ivs[i].Overlaps(ivs[j]));
+    }
+  }
+}
+
+TEST(RandomWorkloadTest, RespectsConfigBounds) {
+  RandomConfig cfg;
+  cfg.num_facts = 100;
+  cfg.horizon = 30;
+  cfg.max_interval_length = 5;
+  cfg.unbounded_probability = 0.0;
+  cfg.seed = 3;
+  auto w = MakeRandomWorkload(cfg);
+  EXPECT_LE(w->source.size(), 100u);  // duplicates may collapse
+  EXPECT_GT(w->source.size(), 50u);
+  w->source.facts().ForEach([&](const Fact& f) {
+    EXPECT_LT(f.interval().start(), 30u);
+    ASSERT_TRUE(f.interval().length().has_value());
+    EXPECT_LE(*f.interval().length(), 5u);
+  });
+}
+
+TEST(RandomWorkloadTest, UnboundedProbabilityOneGivesAllUnbounded) {
+  RandomConfig cfg;
+  cfg.num_facts = 20;
+  cfg.unbounded_probability = 1.0;
+  cfg.seed = 5;
+  auto w = MakeRandomWorkload(cfg);
+  w->source.facts().ForEach(
+      [&](const Fact& f) { EXPECT_TRUE(f.interval().unbounded()); });
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,255 @@
+// tdx command-line interface.
+//
+// Reads a tdx program file (schemas, mapping, facts, queries — see
+// src/parser/parser.h for the format) and runs one of:
+//
+//   tdx_cli chase <file>           c-chase; print the concrete solution
+//   tdx_cli normalize <file>       print norm(Ic, lhs(Sigma_st)) and the
+//                                  naive normalization side by side
+//   tdx_cli abstract <file>        print the abstract view of the source
+//   tdx_cli query <file> <name>    certain answers for the named query
+//   tdx_cli verify <file>          check Corollary 20 on the instance
+//   tdx_cli core <file>            c-chase, then the core of the solution
+//   tdx_cli snapshots <file> <l..> print target snapshots at time points
+//   tdx_cli emit <file>            re-emit the parsed program (round-trip)
+//   tdx_cli possible <file> <q> <l> possible answers of query q at time l
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/align.h"
+#include "src/core/certain.h"
+#include "src/core/naive_eval.h"
+#include "src/core/normalize.h"
+#include "src/core/possible.h"
+#include "src/core/satisfaction.h"
+#include "src/core/solution_core.h"
+#include "src/parser/parser.h"
+#include "src/parser/serialize.h"
+#include "src/parser/printer.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/snapshot.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: tdx_cli <command> <program-file> [args]\n"
+         "commands:\n"
+         "  chase      run the c-chase and print the concrete solution\n"
+         "  normalize  print Algorithm-1 and naive normalizations\n"
+         "  abstract   print the abstract view of the source\n"
+         "  query      certain answers: tdx_cli query <file> <query-name>\n"
+         "  verify     check Corollary 20 (c-chase vs abstract chase)\n"
+         "  core       c-chase, then the core of the solution\n"
+         "  snapshots  print target snapshots: tdx_cli snapshots <file> <l>...\n"
+         "  emit       re-emit the parsed program in the text format\n"
+         "  possible   possible answers: tdx_cli possible <file> <q> <l>\n";
+  return EXIT_FAILURE;
+}
+
+tdx::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return tdx::Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RunChase(tdx::ParsedProgram& program, bool with_core) {
+  auto chase =
+      tdx::CChase(program.source, program.lifted, &program.universe);
+  if (!chase.ok()) {
+    std::cerr << chase.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (chase->kind == tdx::ChaseResultKind::kFailure) {
+    std::cout << "NO SOLUTION: " << chase->failure_reason << "\n";
+    return EXIT_FAILURE;
+  }
+  if (with_core) {
+    tdx::CoreStats stats;
+    const tdx::ConcreteInstance core =
+        tdx::ComputeConcreteCore(chase->target, &stats);
+    std::cout << tdx::RenderConcreteInstance(core, program.universe);
+    std::cout << "(core: removed " << stats.facts_removed << " of "
+              << chase->target.size() << " facts)\n";
+  } else {
+    std::cout << tdx::RenderConcreteInstance(chase->target, program.universe);
+  }
+  return EXIT_SUCCESS;
+}
+
+int RunNormalize(tdx::ParsedProgram& program) {
+  tdx::NormalizeStats alg, naive;
+  const tdx::ConcreteInstance by_alg =
+      tdx::Normalize(program.source, program.lifted.TgdBodies(), &alg);
+  const tdx::ConcreteInstance by_naive =
+      tdx::NaiveNormalize(program.source, &naive);
+  std::cout << "--- norm(Ic, lhs(Sigma_st)), " << alg.output_facts
+            << " facts ---\n"
+            << tdx::RenderConcreteInstance(by_alg, program.universe)
+            << "\n--- naive normalization, " << naive.output_facts
+            << " facts ---\n"
+            << tdx::RenderConcreteInstance(by_naive, program.universe);
+  return EXIT_SUCCESS;
+}
+
+int RunAbstract(tdx::ParsedProgram& program) {
+  auto ia = tdx::AbstractInstance::FromConcrete(program.source);
+  if (!ia.ok()) {
+    std::cerr << ia.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << tdx::RenderAbstractInstance(*ia, program.universe);
+  return EXIT_SUCCESS;
+}
+
+int RunQuery(tdx::ParsedProgram& program, const std::string& name) {
+  auto query = program.FindQuery(name);
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto lifted = tdx::LiftUnionQuery(**query, program.schema);
+  if (!lifted.ok()) {
+    std::cerr << lifted.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto result = tdx::CertainAnswers(*lifted, program.source, program.lifted,
+                                    &program.universe);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (result->chase_kind == tdx::ChaseResultKind::kFailure) {
+    std::cout << "NO SOLUTION\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << tdx::RenderAnswers(result->answers, program.universe);
+  return EXIT_SUCCESS;
+}
+
+int RunVerify(tdx::ParsedProgram& program) {
+  // Independent oracle first: the c-chase result must satisfy the mapping.
+  auto chase =
+      tdx::CChase(program.source, program.lifted, &program.universe);
+  if (chase.ok() && chase->kind == tdx::ChaseResultKind::kSuccess) {
+    auto sat = tdx::CheckSolution(program.source, chase->target,
+                                  program.mapping, &program.universe);
+    if (!sat.ok()) {
+      std::cerr << sat.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "target satisfies the mapping: "
+              << (sat->satisfied ? "yes" : ("NO (" + sat->violation + ")"))
+              << "\n";
+  }
+  auto report = tdx::VerifyCorollary20(program.source, program.mapping,
+                                       program.lifted, &program.universe);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "chase outcomes agree: "
+            << (report->outcome_agreed ? "yes" : "NO") << "\n";
+  if (report->forward_checked) {
+    std::cout << "[[c-chase(Ic)]] -> chase([[Ic]]): "
+              << (report->forward ? "yes" : "NO") << "\n"
+              << "chase([[Ic]]) -> [[c-chase(Ic)]]: "
+              << (report->backward ? "yes" : "NO") << "\n";
+  }
+  std::cout << (report->aligned() ? "ALIGNED (Corollary 20 verified)"
+                                  : "MISALIGNED")
+            << "\n";
+  return report->aligned() ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int RunSnapshots(tdx::ParsedProgram& program, int argc, char** argv) {
+  auto chase =
+      tdx::CChase(program.source, program.lifted, &program.universe);
+  if (!chase.ok() || chase->kind == tdx::ChaseResultKind::kFailure) {
+    std::cerr << "chase failed\n";
+    return EXIT_FAILURE;
+  }
+  auto ja = tdx::AbstractInstance::FromConcrete(chase->target);
+  if (!ja.ok()) {
+    std::cerr << ja.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  for (int i = 3; i < argc; ++i) {
+    const tdx::TimePoint l = std::stoull(argv[i]);
+    std::cout << "--- db_" << l << " ---\n"
+              << tdx::RenderInstanceTables(ja->At(l, &program.universe),
+                                           program.universe);
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  auto text = ReadFile(argv[2]);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto parsed = tdx::ParseProgram(*text);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  tdx::ParsedProgram& program = **parsed;
+
+  if (command == "chase") return RunChase(program, /*with_core=*/false);
+  if (command == "core") return RunChase(program, /*with_core=*/true);
+  if (command == "normalize") return RunNormalize(program);
+  if (command == "abstract") return RunAbstract(program);
+  if (command == "verify") return RunVerify(program);
+  if (command == "query") {
+    if (argc < 4) return Usage();
+    return RunQuery(program, argv[3]);
+  }
+  if (command == "snapshots") return RunSnapshots(program, argc, argv);
+  if (command == "possible") {
+    if (argc < 5) return Usage();
+    auto chase =
+        tdx::CChase(program.source, program.lifted, &program.universe);
+    if (!chase.ok() || chase->kind == tdx::ChaseResultKind::kFailure) {
+      std::cerr << "chase failed\n";
+      return EXIT_FAILURE;
+    }
+    auto query = program.FindQuery(argv[3]);
+    if (!query.ok()) {
+      std::cerr << query.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    auto answers = tdx::PossibleAnswersAt(**query, chase->target,
+                                          std::stoull(argv[4]),
+                                          &program.universe);
+    if (!answers.ok()) {
+      std::cerr << answers.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << tdx::RenderAnswers(*answers, program.universe);
+    return EXIT_SUCCESS;
+  }
+  if (command == "emit") {
+    auto emitted = tdx::SerializeProgram(program);
+    if (!emitted.ok()) {
+      std::cerr << emitted.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << *emitted;
+    return EXIT_SUCCESS;
+  }
+  return Usage();
+}
