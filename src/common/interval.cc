@@ -4,6 +4,15 @@
 
 namespace tdx {
 
+Result<Interval> Interval::Make(TimePoint start, TimePoint end) {
+  if (start >= end) {
+    return Status::InvalidArgument("empty interval [" +
+                                   TimePointToString(start) + ", " +
+                                   TimePointToString(end) + ")");
+  }
+  return Interval(start, end);
+}
+
 std::optional<Interval> Interval::Intersect(const Interval& other) const {
   const TimePoint s = std::max(start_, other.start_);
   const TimePoint e = std::min(end_, other.end_);

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace tdx {
 
 /// A discrete time point; the domain is N0.
@@ -34,12 +36,22 @@ inline constexpr TimePoint kTimeInfinity = UINT64_MAX;
 ///
 /// Invariant: start < end (empty intervals are not representable; the paper
 /// never produces them and forbidding them removes a class of bugs).
+///
+/// The asserting constructor is for internal trusted callers, where the
+/// invariant is established by the algebra (the assert vanishes in release
+/// builds). Code handling *untrusted* endpoints — the parser and any other
+/// deserialization boundary — must go through the checked factory Make(), so
+/// malformed input can never construct an empty interval in a release build.
 class Interval {
  public:
-  /// Constructs [start, end). Asserts non-emptiness.
+  /// Constructs [start, end). Asserts non-emptiness; trusted callers only.
   constexpr Interval(TimePoint start, TimePoint end) : start_(start), end_(end) {
     assert(start < end && "Interval must be non-empty");
   }
+
+  /// Checked factory for untrusted endpoints: InvalidArgument when the
+  /// interval would be empty (start >= end).
+  static Result<Interval> Make(TimePoint start, TimePoint end);
 
   /// Constructs [start, inf).
   static constexpr Interval FromStart(TimePoint start) {

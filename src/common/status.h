@@ -10,6 +10,14 @@
 // no solution exists) is NOT a Status error: it is a first-class outcome of
 // the chase (see relational/chase.h). Status errors are reserved for misuse
 // of the API (malformed schemas, arity mismatches, parse errors, ...).
+//
+// Resource-governed runs add a third leg to that taxonomy: an engine that
+// exhausts its ChaseLimits budget (common/resource.h) *aborts* — surfaced
+// as ChaseResultKind::kAborted with partial stats when an outcome struct is
+// in play, or as kResourceExhausted / kDeadlineExceeded when only a Status
+// can be returned. The full Status-vs-outcome-vs-abort trichotomy is
+// documented in docs/INTERNALS.md ("Resource governance & failure
+// taxonomy").
 
 #ifndef TDX_COMMON_STATUS_H_
 #define TDX_COMMON_STATUS_H_
@@ -32,6 +40,8 @@ enum class StatusCode {
   kAlreadyExists,    ///< duplicate registration (relation, attribute, ...)
   kParseError,       ///< text-format parsing failed
   kInternal,         ///< invariant violation inside the library
+  kResourceExhausted,  ///< a ChaseLimits count budget was exhausted
+  kDeadlineExceeded,   ///< a ChaseLimits wall-clock deadline passed
 };
 
 /// Renders a StatusCode as a stable, human-readable token.
@@ -61,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

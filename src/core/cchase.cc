@@ -56,19 +56,27 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   TDX_RETURN_IF_ERROR(resolve_temporal(lifted.st_tgds));
   TDX_RETURN_IF_ERROR(resolve_temporal(lifted.target_tgds));
 
-  CChaseOutcome outcome{ChaseResultKind::kSuccess,
-                        ConcreteInstance(&source.schema()),
-                        ConcreteInstance(&source.schema()),
-                        ChaseStats{},
-                        NormalizeStats{},
-                        NormalizeStats{},
-                        ""};
+  CChaseOutcome outcome(ConcreteInstance(&source.schema()),
+                        ConcreteInstance(&source.schema()));
+
+  // One guard governs all four phases; any trip unwinds to here and is
+  // reported as kAborted with whatever stats accrued.
+  ResourceGuard guard(options.limits);
+  const auto aborted = [&]() {
+    outcome.kind = ChaseResultKind::kAborted;
+    outcome.abort_dimension = guard.dimension();
+    outcome.abort_reason = guard.reason();
+    return outcome;
+  };
 
   // ---- Step 1: normalize the source w.r.t. lhs(Sigma+st) ----------------
+  if (!guard.PokeFault("cchase/normalize-source")) return aborted();
   outcome.normalized_source =
       options.use_naive_normalizer
-          ? NaiveNormalize(source, &outcome.source_norm_stats)
-          : Normalize(source, lifted.TgdBodies(), &outcome.source_norm_stats);
+          ? NaiveNormalize(source, &outcome.source_norm_stats, &guard)
+          : Normalize(source, lifted.TgdBodies(), &outcome.source_norm_stats,
+                      &guard);
+  if (guard.tripped()) return aborted();
 
   // ---- Step 2: s-t tgd c-chase steps -------------------------------------
   // The fresh-null factory annotates with h(t), resolved per dependency.
@@ -82,9 +90,11 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     return universe->FreshAnnotatedNull(t_value.interval());
   };
 
+  if (!guard.PokeFault("cchase/tgd-phase")) return aborted();
   Instance target(&source.schema());
   TgdPhase(outcome.normalized_source.facts(), &target, lifted.st_tgds, fresh,
-           &outcome.stats);
+           &outcome.stats, &guard);
+  if (guard.tripped()) return aborted();
 
   // ---- Steps 3+4: normalize the target, then fire target tgds and egds to
   // a joint fixpoint. Target-tgd heads inherit their trigger's interval, so
@@ -93,41 +103,56 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   // tgds) passes through this loop exactly once.
   ConcreteInstance concrete_target(std::move(target));
   TDX_RETURN_IF_ERROR(concrete_target.Validate());
+  // From here on an abort can preserve the partial target for diagnosis.
+  const auto aborted_with_target = [&]() {
+    outcome.target = std::move(concrete_target);
+    return aborted();
+  };
   std::vector<Conjunction> target_phis = lifted.TargetTgdBodies();
   {
     const std::vector<Conjunction> egd_phis = lifted.EgdBodies();
     target_phis.insert(target_phis.end(), egd_phis.begin(), egd_phis.end());
   }
-  std::size_t guard = 0;
-  while (true) {
+  const auto normalize_target = [&]() {
     concrete_target =
         options.use_naive_normalizer
-            ? NaiveNormalize(concrete_target, &outcome.target_norm_stats)
+            ? NaiveNormalize(concrete_target, &outcome.target_norm_stats,
+                             &guard)
             : Normalize(concrete_target, target_phis,
-                        &outcome.target_norm_stats);
+                        &outcome.target_norm_stats, &guard);
+  };
+  std::size_t rounds = 0;
+  while (true) {
+    if (!guard.PokeFault("cchase/normalize-target") || !guard.CheckDeadline()) {
+      return aborted_with_target();
+    }
+    normalize_target();
+    if (guard.tripped()) return aborted_with_target();
     bool fired = false;
     while (TargetTgdRound(&concrete_target.mutable_facts(),
-                          lifted.target_tgds, fresh, &outcome.stats)) {
+                          lifted.target_tgds, fresh, &outcome.stats, &guard)) {
       fired = true;
-      if (++guard > 100000) {
+      if (guard.tripped()) return aborted_with_target();
+      if (++rounds > 100000) {
         return Status::Internal(
             "target-tgd c-chase exceeded its iteration budget");
       }
     }
+    if (guard.tripped()) return aborted_with_target();
     if (fired) {
       // New facts may need fragmenting before the egds can see them.
-      concrete_target =
-          options.use_naive_normalizer
-              ? NaiveNormalize(concrete_target, &outcome.target_norm_stats)
-              : Normalize(concrete_target, target_phis,
-                          &outcome.target_norm_stats);
+      normalize_target();
+      if (guard.tripped()) return aborted_with_target();
     }
+    if (!guard.PokeFault("cchase/egd-fixpoint")) return aborted_with_target();
     const std::size_t egd_before = outcome.stats.egd_steps;
     outcome.kind = EgdFixpoint(&concrete_target.mutable_facts(), lifted.egds,
-                               &outcome.stats, &outcome.failure_reason);
+                               &outcome.stats, &outcome.failure_reason,
+                               &guard);
     if (outcome.kind == ChaseResultKind::kFailure) break;
+    if (outcome.kind == ChaseResultKind::kAborted) return aborted_with_target();
     if (!fired && outcome.stats.egd_steps == egd_before) break;
-    if (++guard > 100000) {
+    if (++rounds > 100000) {
       return Status::Internal("c-chase exceeded its iteration budget");
     }
   }

@@ -42,18 +42,33 @@ struct CChaseOptions {
   /// steps. Algorithm 1 by default; the naive normalizer is exposed for the
   /// ablation benchmarks.
   bool use_naive_normalizer = false;
+  /// Resource budget for the whole run (all four phases share one guard).
+  /// Unlimited by default. Exhaustion yields kind == kAborted with partial
+  /// stats and the exhausted dimension; rerunning the same source with a
+  /// larger budget yields the identical solution.
+  ChaseLimits limits;
 };
 
 struct CChaseOutcome {
+  CChaseOutcome(ConcreteInstance normalized_source_in,
+                ConcreteInstance target_in)
+      : normalized_source(std::move(normalized_source_in)),
+        target(std::move(target_in)) {}
+
   ChaseResultKind kind = ChaseResultKind::kSuccess;
   /// The source after step 1 (useful to inspect; Figure 5 of the paper).
   ConcreteInstance normalized_source;
-  /// The concrete solution (valid iff kind == kSuccess).
+  /// The concrete solution (valid iff kind == kSuccess). On kAborted it
+  /// holds whatever was materialized before the budget ran out — NEVER a
+  /// solution.
   ConcreteInstance target;
   ChaseStats stats;
   NormalizeStats source_norm_stats;
   NormalizeStats target_norm_stats;
   std::string failure_reason;
+  /// The exhausted budget dimension and its description when kAborted.
+  ResourceDimension abort_dimension = ResourceDimension::kNone;
+  std::string abort_reason;
 };
 
 /// Runs the c-chase. `lifted` must be a mapping over concrete (temporal)

@@ -7,28 +7,33 @@ namespace tdx {
 Result<CertainAnswersResult> CertainAnswers(const UnionQuery& lifted_query,
                                             const ConcreteInstance& source,
                                             const Mapping& lifted_mapping,
-                                            Universe* universe) {
+                                            Universe* universe,
+                                            const ChaseLimits& limits) {
+  CChaseOptions options;
+  options.limits = limits;
   TDX_ASSIGN_OR_RETURN(CChaseOutcome chase,
-                       CChase(source, lifted_mapping, universe));
+                       CChase(source, lifted_mapping, universe, options));
   CertainAnswersResult result;
   result.chase_kind = chase.kind;
-  if (chase.kind == ChaseResultKind::kFailure) return result;
-  TDX_ASSIGN_OR_RETURN(result.answers,
-                       NaiveEvaluateConcrete(lifted_query, chase.target));
+  // A failed OR aborted chase yields no target to evaluate; the kind tells
+  // the caller which (kAborted answers are not certain, just absent).
+  if (chase.kind != ChaseResultKind::kSuccess) return result;
+  TDX_ASSIGN_OR_RETURN(
+      result.answers, NaiveEvaluateConcrete(lifted_query, chase.target, limits));
   return result;
 }
 
 Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
                                               const ConcreteInstance& source,
                                               const Mapping& mapping,
-                                              TimePoint l,
-                                              Universe* universe) {
+                                              TimePoint l, Universe* universe,
+                                              const ChaseLimits& limits) {
   TDX_ASSIGN_OR_RETURN(Instance snapshot, SnapshotAt(source, l, universe));
   TDX_ASSIGN_OR_RETURN(ChaseOutcome chase,
-                       ChaseSnapshot(snapshot, mapping, universe));
+                       ChaseSnapshot(snapshot, mapping, universe, limits));
   CertainAnswersResult result;
   result.chase_kind = chase.kind;
-  if (chase.kind == ChaseResultKind::kFailure) return result;
+  if (chase.kind != ChaseResultKind::kSuccess) return result;
   result.answers = DropTuplesWithNulls(Evaluate(query, chase.target));
   return result;
 }

@@ -27,17 +27,20 @@ namespace tdx {
 struct CertainAnswersResult {
   /// kFailure means no solution exists; then certain answers are trivially
   /// "everything" (the paper leaves this case to convention) and `answers`
-  /// is empty.
+  /// is empty. kAborted means the chase ran out of budget — `answers` is
+  /// empty and MUST NOT be interpreted as certain.
   ChaseResultKind chase_kind = ChaseResultKind::kSuccess;
   std::vector<Tuple> answers;
 };
 
 /// certain(q, [[Ic]], M) as temporal tuples: runs the c-chase of `source`
 /// under `lifted` and naive-evaluates the lifted query on the result.
+/// `limits` governs both the chase and the evaluation's normalization.
 Result<CertainAnswersResult> CertainAnswers(const UnionQuery& lifted_query,
                                             const ConcreteInstance& source,
                                             const Mapping& lifted_mapping,
-                                            Universe* universe);
+                                            Universe* universe,
+                                            const ChaseLimits& limits = {});
 
 /// Test oracle: certain answers of the non-temporal `query` on the snapshot
 /// db_l of [[source]] under the non-temporal `mapping`, computed as naive
@@ -45,7 +48,8 @@ Result<CertainAnswersResult> CertainAnswers(const UnionQuery& lifted_query,
 Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
                                               const ConcreteInstance& source,
                                               const Mapping& mapping,
-                                              TimePoint l, Universe* universe);
+                                              TimePoint l, Universe* universe,
+                                              const ChaseLimits& limits = {});
 
 }  // namespace tdx
 

@@ -9,12 +9,17 @@
 namespace tdx {
 
 Result<std::vector<Tuple>> NaiveEvaluateConcrete(const UnionQuery& lifted,
-                                                 const ConcreteInstance& jc) {
+                                                 const ConcreteInstance& jc,
+                                                 const ChaseLimits& limits) {
   TDX_RETURN_IF_ERROR(lifted.Validate());
+  ResourceGuard guard(limits);
   std::vector<Tuple> out;
   for (const ConjunctiveQuery& q : lifted.disjuncts) {
+    TDX_FAULT_POINT("naive-eval/normalize");
     // Step 1: normalize Jc w.r.t. the disjunct's body.
-    const ConcreteInstance normalized = Normalize(jc, {q.body});
+    const ConcreteInstance normalized = Normalize(jc, {q.body}, nullptr,
+                                                  &guard);
+    if (guard.tripped()) return guard.ToStatus();
 
     // Steps 2-4: the paper replaces each annotated null with a fresh
     // constant c_{N,[s,e)}, evaluates, and drops tuples containing fresh

@@ -18,6 +18,7 @@
 #ifndef TDX_CORE_NAIVE_EVAL_H_
 #define TDX_CORE_NAIVE_EVAL_H_
 
+#include "src/common/resource.h"
 #include "src/core/query.h"
 #include "src/temporal/abstract_instance.h"
 #include "src/temporal/concrete_instance.h"
@@ -28,8 +29,14 @@ namespace tdx {
 /// Answers are (k+1)-tuples ending in an interval value. Deduplicated and
 /// sorted; note that answers are NOT coalesced (adjacent intervals with the
 /// same data values may both appear, mirroring the paper's definition).
+///
+/// `limits` bounds the per-disjunct normalization pass and the wall clock;
+/// exhaustion returns kResourceExhausted / kDeadlineExceeded (evaluation has
+/// no partial-outcome struct, so the abort is a Status). Fault site:
+/// "naive-eval/normalize".
 Result<std::vector<Tuple>> NaiveEvaluateConcrete(const UnionQuery& lifted,
-                                                 const ConcreteInstance& jc);
+                                                 const ConcreteInstance& jc,
+                                                 const ChaseLimits& limits = {});
 
 /// The answers of q([[.]])! at snapshot l: evaluates the non-temporal UCQ
 /// on the materialized snapshot and drops tuples with nulls.

@@ -21,12 +21,15 @@ std::optional<Interval> IntersectIntervals(const std::vector<Fact>& facts) {
 }
 
 /// Fragments `fact` at the interior cut points in `cuts` (sorted) and
-/// inserts the fragments into `out`.
-void FragmentFactInto(const Fact& fact, const std::vector<TimePoint>& cuts,
-                      Instance* out) {
+/// inserts the fragments into `out`, charging `guard` per fragment. Returns
+/// false when the guard tripped (the fact may be partially fragmented).
+bool FragmentFactInto(const Fact& fact, const std::vector<TimePoint>& cuts,
+                      Instance* out, ResourceGuard* guard) {
   for (const Interval& sub : FragmentInterval(fact.interval(), cuts)) {
+    if (guard != nullptr && !guard->ChargeFragment()) return false;
     out->Insert(fact.WithInterval(sub));
   }
+  return true;
 }
 
 /// Union-find over dense fact indices.
@@ -66,11 +69,18 @@ Conjunction RenameTemporalApart(const Conjunction& phi) {
 }
 
 ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
-                                NormalizeStats* stats) {
+                                NormalizeStats* stats, ResourceGuard* guard) {
   const std::vector<TimePoint> cuts = instance.Endpoints();
   ConcreteInstance out(&instance.schema());
+  if (guard != nullptr) {
+    guard->ResetFragmentCount();
+    guard->PokeFault("normalize/naive");
+  }
   instance.facts().ForEach([&](const Fact& fact) {
-    FragmentFactInto(fact, cuts, &out.mutable_facts());
+    if (guard != nullptr && (guard->tripped() || !guard->CheckDeadline())) {
+      return;
+    }
+    FragmentFactInto(fact, cuts, &out.mutable_facts(), guard);
   });
   if (stats != nullptr) {
     stats->input_facts = instance.size();
@@ -83,7 +93,11 @@ ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
 
 ConcreteInstance Normalize(const ConcreteInstance& instance,
                            const std::vector<Conjunction>& phis,
-                           NormalizeStats* stats) {
+                           NormalizeStats* stats, ResourceGuard* guard) {
+  if (guard != nullptr) {
+    guard->ResetFragmentCount();
+    guard->PokeFault("normalize/algorithm1");
+  }
   // Dense ids for the instance's facts, for union-find grouping.
   std::vector<Fact> all_facts;
   std::unordered_map<Fact, std::size_t, FactHash> fact_index;
@@ -101,9 +115,15 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   std::size_t hom_count = 0;
   HomomorphismFinder finder(instance.facts());
   for (const Conjunction& phi : phis) {
+    if (guard != nullptr && guard->tripped()) break;
     const Conjunction star = RenameTemporalApart(phi);
     finder.ForEach(star, Binding(star.num_vars),
                    [&](const Binding&, const AtomImage& image) {
+                     // The hom sweep dominates Algorithm 1's worst case
+                     // (Theorem 13), so the deadline is polled here too.
+                     if (guard != nullptr && !guard->CheckDeadline()) {
+                       return false;
+                     }
                      ++hom_count;
                      if (!IntersectIntervals(image).has_value()) return true;
                      const std::size_t first = fact_index.at(image.front());
@@ -134,10 +154,12 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   // ungrouped facts pass through unchanged.
   ConcreteInstance out(&instance.schema());
   for (std::size_t i = 0; i < all_facts.size(); ++i) {
+    if (guard != nullptr && guard->tripped()) break;
     if (grouped[i]) {
       FragmentFactInto(all_facts[i], component_points.at(uf.Find(i)),
-                       &out.mutable_facts());
+                       &out.mutable_facts(), guard);
     } else {
+      if (guard != nullptr && !guard->ChargeFragment()) break;
       out.mutable_facts().Insert(all_facts[i]);
     }
   }

@@ -31,6 +31,7 @@
 
 #include <vector>
 
+#include "src/common/resource.h"
 #include "src/relational/homomorphism.h"
 #include "src/temporal/concrete_instance.h"
 
@@ -53,14 +54,24 @@ Conjunction RenameTemporalApart(const Conjunction& phi);
 
 /// The naive endpoint normalizer (Section 4.2): fragments every fact at all
 /// distinct endpoints occurring in the instance.
+///
+/// Both normalizers charge `guard` (when non-null) one unit per emitted
+/// fragment and poll its deadline; a run whose guard trips stops early and
+/// returns a PARTIALLY normalized instance — callers must check
+/// guard->tripped() and treat the result as garbage. The fragment budget is
+/// per pass: the counter is reset on entry. Fault sites: "normalize/naive"
+/// and "normalize/algorithm1".
 ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
-                                NormalizeStats* stats = nullptr);
+                                NormalizeStats* stats = nullptr,
+                                ResourceGuard* guard = nullptr);
 
 /// Algorithm 1, norm(Ic, Phi+). `phis` are temporal conjunctions — in the
-/// chase they are the lifted lhs of the s-t tgds or of the egds.
+/// chase they are the lifted lhs of the s-t tgds or of the egds. See
+/// NaiveNormalize for the `guard` contract.
 ConcreteInstance Normalize(const ConcreteInstance& instance,
                            const std::vector<Conjunction>& phis,
-                           NormalizeStats* stats = nullptr);
+                           NormalizeStats* stats = nullptr,
+                           ResourceGuard* guard = nullptr);
 
 /// Definition 10: checks the empty intersection property of `instance`
 /// w.r.t. `phis` — by Theorem 11, equivalent to being normalized.

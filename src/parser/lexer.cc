@@ -49,7 +49,14 @@ std::string_view TokenKindName(TokenKind kind) {
   return "?";
 }
 
-Result<std::vector<Token>> Tokenize(std::string_view input) {
+Result<std::vector<Token>> Tokenize(std::string_view input,
+                                    const ParseLimits& limits) {
+  if (input.size() > limits.max_input_bytes) {
+    return Status::ParseError(
+        "input of " + std::to_string(input.size()) +
+        " bytes exceeds the limit of " +
+        std::to_string(limits.max_input_bytes) + " bytes at line 1, column 1");
+  }
   std::vector<Token> tokens;
   std::size_t line = 1;
   std::size_t column = 1;
@@ -59,7 +66,12 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     return Status::ParseError(what + " at line " + std::to_string(line) +
                               ", column " + std::to_string(column));
   };
+  bool over_budget = false;
   auto push = [&](TokenKind kind, std::string text, std::uint64_t number = 0) {
+    if (tokens.size() >= limits.max_tokens) {
+      over_budget = true;
+      return;
+    }
     tokens.push_back(Token{kind, std::move(text), number, line, column});
   };
   auto advance = [&](std::size_t n) {
@@ -75,6 +87,10 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
   };
 
   while (i < input.size()) {
+    if (over_budget) {
+      return error("token count exceeds the limit of " +
+                   std::to_string(limits.max_tokens) + " tokens");
+    }
     const char c = input[i];
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
       advance(1);
@@ -160,7 +176,11 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     }
     return error(std::string("unexpected character '") + c + "'");
   }
-  push(TokenKind::kEnd, "");
+  if (over_budget) {
+    return error("token count exceeds the limit of " +
+                 std::to_string(limits.max_tokens) + " tokens");
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line, column});
   return tokens;
 }
 

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/resource.h"
 #include "src/common/status.h"
 
 namespace tdx {
@@ -52,8 +53,24 @@ struct Token {
   std::size_t column = 1;
 };
 
-/// Tokenizes `input`; returns ParseError with line/column info on bad input.
-Result<std::vector<Token>> Tokenize(std::string_view input);
+/// Hard caps on what the text-format front end will accept. The defaults
+/// are far above anything a legitimate program needs but small enough that
+/// a hostile input (multi-megabyte atom, pathologically nested operators)
+/// is rejected with a structured kParseError instead of tying up the
+/// process. All caps are configurable per call; kUnlimited disables one.
+struct ParseLimits {
+  std::size_t max_input_bytes = 8u << 20;  ///< whole-program size cap (8 MiB)
+  std::size_t max_tokens = 2'000'000;      ///< token-stream length cap
+  /// Temporal-operator nesting depth in atoms (the grammar itself only
+  /// produces depth 2; the cap is a backstop for grammar growth).
+  std::size_t max_nesting_depth = 64;
+  std::size_t max_atom_terms = 4096;  ///< terms per atom / fact arguments
+};
+
+/// Tokenizes `input`; returns ParseError with line/column info on bad input
+/// or when `limits` (input size, token count) are exceeded.
+Result<std::vector<Token>> Tokenize(std::string_view input,
+                                    const ParseLimits& limits = {});
 
 /// Debug name of a token kind ("identifier", "'('", ...).
 std::string_view TokenKindName(TokenKind kind);

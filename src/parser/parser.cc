@@ -11,11 +11,13 @@ namespace {
 /// Recursive-descent parser over the token stream.
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, ParsedProgram* program)
-      : tokens_(std::move(tokens)), program_(program) {}
+  Parser(std::vector<Token> tokens, const ParseLimits& limits,
+         ParsedProgram* program)
+      : tokens_(std::move(tokens)), limits_(limits), program_(program) {}
 
   Status Run() {
     while (!AtEnd()) {
+      TDX_FAULT_POINT("parser/statement");
       TDX_RETURN_IF_ERROR(ParseStatement());
     }
     // Materialize temporal-operator closures now that all facts are known.
@@ -155,8 +157,21 @@ class Parser {
             "' is only allowed in tgd bodies (line " +
             std::to_string(name_token.line) + ")");
       }
+      // The grammar itself bounds operator recursion, but the cap keeps the
+      // parser safe against hostile nesting if the grammar ever grows.
+      if (++atom_depth_ > limits_.max_nesting_depth) {
+        atom_depth_ = 0;
+        return Status::ParseError(
+            "atom nesting exceeds the limit of " +
+            std::to_string(limits_.max_nesting_depth) + " at line " +
+            std::to_string(name_token.line) + ", column " +
+            std::to_string(name_token.column));
+      }
       TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after operator"));
-      TDX_ASSIGN_OR_RETURN(Atom inner, ParseAtom(scope, false));
+      Result<Atom> inner_result = ParseAtom(scope, false);
+      --atom_depth_;
+      if (!inner_result.ok()) return inner_result.status();
+      Atom inner = std::move(*inner_result);
       TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after operator atom"));
       TDX_ASSIGN_OR_RETURN(RelationId closure_snap,
                            ResolveClosureRelation(inner.rel, op));
@@ -173,6 +188,12 @@ class Parser {
     Atom atom;
     atom.rel = *rel;
     do {
+      if (atom.terms.size() >= limits_.max_atom_terms) {
+        return Status::ParseError(
+            "atom over '" + name + "' exceeds the limit of " +
+            std::to_string(limits_.max_atom_terms) + " terms at line " +
+            std::to_string(name_token.line));
+      }
       TDX_ASSIGN_OR_RETURN(Term term, ParseTerm(scope));
       atom.terms.push_back(term);
     } while (Match(TokenKind::kComma));
@@ -305,11 +326,14 @@ class Parser {
       return ErrorHere("expected interval end point or 'inf'");
     }
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close interval"));
-    if (start >= end) {
-      return Status::ParseError("empty interval [" + std::to_string(start) +
-                                ", " + TimePointToString(end) + ")");
+    // Checked factory at the trust boundary: malformed input must not reach
+    // the asserting Interval constructor.
+    Result<Interval> iv = Interval::Make(start, end);
+    if (!iv.ok()) {
+      return Status::ParseError(iv.status().message() + " at line " +
+                                std::to_string(Peek().line));
     }
-    return Interval(start, end);
+    return iv;
   }
 
   Status ParseFact() {
@@ -323,6 +347,11 @@ class Parser {
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after relation name"));
     std::vector<Value> data;
     do {
+      if (data.size() >= limits_.max_atom_terms) {
+        return ErrorHere("fact over '" + name + "' exceeds the limit of " +
+                         std::to_string(limits_.max_atom_terms) +
+                         " arguments");
+      }
       if (Check(TokenKind::kString) || Check(TokenKind::kNumber)) {
         data.push_back(program_->universe.Constant(Advance().text));
       } else {
@@ -380,6 +409,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  ParseLimits limits_;
+  std::size_t atom_depth_ = 0;  ///< temporal-operator nesting in ParseAtom
   ParsedProgram* program_;
 };
 
@@ -393,10 +424,11 @@ Result<const UnionQuery*> ParsedProgram::FindQuery(
   return Status::NotFound("no query named '" + std::string(name) + "'");
 }
 
-Result<std::unique_ptr<ParsedProgram>> ParseProgram(std::string_view text) {
-  TDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+Result<std::unique_ptr<ParsedProgram>> ParseProgram(std::string_view text,
+                                                    const ParseLimits& limits) {
+  TDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text, limits));
   auto program = std::make_unique<ParsedProgram>();
-  Parser parser(std::move(tokens), program.get());
+  Parser parser(std::move(tokens), limits, program.get());
   TDX_RETURN_IF_ERROR(parser.Run());
   return program;
 }

@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/parser/lexer.h"
 #include "src/core/query.h"
 #include "src/core/temporal_ops.h"
 #include "src/relational/dependency.h"
@@ -79,7 +80,11 @@ struct ParsedProgram {
 };
 
 /// Parses a complete program. All errors are ParseError with position info.
-Result<std::unique_ptr<ParsedProgram>> ParseProgram(std::string_view text);
+/// `limits` caps input size, token count, operator nesting, and atom arity
+/// (see ParseLimits); pathological inputs fail fast with a structured error
+/// instead of exhausting memory.
+Result<std::unique_ptr<ParsedProgram>> ParseProgram(
+    std::string_view text, const ParseLimits& limits = {});
 
 }  // namespace tdx
 

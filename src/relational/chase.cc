@@ -48,23 +48,27 @@ namespace {
 /// alias `source` for target tgds; triggers are fully collected before any
 /// insertion). Returns true if at least one new fact was inserted.
 bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
-             const FreshNullFactory& fresh, ChaseStats* stats);
+             const FreshNullFactory& fresh, ChaseStats* stats,
+             ResourceGuard* guard);
 
 }  // namespace
 
 void TgdPhase(const Instance& source, Instance* target,
               const std::vector<Tgd>& tgds, const FreshNullFactory& fresh,
-              ChaseStats* stats) {
+              ChaseStats* stats, ResourceGuard* guard) {
   for (const Tgd& tgd : tgds) {
-    FireTgd(source, target, tgd, fresh, stats);
+    if (guard->tripped()) return;
+    FireTgd(source, target, tgd, fresh, stats, guard);
   }
 }
 
 bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
-                    const FreshNullFactory& fresh, ChaseStats* stats) {
+                    const FreshNullFactory& fresh, ChaseStats* stats,
+                    ResourceGuard* guard) {
   bool inserted = false;
   for (const Tgd& tgd : tgds) {
-    if (FireTgd(*target, target, tgd, fresh, stats)) inserted = true;
+    if (guard->tripped()) break;
+    if (FireTgd(*target, target, tgd, fresh, stats, guard)) inserted = true;
   }
   return inserted;
 }
@@ -72,7 +76,8 @@ bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
 namespace {
 
 bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
-             const FreshNullFactory& fresh, ChaseStats* stats) {
+             const FreshNullFactory& fresh, ChaseStats* stats,
+             ResourceGuard* guard) {
   bool inserted_any = false;
   {
     // Collect triggers, deduplicated by the head-visible universal values:
@@ -105,23 +110,37 @@ bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
     std::unique_ptr<HomomorphismFinder> target_finder;
     bool target_dirty = true;
     for (auto& [key, binding] : triggers) {
+      if (!guard->CheckDeadline()) break;
       if (target_dirty) {
         target_finder = std::make_unique<HomomorphismFinder>(*target);
         target_dirty = false;
       }
       if (target_finder->Exists(tgd.head, binding)) continue;
+      // Budget checks come before the corresponding work, so an aborted
+      // firing never half-materializes: no nulls are minted and no facts
+      // inserted once the guard trips.
+      if (!guard->ChargeTgdFire()) break;
       Binding extended = binding;
       for (VarId y : tgd.existential) {
+        if (!guard->ChargeFreshNull()) break;
         extended.Bind(y, fresh(tgd, binding));
         ++stats->fresh_nulls;
       }
+      if (guard->tripped()) break;
+      bool fact_budget_ok = true;
       for (const Atom& atom : tgd.head.atoms) {
         if (target->Insert(Instantiate(atom, extended))) {
           if (rebuild_on_insert) target_dirty = true;
           inserted_any = true;
+          // Duplicates are free: only facts that grew the instance count.
+          if (!guard->ChargeFact()) {
+            fact_budget_ok = false;
+            break;
+          }
         }
       }
       ++stats->tgd_fires;
+      if (!fact_budget_ok) break;
     }
   }
   return inserted_any;
@@ -130,13 +149,17 @@ bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
 }  // namespace
 
 ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
-                            ChaseStats* stats, std::string* failure_reason) {
+                            ChaseStats* stats, std::string* failure_reason,
+                            ResourceGuard* guard) {
   // Batched passes: collect every violated equality, merge the equivalence
   // classes with union-find, rebuild the instance once, repeat. This is
   // equivalent to applying egd steps one at a time (the egd chase is
   // confluent up to null renaming) but costs one rebuild per pass instead
   // of one per step.
   while (true) {
+    if (!guard->PokeFault("chase/egd-fixpoint") || !guard->CheckDeadline()) {
+      return ChaseResultKind::kAborted;
+    }
     // ---- collect all violated equalities --------------------------------
     std::vector<std::pair<Value, Value>> pairs;
     std::string violated_label;
@@ -209,6 +232,11 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
     }
 
     // ---- apply all merges in one rebuild ----------------------------------
+    // The pass's steps are charged before the rebuild: a pass that blows
+    // the egd budget aborts without paying for the rebuild.
+    if (!guard->ChargeEgdSteps(index.size() - representative.size())) {
+      return ChaseResultKind::kAborted;
+    }
     Instance next(&target->schema());
     std::size_t replaced = 0;
     target->ForEach([&](const Fact& fact) {
@@ -233,36 +261,48 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
 }
 
 Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
-                                   const Mapping& mapping,
-                                   Universe* universe) {
-  ChaseOutcome outcome{ChaseResultKind::kSuccess, Instance(&source.schema()),
-                       ChaseStats{}, ""};
+                                   const Mapping& mapping, Universe* universe,
+                                   const ChaseLimits& limits) {
+  ResourceGuard guard(limits);
+  ChaseOutcome outcome(Instance(&source.schema()));
+  const auto aborted = [&]() {
+    outcome.kind = ChaseResultKind::kAborted;
+    outcome.abort_dimension = guard.dimension();
+    outcome.abort_reason = guard.reason();
+    return outcome;
+  };
   const FreshNullFactory fresh = [universe](const Tgd&, const Binding&) {
     return universe->FreshNull();
   };
-  TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats);
+  if (!guard.PokeFault("chase/tgd-phase")) return aborted();
+  TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
+           &guard);
+  if (guard.tripped()) return aborted();
 
   // Interleave target-tgd rounds and egd steps to a joint fixpoint. Weak
   // acyclicity (ValidateMapping) bounds the number of fresh nulls, so this
-  // terminates; the guard is a defensive backstop for unvalidated input.
-  std::size_t guard = 0;
+  // terminates; the round cap is a defensive backstop for unvalidated input.
+  std::size_t rounds = 0;
   while (true) {
     bool fired = false;
     while (TargetTgdRound(&outcome.target, mapping.target_tgds, fresh,
-                          &outcome.stats)) {
+                          &outcome.stats, &guard)) {
       fired = true;
-      if (++guard > 100000) {
+      if (guard.tripped()) return aborted();
+      if (++rounds > 100000) {
         return Status::Internal(
             "target-tgd chase exceeded its iteration budget; are the "
             "target tgds weakly acyclic?");
       }
     }
+    if (guard.tripped()) return aborted();
     const std::size_t egd_before = outcome.stats.egd_steps;
     outcome.kind = EgdFixpoint(&outcome.target, mapping.egds, &outcome.stats,
-                               &outcome.failure_reason);
+                               &outcome.failure_reason, &guard);
     if (outcome.kind == ChaseResultKind::kFailure) return outcome;
+    if (outcome.kind == ChaseResultKind::kAborted) return aborted();
     if (!fired && outcome.stats.egd_steps == egd_before) break;
-    if (++guard > 100000) {
+    if (++rounds > 100000) {
       return Status::Internal(
           "chase exceeded its iteration budget; are the target tgds weakly "
           "acyclic?");

@@ -22,6 +22,7 @@
 #include <functional>
 #include <string>
 
+#include "src/common/resource.h"
 #include "src/common/status.h"
 #include "src/relational/dependency.h"
 #include "src/relational/instance.h"
@@ -31,6 +32,7 @@ namespace tdx {
 enum class ChaseResultKind {
   kSuccess,  ///< target is a universal solution
   kFailure,  ///< an egd equated two distinct non-null values: no solution
+  kAborted,  ///< a ChaseLimits budget was exhausted; target is PARTIAL
 };
 
 struct ChaseStats {
@@ -41,21 +43,34 @@ struct ChaseStats {
 };
 
 struct ChaseOutcome {
+  explicit ChaseOutcome(Instance target_in) : target(std::move(target_in)) {}
+
   ChaseResultKind kind = ChaseResultKind::kSuccess;
+  /// The chase target. A universal solution iff kind == kSuccess; on
+  /// kAborted it holds whatever was materialized before the budget ran out
+  /// (useful for diagnosis, NEVER a solution).
   Instance target;
   ChaseStats stats;
   /// Human-readable explanation when kind == kFailure.
   std::string failure_reason;
+  /// The exhausted budget dimension and its description when kAborted.
+  ResourceDimension abort_dimension = ResourceDimension::kNone;
+  std::string abort_reason;
 };
 
 /// Runs the chase of `source` with `mapping`, materializing a target
 /// instance over the same Schema. Fresh labeled nulls come from `universe`.
+/// `limits` bounds the run; the default is unlimited. A run that exhausts
+/// its budget returns kAborted with partial stats — rerunning with a larger
+/// budget from the same source reproduces the identical solution
+/// (determinism is unaffected by where the budget cut the previous run).
 ///
 /// Deterministic: tgds fire in declaration order with triggers in canonical
 /// order; egds likewise. The result of a successful chase is a universal
 /// solution (Fagin et al., Theorem 3.3).
 Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
-                                   const Mapping& mapping, Universe* universe);
+                                   const Mapping& mapping, Universe* universe,
+                                   const ChaseLimits& limits = {});
 
 // ---------------------------------------------------------------------------
 // Building blocks, shared with the concrete chase (core/cchase.h), which
@@ -71,22 +86,28 @@ using FreshNullFactory =
 
 /// Phase 1: fires every s-t tgd trigger from `source` into `target`
 /// (restricted chase: triggers whose head is already witnessed are skipped).
+/// Charges `guard` per fire/null/fact and stops early once it trips; the
+/// caller checks guard->tripped() to surface the abort.
 void TgdPhase(const Instance& source, Instance* target,
               const std::vector<Tgd>& tgds, const FreshNullFactory& fresh,
-              ChaseStats* stats);
+              ChaseStats* stats, ResourceGuard* guard);
 
 /// Phase 2: applies egd steps on `target` until fixpoint. Returns kFailure
 /// (and fills `failure_reason`) when an egd equates two distinct non-null
-/// values. Handles labeled and interval-annotated nulls uniformly.
+/// values, kAborted when `guard` trips (budget, deadline, or the armed
+/// fault point "chase/egd-fixpoint"). Handles labeled and
+/// interval-annotated nulls uniformly.
 ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
-                            ChaseStats* stats, std::string* failure_reason);
+                            ChaseStats* stats, std::string* failure_reason,
+                            ResourceGuard* guard);
 
 /// One round of target-tgd firing: collects all triggers over the current
 /// target, fires those without an extension witness, and returns true if
 /// anything was inserted. Callers loop rounds to a fixpoint (guaranteed to
 /// exist for weakly acyclic target tgds) and interleave with EgdFixpoint.
 bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
-                    const FreshNullFactory& fresh, ChaseStats* stats);
+                    const FreshNullFactory& fresh, ChaseStats* stats,
+                    ResourceGuard* guard);
 
 }  // namespace tdx
 

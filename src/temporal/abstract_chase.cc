@@ -6,10 +6,9 @@ namespace tdx {
 
 Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
                                            const Mapping& mapping,
-                                           Universe* universe) {
-  AbstractChaseOutcome outcome{ChaseResultKind::kSuccess,
-                               AbstractInstance(&source.schema()),
-                               std::nullopt, ChaseStats{}};
+                                           Universe* universe,
+                                           const ChaseLimits& limits) {
+  AbstractChaseOutcome outcome(AbstractInstance(&source.schema()));
   for (const AbstractPiece& piece : source.pieces()) {
     bool complete = true;
     piece.snapshot.ForEach([&](const Fact& fact) {
@@ -22,15 +21,18 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
           "abstract chase requires a complete source instance");
     }
 
-    TDX_ASSIGN_OR_RETURN(ChaseOutcome piece_outcome,
-                         ChaseSnapshot(piece.snapshot, mapping, universe));
+    TDX_ASSIGN_OR_RETURN(
+        ChaseOutcome piece_outcome,
+        ChaseSnapshot(piece.snapshot, mapping, universe, limits));
     outcome.stats.tgd_triggers += piece_outcome.stats.tgd_triggers;
     outcome.stats.tgd_fires += piece_outcome.stats.tgd_fires;
     outcome.stats.egd_steps += piece_outcome.stats.egd_steps;
     outcome.stats.fresh_nulls += piece_outcome.stats.fresh_nulls;
-    if (piece_outcome.kind == ChaseResultKind::kFailure) {
-      outcome.kind = ChaseResultKind::kFailure;
+    if (piece_outcome.kind != ChaseResultKind::kSuccess) {
+      outcome.kind = piece_outcome.kind;
       outcome.failure_span = piece.span;
+      outcome.abort_dimension = piece_outcome.abort_dimension;
+      outcome.abort_reason = std::move(piece_outcome.abort_reason);
       return outcome;
     }
 

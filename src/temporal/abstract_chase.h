@@ -30,20 +30,31 @@
 namespace tdx {
 
 struct AbstractChaseOutcome {
+  explicit AbstractChaseOutcome(AbstractInstance target_in)
+      : target(std::move(target_in)) {}
+
   ChaseResultKind kind = ChaseResultKind::kSuccess;
   AbstractInstance target;
-  /// Span of the piece whose chase failed (meaningful iff kind==kFailure).
+  /// Span of the piece whose chase failed or aborted (meaningful iff
+  /// kind != kSuccess).
   std::optional<Interval> failure_span;
   /// Aggregated over all pieces.
   ChaseStats stats;
+  /// The exhausted budget dimension and its description when kAborted.
+  ResourceDimension abort_dimension = ResourceDimension::kNone;
+  std::string abort_reason;
 };
 
 /// Chases every piece of a *complete* abstract source instance with the
 /// non-temporal mapping. Returns InvalidArgument if some piece contains
-/// nulls (the paper assumes complete sources).
+/// nulls (the paper assumes complete sources). `limits` applies to each
+/// per-piece snapshot chase independently; the first piece to exhaust its
+/// budget aborts the whole abstract chase (kind == kAborted, failure_span =
+/// that piece's span).
 Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
                                            const Mapping& mapping,
-                                           Universe* universe);
+                                           Universe* universe,
+                                           const ChaseLimits& limits = {});
 
 /// Materializes db_l of `source` and chases it. Ground truth for property
 /// tests comparing against the compact implementations.

@@ -261,5 +261,61 @@ TEST(ChaseStressTest, StatsAccounting) {
   EXPECT_EQ(chase->stats.egd_steps, 3u);
 }
 
+// Determinism under abort: because tgds fire in declaration order with
+// triggers in canonical order, a budget only decides WHERE a run stops, not
+// WHAT it computes. Aborting at any budget and rerunning from a fresh parse
+// with a sufficient budget must reproduce the unbudgeted solution exactly.
+TEST(ChaseStressTest, AbortThenRerunWithLargerBudgetIsIdentical) {
+  const char* text = R"(
+    source E(name, company);
+    source S(name, salary);
+    target Emp(name, company, salary);
+    tgd E(n, c) -> exists s: Emp(n, c, s);
+    tgd E(n, c) & S(n, s) -> Emp(n, c, s);
+    egd Emp(n, c, s) & Emp(n, c, s2) -> s = s2;
+    fact E("p1", "c1") @ [0, 7);
+    fact E("p1", "c2") @ [7, 20);
+    fact E("p2", "c1") @ [3, 12);
+    fact E("p3", "c3") @ [1, inf);
+    fact S("p1", "10k") @ [2, 9);
+    fact S("p2", "11k") @ [0, 30);
+    fact S("p3", "12k") @ [5, 6);
+  )";
+  // Ground truth: the unbudgeted run.
+  auto full = ParseOrDie(text);
+  auto full_outcome = CChase(full->source, full->lifted, &full->universe);
+  ASSERT_TRUE(full_outcome.ok());
+  ASSERT_EQ(full_outcome->kind, ChaseResultKind::kSuccess);
+  const std::string want =
+      full_outcome->target.facts().ToString(full->universe);
+
+  // Abort at a sweep of budgets: each run must come back kAborted (the
+  // budgets are all below the real cost) without crashing or hanging.
+  for (std::size_t budget = 1; budget <= 5; ++budget) {
+    auto p = ParseOrDie(text);
+    CChaseOptions options;
+    options.limits.max_tgd_fires = budget;
+    auto aborted = CChase(p->source, p->lifted, &p->universe, options);
+    ASSERT_TRUE(aborted.ok());
+    EXPECT_EQ(aborted->kind, ChaseResultKind::kAborted);
+    EXPECT_EQ(aborted->abort_dimension, ResourceDimension::kTgdFires);
+    EXPECT_EQ(aborted->stats.tgd_fires, budget);
+  }
+
+  // A fresh parse with a sufficient budget reproduces the exact solution.
+  auto rerun = ParseOrDie(text);
+  CChaseOptions options;
+  options.limits.max_tgd_fires = full_outcome->stats.tgd_fires;
+  options.limits.max_egd_steps = full_outcome->stats.egd_steps;
+  options.limits.max_fresh_nulls = full_outcome->stats.fresh_nulls;
+  auto governed = CChase(rerun->source, rerun->lifted, &rerun->universe,
+                         options);
+  ASSERT_TRUE(governed.ok());
+  ASSERT_EQ(governed->kind, ChaseResultKind::kSuccess);
+  EXPECT_EQ(governed->target.facts().ToString(rerun->universe), want);
+  EXPECT_EQ(governed->stats.tgd_fires, full_outcome->stats.tgd_fires);
+  EXPECT_EQ(governed->stats.egd_steps, full_outcome->stats.egd_steps);
+}
+
 }  // namespace
 }  // namespace tdx

@@ -166,5 +166,34 @@ TEST_P(FragmentSweep, CoversAndContiguous) {
 INSTANTIATE_TEST_SUITE_P(AllCutMasks, FragmentSweep,
                          ::testing::Range(0, 1 << 10, 37));
 
+// Make() is the checked factory for untrusted boundaries (parser,
+// deserialization); the asserting constructor stays for internal callers
+// that already hold the invariant.
+
+TEST(IntervalMakeTest, ValidIntervalSucceeds) {
+  auto iv = Interval::Make(3, 7);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->start(), 3u);
+  EXPECT_EQ(iv->end(), 7u);
+}
+
+TEST(IntervalMakeTest, UnboundedIntervalSucceeds) {
+  auto iv = Interval::Make(0, kTimeInfinity);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(iv->unbounded());
+}
+
+TEST(IntervalMakeTest, EmptyIntervalIsRejected) {
+  auto iv = Interval::Make(5, 5);
+  ASSERT_FALSE(iv.ok());
+  EXPECT_EQ(iv.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IntervalMakeTest, ReversedIntervalIsRejected) {
+  auto iv = Interval::Make(9, 2);
+  ASSERT_FALSE(iv.ok());
+  EXPECT_EQ(iv.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace tdx

@@ -163,5 +163,110 @@ TEST(ParserTest, ExistentialListMultipleVars) {
   EXPECT_EQ(program->mapping.st_tgds[0].existential.size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Hardening against pathological inputs (ParseLimits). Every rejection is a
+// kParseError carrying a position, never a crash or a hang.
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardeningTest, TenMegabyteInputIsRejected) {
+  // A single huge atom: "source E(" + 10 MB of junk. The size gate fires
+  // before tokenization even starts.
+  std::string text = "source E(";
+  text.append(10u << 20, 'a');
+  text += ");";
+  auto parsed = ParseProgram(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("exceeds the limit"),
+            std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserHardeningTest, RaisedInputLimitAdmitsLargeInput) {
+  std::string text = "source E(x);\n";
+  while (text.size() < (9u << 20)) text += "# padding comment line\n";
+  ParseLimits limits;
+  limits.max_input_bytes = 16u << 20;
+  auto parsed = ParseProgram(text, limits);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(ParserHardeningTest, TokenBudgetIsEnforced) {
+  ParseLimits limits;
+  limits.max_tokens = 5;
+  auto parsed = ParseProgram("source E(x, y, z);", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("token count exceeds the limit"),
+            std::string::npos);
+}
+
+TEST(ParserHardeningTest, DeeplyNestedParensAreRejectedNotCrashed) {
+  // 10k-deep operator nesting. The grammar rejects nested temporal
+  // operators, so this must come back as a parse error after O(1) descent —
+  // the test's job is proving there is no unbounded recursion.
+  std::string body;
+  for (int i = 0; i < 10000; ++i) body += "once_past(";
+  body += "E(x)";
+  for (int i = 0; i < 10000; ++i) body += ")";
+  const std::string text =
+      "source E(x);\ntarget T(x);\ntgd " + body + " -> T(x);";
+  auto parsed = ParseProgram(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserHardeningTest, NestingDepthLimitIsEnforced) {
+  ParseLimits limits;
+  limits.max_nesting_depth = 0;
+  auto parsed = ParseProgram(
+      "source E(x);\ntarget T(x);\ntgd once_past(E(x)) -> T(x);", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("atom nesting exceeds the limit"),
+            std::string::npos);
+}
+
+TEST(ParserHardeningTest, AtomTermLimitIsEnforced) {
+  ParseLimits limits;
+  limits.max_atom_terms = 2;
+  auto parsed = ParseProgram(
+      "source E(a, b, c);\ntarget T(a);\ntgd E(x, y, z) -> T(x);", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("exceeds the limit"),
+            std::string::npos);
+}
+
+TEST(ParserHardeningTest, FactArgumentLimitIsEnforced) {
+  ParseLimits limits;
+  limits.max_atom_terms = 2;
+  auto parsed = ParseProgram(
+      "source E(a, b, c);\nfact E(\"1\", \"2\", \"3\") @ [0, 5);", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserHardeningTest, EmptyIntervalIsAParseError) {
+  // The checked Interval::Make factory guards the trust boundary: an empty
+  // interval in the text format must surface as a parse error, not an
+  // assertion failure.
+  auto parsed = ParseProgram("source E(x);\nfact E(\"a\") @ [5, 5);");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("empty interval"),
+            std::string::npos);
+}
+
+TEST(ParserHardeningTest, ReversedIntervalIsAParseError) {
+  auto parsed = ParseProgram("source E(x);\nfact E(\"a\") @ [7, 3);");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserHardeningTest, DefaultLimitsAdmitThePaperProgram) {
+  EXPECT_TRUE(ParseProgram(testing::kPaperProgram).ok());
+}
+
 }  // namespace
 }  // namespace tdx

@@ -1,0 +1,364 @@
+// Resource governance: every engine must halt cleanly at its budget with a
+// structured kAborted / kResourceExhausted, never returning a partial target
+// as a claimed solution. Budgets default to unlimited, so the guard must
+// also be invisible when unset.
+
+#include "src/common/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/core/cchase.h"
+#include "src/core/certain.h"
+#include "src/core/naive_eval.h"
+#include "src/core/normalize.h"
+#include "src/core/query.h"
+#include "src/parser/parser.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/snapshot.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::kPaperProgram;
+using ::tdx::testing::ParseOrDie;
+
+// ---------------------------------------------------------------------------
+// ResourceGuard unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGuardTest, UnlimitedGuardNeverTrips) {
+  ResourceGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(guard.ChargeTgdFire());
+    EXPECT_TRUE(guard.ChargeEgdSteps(100));
+    EXPECT_TRUE(guard.ChargeFreshNull());
+    EXPECT_TRUE(guard.ChargeFact());
+    EXPECT_TRUE(guard.ChargeFragment());
+    EXPECT_TRUE(guard.CheckDeadline());
+  }
+  EXPECT_TRUE(guard.ok());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kNone);
+  EXPECT_TRUE(guard.ToStatus().ok());
+  EXPECT_TRUE(guard.reason().empty());
+}
+
+TEST(ResourceGuardTest, CountBudgetTripsAtLimit) {
+  ChaseLimits limits;
+  limits.max_tgd_fires = 3;
+  ResourceGuard guard(limits);
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_FALSE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.tripped());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kTgdFires);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(guard.reason().find("tgd-fires"), std::string::npos);
+}
+
+TEST(ResourceGuardTest, TripsOnceAndKeepsFirstDimension) {
+  ChaseLimits limits;
+  limits.max_egd_steps = 1;
+  limits.max_facts = 1;
+  ResourceGuard guard(limits);
+  EXPECT_FALSE(guard.ChargeEgdSteps(5));
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kEgdSteps);
+  // A later over-budget charge on a different dimension must not overwrite
+  // the original trip.
+  EXPECT_FALSE(guard.ChargeFact());
+  EXPECT_FALSE(guard.ChargeFact());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kEgdSteps);
+}
+
+TEST(ResourceGuardTest, FragmentBudgetIsPerPass) {
+  ChaseLimits limits;
+  limits.max_normalize_fragments = 2;
+  ResourceGuard guard(limits);
+  EXPECT_TRUE(guard.ChargeFragment());
+  EXPECT_TRUE(guard.ChargeFragment());
+  guard.ResetFragmentCount();
+  EXPECT_TRUE(guard.ChargeFragment());
+  EXPECT_TRUE(guard.ChargeFragment());
+  EXPECT_FALSE(guard.ChargeFragment());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kNormalizeFragments);
+}
+
+TEST(ResourceGuardTest, ExpiredDeadlineTripsOnFirstPoll) {
+  ChaseLimits limits;
+  limits.deadline = std::chrono::milliseconds(0);
+  ResourceGuard guard(limits);
+  EXPECT_FALSE(guard.CheckDeadline());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kWallClock);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceGuardTest, GenerousDeadlineDoesNotTrip) {
+  ChaseLimits limits;
+  limits.deadline = std::chrono::milliseconds(60000);
+  ResourceGuard guard(limits);
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(guard.CheckDeadline());
+  EXPECT_TRUE(guard.ok());
+}
+
+TEST(ResourceGuardTest, DimensionTokensAreStable) {
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kTgdFires),
+            "tgd-fires");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kEgdSteps),
+            "egd-steps");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kFreshNulls),
+            "fresh-nulls");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kFacts), "facts");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kNormalizeFragments),
+            "normalize-fragments");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kWallClock),
+            "wall-clock");
+  EXPECT_EQ(ResourceDimensionToString(ResourceDimension::kInjectedFault),
+            "injected-fault");
+}
+
+TEST(ChaseLimitsTest, DefaultIsUnlimited) {
+  EXPECT_TRUE(ChaseLimits{}.Unlimited());
+  ChaseLimits limits;
+  limits.max_facts = 10;
+  EXPECT_FALSE(limits.Unlimited());
+  ChaseLimits timed;
+  timed.deadline = std::chrono::milliseconds(5);
+  EXPECT_FALSE(timed.Unlimited());
+}
+
+// ---------------------------------------------------------------------------
+// The c-chase under each budget dimension
+// ---------------------------------------------------------------------------
+
+CChaseOutcome CChaseWithLimits(ParsedProgram& program,
+                               const ChaseLimits& limits) {
+  CChaseOptions options;
+  options.limits = limits;
+  auto outcome =
+      CChase(program.source, program.lifted, &program.universe, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return std::move(outcome).value();
+}
+
+TEST(CChaseBudgetTest, UnlimitedSucceeds) {
+  auto program = ParseOrDie(kPaperProgram);
+  const CChaseOutcome outcome = CChaseWithLimits(*program, ChaseLimits{});
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kSuccess);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kNone);
+}
+
+TEST(CChaseBudgetTest, TgdFireBudgetAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_tgd_fires = 1;
+  const CChaseOutcome outcome = CChaseWithLimits(*program, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kTgdFires);
+  // Partial stats are preserved: exactly the budgeted number of fires ran.
+  EXPECT_EQ(outcome.stats.tgd_fires, 1u);
+  EXPECT_FALSE(outcome.abort_reason.empty());
+}
+
+TEST(CChaseBudgetTest, EgdStepBudgetAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  // The unbudgeted run performs egd merges (sigma1's fresh salary nulls get
+  // equated with sigma2's concrete salaries); a zero budget must abort.
+  const CChaseOutcome full = CChaseWithLimits(*program, ChaseLimits{});
+  ASSERT_GT(full.stats.egd_steps, 0u);
+
+  auto rerun = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_egd_steps = 0;
+  const CChaseOutcome outcome = CChaseWithLimits(*rerun, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kEgdSteps);
+}
+
+TEST(CChaseBudgetTest, FreshNullBudgetAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_fresh_nulls = 0;
+  const CChaseOutcome outcome = CChaseWithLimits(*program, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kFreshNulls);
+  EXPECT_EQ(outcome.stats.fresh_nulls, 0u);
+}
+
+TEST(CChaseBudgetTest, FactBudgetAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_facts = 1;
+  const CChaseOutcome outcome = CChaseWithLimits(*program, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kFacts);
+}
+
+TEST(CChaseBudgetTest, FragmentBudgetAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_normalize_fragments = 1;
+  const CChaseOutcome outcome = CChaseWithLimits(*program, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kNormalizeFragments);
+}
+
+TEST(CChaseBudgetTest, ExpiredDeadlineAborts) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.deadline = std::chrono::milliseconds(0);
+  const CChaseOutcome outcome = CChaseWithLimits(*program, limits);
+  EXPECT_EQ(outcome.kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome.abort_dimension, ResourceDimension::kWallClock);
+}
+
+TEST(CChaseBudgetTest, GenerousBudgetMatchesUnlimited) {
+  auto unlimited = ParseOrDie(kPaperProgram);
+  const CChaseOutcome full = CChaseWithLimits(*unlimited, ChaseLimits{});
+  ASSERT_EQ(full.kind, ChaseResultKind::kSuccess);
+
+  auto budgeted = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_tgd_fires = 100000;
+  limits.max_egd_steps = 100000;
+  limits.max_fresh_nulls = 100000;
+  limits.max_facts = 100000;
+  limits.max_normalize_fragments = 100000;
+  const CChaseOutcome governed = CChaseWithLimits(*budgeted, limits);
+  ASSERT_EQ(governed.kind, ChaseResultKind::kSuccess);
+  EXPECT_EQ(governed.stats.tgd_fires, full.stats.tgd_fires);
+  EXPECT_EQ(governed.stats.egd_steps, full.stats.egd_steps);
+  EXPECT_EQ(governed.stats.fresh_nulls, full.stats.fresh_nulls);
+  EXPECT_EQ(governed.target.size(), full.target.size());
+}
+
+// ---------------------------------------------------------------------------
+// The relational per-snapshot chase
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotChaseBudgetTest, EachDimensionAborts) {
+  struct Case {
+    ChaseLimits limits;
+    ResourceDimension want;
+  };
+  std::vector<Case> cases;
+  {
+    Case c;
+    c.limits.max_tgd_fires = 1;
+    c.want = ResourceDimension::kTgdFires;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.limits.max_fresh_nulls = 0;
+    c.want = ResourceDimension::kFreshNulls;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.limits.max_facts = 1;
+    c.want = ResourceDimension::kFacts;
+    cases.push_back(c);
+  }
+  for (const Case& c : cases) {
+    auto program = ParseOrDie(kPaperProgram);
+    auto snapshot = SnapshotAt(program->source, 2015, &program->universe);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    auto outcome = ChaseSnapshot(*snapshot, program->mapping,
+                                 &program->universe, c.limits);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->kind, ChaseResultKind::kAborted);
+    EXPECT_EQ(outcome->abort_dimension, c.want)
+        << "dimension " << ResourceDimensionToString(c.want);
+  }
+}
+
+TEST(SnapshotChaseBudgetTest, UnlimitedStillSucceeds) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto snapshot = SnapshotAt(program->source, 2015, &program->universe);
+  ASSERT_TRUE(snapshot.ok());
+  auto outcome =
+      ChaseSnapshot(*snapshot, program->mapping, &program->universe);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+}
+
+// ---------------------------------------------------------------------------
+// The abstract chase
+// ---------------------------------------------------------------------------
+
+TEST(AbstractChaseBudgetTest, BudgetAbortsWithPieceSpan) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto ia = AbstractInstance::FromConcrete(program->source);
+  ASSERT_TRUE(ia.ok()) << ia.status().ToString();
+  ChaseLimits limits;
+  limits.max_tgd_fires = 1;
+  auto outcome =
+      AbstractChase(*ia, program->mapping, &program->universe, limits);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kTgdFires);
+  EXPECT_TRUE(outcome->failure_span.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Naive evaluation and certain answers
+// ---------------------------------------------------------------------------
+
+TEST(NaiveEvalBudgetTest, FragmentBudgetReturnsResourceExhausted) {
+  auto program = ParseOrDie(kPaperProgram);
+  const CChaseOutcome chase = CChaseWithLimits(*program, ChaseLimits{});
+  ASSERT_EQ(chase.kind, ChaseResultKind::kSuccess);
+  auto query = program->FindQuery("salaries");
+  ASSERT_TRUE(query.ok());
+  auto lifted = LiftUnionQuery(**query, program->schema);
+  ASSERT_TRUE(lifted.ok()) << lifted.status().ToString();
+
+  ChaseLimits limits;
+  limits.max_normalize_fragments = 1;
+  auto answers = NaiveEvaluateConcrete(*lifted, chase.target, limits);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CertainAnswersBudgetTest, AbortedChaseYieldsNoAnswers) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto query = program->FindQuery("salaries");
+  ASSERT_TRUE(query.ok());
+  auto lifted = LiftUnionQuery(**query, program->schema);
+  ASSERT_TRUE(lifted.ok());
+
+  ChaseLimits limits;
+  limits.max_tgd_fires = 1;
+  auto result = CertainAnswers(*lifted, program->source, program->lifted,
+                               &program->universe, limits);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // An aborted chase must never be read as "no certain answers exist" — the
+  // kind flags the answers as absent, not empty-and-certain.
+  EXPECT_EQ(result->chase_kind, ChaseResultKind::kAborted);
+  EXPECT_TRUE(result->answers.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Abort safety: a partial target is never a claimed solution
+// ---------------------------------------------------------------------------
+
+TEST(AbortSafetyTest, AbortedTargetIsSmallerThanSolution) {
+  auto unlimited = ParseOrDie(kPaperProgram);
+  const CChaseOutcome full = CChaseWithLimits(*unlimited, ChaseLimits{});
+  ASSERT_EQ(full.kind, ChaseResultKind::kSuccess);
+
+  auto budgeted = ParseOrDie(kPaperProgram);
+  ChaseLimits limits;
+  limits.max_tgd_fires = 1;
+  const CChaseOutcome partial = CChaseWithLimits(*budgeted, limits);
+  ASSERT_EQ(partial.kind, ChaseResultKind::kAborted);
+  // The partial target is for diagnosis only; it cannot have caught up with
+  // the real solution.
+  EXPECT_LT(partial.target.size(), full.target.size());
+}
+
+}  // namespace
+}  // namespace tdx

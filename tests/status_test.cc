@@ -76,5 +76,19 @@ TEST(ResultTest, MoveOnlyValues) {
   EXPECT_EQ(*v, 7);
 }
 
+TEST(StatusTest, ResourceExhausted) {
+  const Status s = Status::ResourceExhausted("tgd fire budget spent");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: tgd fire budget spent");
+}
+
+TEST(StatusTest, DeadlineExceeded) {
+  const Status s = Status::DeadlineExceeded("ran past 50ms");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: ran past 50ms");
+}
+
 }  // namespace
 }  // namespace tdx

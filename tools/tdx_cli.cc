@@ -13,13 +13,26 @@
 //   tdx_cli snapshots <file> <l..> print target snapshots at time points
 //   tdx_cli emit <file>            re-emit the parsed program (round-trip)
 //   tdx_cli possible <file> <q> <l> possible answers of query q at time l
+//
+// Resource-governance flags (any command; default unlimited):
+//
+//   --max-tgd-fires=N --max-egd-steps=N --max-fresh-nulls=N --max-facts=N
+//   --max-fragments=N --deadline-ms=N
+//   --max-input-bytes=N --max-tokens=N --max-nesting-depth=N
+//
+// A chase that exhausts its budget prints "ABORTED (<dimension>): <reason>"
+// and exits non-zero; the partial target is never printed as a solution.
 
+#include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/common/resource.h"
 #include "src/core/align.h"
 #include "src/core/certain.h"
 #include "src/core/naive_eval.h"
@@ -37,7 +50,7 @@ namespace {
 
 int Usage() {
   std::cerr
-      << "usage: tdx_cli <command> <program-file> [args]\n"
+      << "usage: tdx_cli <command> <program-file> [args] [flags]\n"
          "commands:\n"
          "  chase      run the c-chase and print the concrete solution\n"
          "  normalize  print Algorithm-1 and naive normalizations\n"
@@ -47,8 +60,79 @@ int Usage() {
          "  core       c-chase, then the core of the solution\n"
          "  snapshots  print target snapshots: tdx_cli snapshots <file> <l>...\n"
          "  emit       re-emit the parsed program in the text format\n"
-         "  possible   possible answers: tdx_cli possible <file> <q> <l>\n";
+         "  possible   possible answers: tdx_cli possible <file> <q> <l>\n"
+         "flags (default unlimited):\n"
+         "  --max-tgd-fires=N     abort the chase after N tgd firings\n"
+         "  --max-egd-steps=N     abort after N egd applications\n"
+         "  --max-fresh-nulls=N   abort after minting N labeled nulls\n"
+         "  --max-facts=N         abort once the target holds N facts\n"
+         "  --max-fragments=N     abort a normalization pass at N fragments\n"
+         "  --deadline-ms=N       abort any engine after N milliseconds\n"
+         "  --max-input-bytes=N   reject program files larger than N bytes\n"
+         "  --max-tokens=N        reject programs with more than N tokens\n"
+         "  --max-nesting-depth=N reject atoms nested deeper than N\n";
   return EXIT_FAILURE;
+}
+
+struct CliOptions {
+  tdx::ChaseLimits limits;
+  tdx::ParseLimits parse_limits;
+};
+
+bool ParseSize(std::string_view text, std::size_t* out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+// Consumes `--flag=N` arguments into `options`; everything else (command,
+// file, positional args) is appended to `positional`. Returns false and
+// prints a diagnostic on a malformed or unknown flag.
+bool ParseFlags(int argc, char** argv, CliOptions* options,
+                std::vector<std::string>* positional) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional->emplace_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      std::cerr << "flag '" << arg << "' expects --flag=N\n";
+      return false;
+    }
+    const std::string_view name = arg.substr(0, eq);
+    const std::string_view value = arg.substr(eq + 1);
+    std::size_t n = 0;
+    if (!ParseSize(value, &n)) {
+      std::cerr << "flag '" << name << "' expects a non-negative integer, got '"
+                << value << "'\n";
+      return false;
+    }
+    if (name == "--max-tgd-fires") {
+      options->limits.max_tgd_fires = n;
+    } else if (name == "--max-egd-steps") {
+      options->limits.max_egd_steps = n;
+    } else if (name == "--max-fresh-nulls") {
+      options->limits.max_fresh_nulls = n;
+    } else if (name == "--max-facts") {
+      options->limits.max_facts = n;
+    } else if (name == "--max-fragments") {
+      options->limits.max_normalize_fragments = n;
+    } else if (name == "--deadline-ms") {
+      options->limits.deadline = std::chrono::milliseconds(n);
+    } else if (name == "--max-input-bytes") {
+      options->parse_limits.max_input_bytes = n;
+    } else if (name == "--max-tokens") {
+      options->parse_limits.max_tokens = n;
+    } else if (name == "--max-nesting-depth") {
+      options->parse_limits.max_nesting_depth = n;
+    } else {
+      std::cerr << "unknown flag '" << name << "'\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 tdx::Result<std::string> ReadFile(const std::string& path) {
@@ -61,12 +145,31 @@ tdx::Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-int RunChase(tdx::ParsedProgram& program, bool with_core) {
-  auto chase =
-      tdx::CChase(program.source, program.lifted, &program.universe);
+// Prints the structured abort line. The partial target is deliberately not
+// rendered: an aborted chase never produced a solution.
+int ReportAbort(tdx::ResourceDimension dimension, const std::string& reason) {
+  std::cout << "ABORTED (" << tdx::ResourceDimensionToString(dimension)
+            << "): " << reason << "\n";
+  return EXIT_FAILURE;
+}
+
+tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
+                                          const CliOptions& options) {
+  tdx::CChaseOptions chase_options;
+  chase_options.limits = options.limits;
+  return tdx::CChase(program.source, program.lifted, &program.universe,
+                     chase_options);
+}
+
+int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
+             bool with_core) {
+  auto chase = RunCChase(program, options);
   if (!chase.ok()) {
     std::cerr << chase.status() << "\n";
     return EXIT_FAILURE;
+  }
+  if (chase->kind == tdx::ChaseResultKind::kAborted) {
+    return ReportAbort(chase->abort_dimension, chase->abort_reason);
   }
   if (chase->kind == tdx::ChaseResultKind::kFailure) {
     std::cout << "NO SOLUTION: " << chase->failure_reason << "\n";
@@ -85,12 +188,15 @@ int RunChase(tdx::ParsedProgram& program, bool with_core) {
   return EXIT_SUCCESS;
 }
 
-int RunNormalize(tdx::ParsedProgram& program) {
+int RunNormalize(tdx::ParsedProgram& program, const CliOptions& options) {
+  tdx::ResourceGuard guard(options.limits);
   tdx::NormalizeStats alg, naive;
-  const tdx::ConcreteInstance by_alg =
-      tdx::Normalize(program.source, program.lifted.TgdBodies(), &alg);
+  const tdx::ConcreteInstance by_alg = tdx::Normalize(
+      program.source, program.lifted.TgdBodies(), &alg, &guard);
+  if (guard.tripped()) return ReportAbort(guard.dimension(), guard.reason());
   const tdx::ConcreteInstance by_naive =
-      tdx::NaiveNormalize(program.source, &naive);
+      tdx::NaiveNormalize(program.source, &naive, &guard);
+  if (guard.tripped()) return ReportAbort(guard.dimension(), guard.reason());
   std::cout << "--- norm(Ic, lhs(Sigma_st)), " << alg.output_facts
             << " facts ---\n"
             << tdx::RenderConcreteInstance(by_alg, program.universe)
@@ -110,7 +216,8 @@ int RunAbstract(tdx::ParsedProgram& program) {
   return EXIT_SUCCESS;
 }
 
-int RunQuery(tdx::ParsedProgram& program, const std::string& name) {
+int RunQuery(tdx::ParsedProgram& program, const CliOptions& options,
+             const std::string& name) {
   auto query = program.FindQuery(name);
   if (!query.ok()) {
     std::cerr << query.status() << "\n";
@@ -122,9 +229,18 @@ int RunQuery(tdx::ParsedProgram& program, const std::string& name) {
     return EXIT_FAILURE;
   }
   auto result = tdx::CertainAnswers(*lifted, program.source, program.lifted,
-                                    &program.universe);
+                                    &program.universe, options.limits);
   if (!result.ok()) {
+    if (result.status().code() == tdx::StatusCode::kResourceExhausted ||
+        result.status().code() == tdx::StatusCode::kDeadlineExceeded) {
+      std::cout << "ABORTED: " << result.status().message() << "\n";
+      return EXIT_FAILURE;
+    }
     std::cerr << result.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (result->chase_kind == tdx::ChaseResultKind::kAborted) {
+    std::cout << "ABORTED: chase budget exhausted; answers are unknown\n";
     return EXIT_FAILURE;
   }
   if (result->chase_kind == tdx::ChaseResultKind::kFailure) {
@@ -135,10 +251,12 @@ int RunQuery(tdx::ParsedProgram& program, const std::string& name) {
   return EXIT_SUCCESS;
 }
 
-int RunVerify(tdx::ParsedProgram& program) {
+int RunVerify(tdx::ParsedProgram& program, const CliOptions& options) {
   // Independent oracle first: the c-chase result must satisfy the mapping.
-  auto chase =
-      tdx::CChase(program.source, program.lifted, &program.universe);
+  auto chase = RunCChase(program, options);
+  if (chase.ok() && chase->kind == tdx::ChaseResultKind::kAborted) {
+    return ReportAbort(chase->abort_dimension, chase->abort_reason);
+  }
   if (chase.ok() && chase->kind == tdx::ChaseResultKind::kSuccess) {
     auto sat = tdx::CheckSolution(program.source, chase->target,
                                   program.mapping, &program.universe);
@@ -170,10 +288,13 @@ int RunVerify(tdx::ParsedProgram& program) {
   return report->aligned() ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
-int RunSnapshots(tdx::ParsedProgram& program, int argc, char** argv) {
-  auto chase =
-      tdx::CChase(program.source, program.lifted, &program.universe);
-  if (!chase.ok() || chase->kind == tdx::ChaseResultKind::kFailure) {
+int RunSnapshots(tdx::ParsedProgram& program, const CliOptions& options,
+                 const std::vector<std::string>& positional) {
+  auto chase = RunCChase(program, options);
+  if (chase.ok() && chase->kind == tdx::ChaseResultKind::kAborted) {
+    return ReportAbort(chase->abort_dimension, chase->abort_reason);
+  }
+  if (!chase.ok() || chase->kind != tdx::ChaseResultKind::kSuccess) {
     std::cerr << "chase failed\n";
     return EXIT_FAILURE;
   }
@@ -182,8 +303,8 @@ int RunSnapshots(tdx::ParsedProgram& program, int argc, char** argv) {
     std::cerr << ja.status() << "\n";
     return EXIT_FAILURE;
   }
-  for (int i = 3; i < argc; ++i) {
-    const tdx::TimePoint l = std::stoull(argv[i]);
+  for (std::size_t i = 2; i < positional.size(); ++i) {
+    const tdx::TimePoint l = std::stoull(positional[i]);
     std::cout << "--- db_" << l << " ---\n"
               << tdx::RenderInstanceTables(ja->At(l, &program.universe),
                                            program.universe);
@@ -194,46 +315,51 @@ int RunSnapshots(tdx::ParsedProgram& program, int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
+  CliOptions options;
+  std::vector<std::string> positional;
+  if (!ParseFlags(argc, argv, &options, &positional)) return Usage();
+  if (positional.size() < 2) return Usage();
+  const std::string& command = positional[0];
 
-  auto text = ReadFile(argv[2]);
+  auto text = ReadFile(positional[1]);
   if (!text.ok()) {
     std::cerr << text.status() << "\n";
     return EXIT_FAILURE;
   }
-  auto parsed = tdx::ParseProgram(*text);
+  auto parsed = tdx::ParseProgram(*text, options.parse_limits);
   if (!parsed.ok()) {
     std::cerr << parsed.status() << "\n";
     return EXIT_FAILURE;
   }
   tdx::ParsedProgram& program = **parsed;
 
-  if (command == "chase") return RunChase(program, /*with_core=*/false);
-  if (command == "core") return RunChase(program, /*with_core=*/true);
-  if (command == "normalize") return RunNormalize(program);
+  if (command == "chase") return RunChase(program, options, false);
+  if (command == "core") return RunChase(program, options, true);
+  if (command == "normalize") return RunNormalize(program, options);
   if (command == "abstract") return RunAbstract(program);
-  if (command == "verify") return RunVerify(program);
+  if (command == "verify") return RunVerify(program, options);
   if (command == "query") {
-    if (argc < 4) return Usage();
-    return RunQuery(program, argv[3]);
+    if (positional.size() < 3) return Usage();
+    return RunQuery(program, options, positional[2]);
   }
-  if (command == "snapshots") return RunSnapshots(program, argc, argv);
+  if (command == "snapshots") return RunSnapshots(program, options, positional);
   if (command == "possible") {
-    if (argc < 5) return Usage();
-    auto chase =
-        tdx::CChase(program.source, program.lifted, &program.universe);
-    if (!chase.ok() || chase->kind == tdx::ChaseResultKind::kFailure) {
+    if (positional.size() < 4) return Usage();
+    auto chase = RunCChase(program, options);
+    if (chase.ok() && chase->kind == tdx::ChaseResultKind::kAborted) {
+      return ReportAbort(chase->abort_dimension, chase->abort_reason);
+    }
+    if (!chase.ok() || chase->kind != tdx::ChaseResultKind::kSuccess) {
       std::cerr << "chase failed\n";
       return EXIT_FAILURE;
     }
-    auto query = program.FindQuery(argv[3]);
+    auto query = program.FindQuery(positional[2]);
     if (!query.ok()) {
       std::cerr << query.status() << "\n";
       return EXIT_FAILURE;
     }
     auto answers = tdx::PossibleAnswersAt(**query, chase->target,
-                                          std::stoull(argv[4]),
+                                          std::stoull(positional[3]),
                                           &program.universe);
     if (!answers.ok()) {
       std::cerr << answers.status() << "\n";
