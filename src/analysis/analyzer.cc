@@ -1,0 +1,687 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/analysis/position_graph.h"
+#include "src/analysis/termination.h"
+#include "src/parser/parser.h"
+
+namespace tdx {
+
+namespace {
+
+/// Frozen-body nulls reuse the variable id; fresh nulls introduced when
+/// firing the implying tgd start here, far above any real variable count.
+constexpr NullId kFreshNullBase = 1u << 20;
+/// Trigger cap for the TDX015 implication test (fuzz safety).
+constexpr std::size_t kMaxImplicationTriggers = 64;
+
+std::string TgdName(const Tgd& tgd, std::size_t index) {
+  return tgd.label.empty() ? ("#" + std::to_string(index + 1))
+                           : ("'" + tgd.label + "'");
+}
+
+std::string EgdName(const Egd& egd, std::size_t index) {
+  return egd.label.empty() ? ("#" + std::to_string(index + 1))
+                           : ("'" + egd.label + "'");
+}
+
+/// Bounds check for one conjunction: relation ids in range, atom arity
+/// matching the schema, variable ids under num_vars. Everything downstream
+/// (position graphs, frozen instances) assumes this.
+bool ConjunctionIsStructural(const Conjunction& conj, const Schema& schema) {
+  for (const Atom& atom : conj.atoms) {
+    if (atom.rel >= schema.relation_count()) return false;
+    if (atom.terms.size() != schema.relation(atom.rel).arity()) return false;
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && t.var() >= conj.num_vars) return false;
+    }
+  }
+  return true;
+}
+
+bool InputIsStructural(const AnalysisInput& in) {
+  for (const Tgd& tgd : in.mapping->st_tgds) {
+    if (!ConjunctionIsStructural(tgd.body, *in.schema) ||
+        !ConjunctionIsStructural(tgd.head, *in.schema)) {
+      return false;
+    }
+  }
+  for (const Tgd& tgd : in.mapping->target_tgds) {
+    if (!ConjunctionIsStructural(tgd.body, *in.schema) ||
+        !ConjunctionIsStructural(tgd.head, *in.schema)) {
+      return false;
+    }
+  }
+  for (const Egd& egd : in.mapping->egds) {
+    if (!ConjunctionIsStructural(egd.body, *in.schema)) return false;
+    if (egd.x1 >= egd.body.num_vars || egd.x2 >= egd.body.num_vars) {
+      return false;
+    }
+  }
+  if (in.queries != nullptr) {
+    for (const UnionQuery& uq : *in.queries) {
+      for (const ConjunctiveQuery& q : uq.disjuncts) {
+        if (!ConjunctionIsStructural(q.body, *in.schema)) return false;
+        for (VarId v : q.head) {
+          if (v >= q.body.num_vars) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TDX001 / TDX002 / TDX003: the termination ladder.
+
+void AnalyzeTermination(const AnalysisInput& in, AnalysisReport* report) {
+  const Mapping& m = *in.mapping;
+  report->certificate = m.certificate.has_value()
+                            ? *m.certificate
+                            : CertifyTermination(m.target_tgds, *in.schema);
+  const TerminationCriterion criterion = report->certificate.criterion;
+  if (criterion == TerminationCriterion::kNoTargetTgds ||
+      criterion == TerminationCriterion::kRichlyAcyclic) {
+    return;
+  }
+  if (criterion == TerminationCriterion::kWeaklyAcyclic) {
+    const PositionGraph rich = PositionGraph::Build(
+        m.target_tgds, *in.schema, PositionGraph::Kind::kRich);
+    if (const auto cycle = rich.FindSpecialCycle()) {
+      const Tgd& tgd = m.target_tgds[cycle->tgd_index];
+      report->Add("TDX003", Severity::kNote,
+                  "target tgds are weakly but not richly acyclic: the "
+                  "extended-graph cycle " +
+                      rich.FormatCycle(*in.schema, *cycle) + " through tgd " +
+                      TgdName(tgd, cycle->tgd_index) +
+                      " means the oblivious chase may not terminate",
+                  tgd.span);
+    }
+    return;
+  }
+  // Stratified or unknown: the weak graph has a special cycle; name it.
+  const PositionGraph weak = PositionGraph::Build(m.target_tgds, *in.schema,
+                                                  PositionGraph::Kind::kWeak);
+  const auto cycle = weak.FindSpecialCycle();
+  SourceSpan span;
+  std::string detail = report->certificate.witness;
+  std::string culprit;
+  if (cycle.has_value()) {
+    const Tgd& tgd = m.target_tgds[cycle->tgd_index];
+    span = tgd.span;
+    detail = weak.FormatCycle(*in.schema, *cycle);
+    culprit = " of tgd " + TgdName(tgd, cycle->tgd_index);
+  }
+  if (criterion == TerminationCriterion::kStratified) {
+    report->Add("TDX002", Severity::kWarning,
+                "target tgds are not weakly acyclic (cycle " + detail +
+                    culprit +
+                    "); termination is certified by stratification only",
+                span,
+                "break the cycle so each rung of the ladder applies, or "
+                "keep the precedence strata acyclic");
+  } else {
+    report->Add("TDX001", Severity::kError,
+                "target tgds admit a non-terminating chase: the cycle " +
+                    detail + culprit +
+                    " passes through a special (existential) edge",
+                span,
+                "remove an existential variable from the cycle or split "
+                "the dependency");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX010: temporal satisfiability of tgd bodies against the source.
+
+/// Sorts and merges overlapping/adjacent intervals into a disjoint cover
+/// of the same time points.
+std::vector<Interval> MergeCover(std::vector<Interval> ivs) {
+  std::sort(ivs.begin(), ivs.end());
+  std::vector<Interval> out;
+  for (const Interval& iv : ivs) {
+    if (!out.empty() && out.back().Mergeable(iv)) {
+      out.back() = out.back().MergeWith(iv);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+/// Pointwise intersection of two disjoint sorted covers.
+std::vector<Interval> IntersectCovers(const std::vector<Interval>& a,
+                                      const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (const auto common = a[i].Intersect(b[j])) out.push_back(*common);
+    if (a[i].end() < b[j].end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+void AnalyzeSatisfiability(const AnalysisInput& in, AnalysisReport* report) {
+  if (in.source == nullptr || in.source->empty()) return;
+  const Schema& schema = *in.schema;
+  // Time coverage of each snapshot source relation, from its twin's facts.
+  std::unordered_map<RelationId, std::vector<Interval>> coverage;
+  const auto coverage_of =
+      [&](RelationId rel) -> const std::vector<Interval>* {
+    auto it = coverage.find(rel);
+    if (it != coverage.end()) return &it->second;
+    const Result<RelationId> twin = schema.TwinOf(rel);
+    if (!twin.ok()) return nullptr;
+    std::vector<Interval> ivs;
+    for (const Fact& f : in.source->facts().facts(*twin)) {
+      if (f.has_interval()) ivs.push_back(f.interval());
+    }
+    return &coverage.emplace(rel, MergeCover(std::move(ivs))).first->second;
+  };
+  for (std::size_t ti = 0; ti < in.mapping->st_tgds.size(); ++ti) {
+    const Tgd& tgd = in.mapping->st_tgds[ti];
+    std::vector<RelationId> rels;
+    for (const Atom& atom : tgd.body.atoms) {
+      if (std::find(rels.begin(), rels.end(), atom.rel) == rels.end()) {
+        rels.push_back(atom.rel);
+      }
+    }
+    if (rels.size() < 2) continue;
+    std::vector<Interval> common;
+    bool usable = true;
+    for (std::size_t k = 0; k < rels.size() && usable; ++k) {
+      const std::vector<Interval>* cov = coverage_of(rels[k]);
+      // Unknown twin or a relation with no facts at all: stay silent (no
+      // data is not an interval conflict).
+      if (cov == nullptr || cov->empty()) {
+        usable = false;
+        break;
+      }
+      common = (k == 0) ? *cov : IntersectCovers(common, *cov);
+      if (common.empty()) {
+        std::string names;
+        for (std::size_t r = 0; r < rels.size(); ++r) {
+          if (r > 0) names += ", ";
+          names += "'" + schema.relation(rels[r]).name + "'";
+        }
+        report->Add("TDX010", Severity::kWarning,
+                    "body of tgd " + TgdName(tgd, ti) +
+                        " can never fire: its relations (" + names +
+                        ") never hold at a common time point",
+                    tgd.span,
+                    "check the fact intervals; a conjunction only matches "
+                    "within the intersection of its relations' time "
+                    "coverage (Def. 10)");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX011: egds that can only ever equate distinct constants.
+
+/// Over-approximation of the values a target position can hold, derived
+/// from the tgd heads (the only writers of target relations).
+struct PosSet {
+  bool top = false;       ///< any value (a universal variable is written)
+  bool may_null = false;  ///< an existential variable is written
+  std::set<Value> constants;
+};
+
+PosSet IntersectPosSets(const PosSet& a, const PosSet& b) {
+  if (a.top) return b;
+  if (b.top) return a;
+  PosSet out;
+  out.may_null = a.may_null && b.may_null;
+  std::set_intersection(a.constants.begin(), a.constants.end(),
+                        b.constants.begin(), b.constants.end(),
+                        std::inserter(out.constants, out.constants.begin()));
+  return out;
+}
+
+void AnalyzeEgdConstants(const AnalysisInput& in, AnalysisReport* report) {
+  const Mapping& m = *in.mapping;
+  if (m.egds.empty()) return;
+  std::map<std::pair<RelationId, std::size_t>, PosSet> written;
+  const auto absorb_head = [&written](const Tgd& tgd) {
+    const std::unordered_set<VarId> existential(tgd.existential.begin(),
+                                                tgd.existential.end());
+    for (const Atom& atom : tgd.head.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        PosSet& pos = written[{atom.rel, i}];
+        const Term& t = atom.terms[i];
+        if (!t.is_var()) {
+          pos.constants.insert(t.value());
+        } else if (existential.count(t.var()) != 0) {
+          pos.may_null = true;
+        } else {
+          pos.top = true;
+        }
+      }
+    }
+  };
+  for (const Tgd& tgd : m.st_tgds) absorb_head(tgd);
+  for (const Tgd& tgd : m.target_tgds) absorb_head(tgd);
+
+  for (std::size_t ei = 0; ei < m.egds.size(); ++ei) {
+    const Egd& egd = m.egds[ei];
+    const auto candidate = [&](VarId x) {
+      PosSet cand;
+      cand.top = true;
+      for (const Atom& atom : egd.body.atoms) {
+        for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& t = atom.terms[i];
+          if (!t.is_var() || t.var() != x) continue;
+          auto it = written.find({atom.rel, i});
+          cand = IntersectPosSets(cand, it == written.end() ? PosSet{}
+                                                            : it->second);
+        }
+      }
+      return cand;
+    };
+    const PosSet left = candidate(egd.x1);
+    const PosSet right = candidate(egd.x2);
+    if (left.top || right.top || left.may_null || right.may_null) continue;
+    if (left.constants.empty() || right.constants.empty()) continue;
+    const PosSet both = IntersectPosSets(left, right);
+    if (!both.constants.empty()) continue;
+    report->Add("TDX011", Severity::kWarning,
+                "egd " + EgdName(egd, ei) +
+                    " can only ever equate distinct constants; every firing "
+                    "would make the chase fail",
+                egd.span,
+                "the tgd heads feeding its two sides write disjoint "
+                "constant sets");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX012: variables used exactly once.
+
+bool LintableVarName(const Conjunction& conj, VarId v, std::string* name) {
+  if (v >= conj.var_names.size()) return false;
+  const std::string& n = conj.var_names[v];
+  if (n.empty() || n[0] == '_') return false;
+  *name = n;
+  return true;
+}
+
+void CountVars(const Conjunction& conj, std::vector<std::size_t>* counts) {
+  for (const Atom& atom : conj.atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && t.var() < counts->size()) ++(*counts)[t.var()];
+    }
+  }
+}
+
+void AnalyzeSingleUseVars(const AnalysisInput& in, AnalysisReport* report) {
+  const auto report_single =
+      [report](const Conjunction& names, const std::vector<std::size_t>& counts,
+               const std::unordered_set<VarId>& skip, const std::string& what,
+               const SourceSpan& span) {
+        for (VarId v = 0; v < counts.size(); ++v) {
+          if (counts[v] != 1 || skip.count(v) != 0) continue;
+          std::string name;
+          if (!LintableVarName(names, v, &name)) continue;
+          report->Add("TDX012", Severity::kNote,
+                      "variable '" + name + "' occurs only once in " + what,
+                      span, "rename it to '_' if the projection is intended");
+        }
+      };
+  const auto analyze_tgds = [&](const std::vector<Tgd>& tgds,
+                                const std::string& kind) {
+    for (std::size_t ti = 0; ti < tgds.size(); ++ti) {
+      const Tgd& tgd = tgds[ti];
+      std::vector<std::size_t> counts(tgd.body.num_vars, 0);
+      CountVars(tgd.body, &counts);
+      CountVars(tgd.head, &counts);
+      const std::unordered_set<VarId> skip(tgd.existential.begin(),
+                                           tgd.existential.end());
+      report_single(tgd.body, counts, skip, kind + " " + TgdName(tgd, ti),
+                    tgd.span);
+    }
+  };
+  analyze_tgds(in.mapping->st_tgds, "tgd");
+  analyze_tgds(in.mapping->target_tgds, "target tgd");
+  for (std::size_t ei = 0; ei < in.mapping->egds.size(); ++ei) {
+    const Egd& egd = in.mapping->egds[ei];
+    std::vector<std::size_t> counts(egd.body.num_vars, 0);
+    CountVars(egd.body, &counts);
+    // The equality is a use of both sides.
+    if (egd.x1 < counts.size()) ++counts[egd.x1];
+    if (egd.x2 < counts.size()) ++counts[egd.x2];
+    report_single(egd.body, counts, {}, "egd " + EgdName(egd, ei), egd.span);
+  }
+  if (in.queries == nullptr) return;
+  for (const UnionQuery& uq : *in.queries) {
+    for (const ConjunctiveQuery& q : uq.disjuncts) {
+      std::vector<std::size_t> counts(q.body.num_vars, 0);
+      CountVars(q.body, &counts);
+      for (VarId v : q.head) {
+        if (v < counts.size()) ++counts[v];
+      }
+      report_single(q.body, counts, {}, "query '" + q.name + "'", q.span);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX013: relations never mentioned by any dependency or query.
+
+void AnalyzeDeadRelations(const AnalysisInput& in, AnalysisReport* report) {
+  const Schema& schema = *in.schema;
+  std::vector<bool> used(schema.relation_count(), false);
+  const auto mark = [&used](const Conjunction& conj) {
+    for (const Atom& atom : conj.atoms) {
+      if (atom.rel < used.size()) used[atom.rel] = true;
+    }
+  };
+  for (const Tgd& tgd : in.mapping->st_tgds) {
+    mark(tgd.body);
+    mark(tgd.head);
+  }
+  for (const Tgd& tgd : in.mapping->target_tgds) {
+    mark(tgd.body);
+    mark(tgd.head);
+  }
+  for (const Egd& egd : in.mapping->egds) mark(egd.body);
+  if (in.queries != nullptr) {
+    for (const UnionQuery& uq : *in.queries) {
+      for (const ConjunctiveQuery& q : uq.disjuncts) mark(q.body);
+    }
+  }
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    const RelationSchema& rel = schema.relation(r);
+    if (rel.temporal || used[r]) continue;  // report on the snapshot twin
+    // A snapshot relation is alive if its concrete twin is used directly
+    // (lifted dependencies and facts live there).
+    if (rel.twin.has_value() && used[*rel.twin]) continue;
+    SourceSpan span;
+    if (in.relation_spans != nullptr && r < in.relation_spans->size()) {
+      span = (*in.relation_spans)[r];
+    }
+    report->Add("TDX013", Severity::kWarning,
+                "relation '" + rel.name +
+                    "' is never used by any dependency or query",
+                span, "delete the declaration or add a dependency over it");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX014 / TDX015: duplicate and implied dependencies.
+
+/// Stable spelling of a non-variable term for canonical comparison.
+std::string ValueKey(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kConstant:
+      return "c" + std::to_string(v.symbol());
+    case ValueKind::kNull:
+      return "n" + std::to_string(v.null_id());
+    case ValueKind::kAnnotatedNull:
+      return "a" + std::to_string(v.null_id()) + "@" +
+             std::to_string(v.interval().start()) + ":" +
+             std::to_string(v.interval().end());
+    case ValueKind::kInterval:
+      return "i" + std::to_string(v.interval().start()) + ":" +
+             std::to_string(v.interval().end());
+  }
+  return "?";
+}
+
+/// Canonical form of a conjunction under first-occurrence variable
+/// renaming; `ren` accumulates the renaming across calls so body and head
+/// share one namespace.
+std::string CanonConjunction(const Conjunction& conj,
+                             std::unordered_map<VarId, std::size_t>* ren) {
+  std::string out;
+  for (const Atom& atom : conj.atoms) {
+    out += "R" + std::to_string(atom.rel) + "(";
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) {
+        const auto [it, unused] = ren->emplace(t.var(), ren->size());
+        out += "v" + std::to_string(it->second);
+      } else {
+        out += ValueKey(t.value());
+      }
+      out += ",";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string CanonTgd(const Tgd& tgd) {
+  std::unordered_map<VarId, std::size_t> ren;
+  std::string out = CanonConjunction(tgd.body, &ren);
+  out += "->";
+  out += CanonConjunction(tgd.head, &ren);
+  return out;
+}
+
+std::string CanonEgd(const Egd& egd) {
+  std::unordered_map<VarId, std::size_t> ren;
+  std::string out = CanonConjunction(egd.body, &ren);
+  const std::size_t a = ren.count(egd.x1) ? ren[egd.x1] : ren.size();
+  const std::size_t b = ren.count(egd.x2) ? ren[egd.x2] : ren.size() + 1;
+  out += "->v" + std::to_string(std::min(a, b)) + "=v" +
+         std::to_string(std::max(a, b));
+  return out;
+}
+
+/// One-step chase implication: does firing `a` on the frozen body of `b`
+/// always produce everything `b`'s head demands? Sound — a `true` verdict
+/// means `b` is redundant whenever `a` is present.
+bool TgdImplies(const Tgd& a, const Tgd& b, const Schema& schema) {
+  Instance frozen(&schema);
+  for (const Atom& atom : b.body.atoms) {
+    std::vector<Value> args;
+    args.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      args.push_back(t.is_var() ? Value::Null(t.var()) : t.value());
+    }
+    frozen.Insert(atom.rel, std::move(args));
+  }
+  std::vector<Binding> triggers;
+  {
+    HomomorphismFinder finder(frozen);
+    finder.ForEach(a.body, Binding(a.body.num_vars),
+                   [&triggers](const Binding& binding, const AtomImage&) {
+                     triggers.push_back(binding);
+                     return triggers.size() < kMaxImplicationTriggers;
+                   });
+  }
+  Instance result = frozen;
+  NullId fresh = kFreshNullBase;
+  for (const Binding& binding : triggers) {
+    std::unordered_map<VarId, Value> invented;
+    for (VarId v : a.existential) {
+      invented.emplace(v, Value::Null(fresh++));
+    }
+    for (const Atom& atom : a.head.atoms) {
+      std::vector<Value> args;
+      args.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        if (!t.is_var()) {
+          args.push_back(t.value());
+        } else if (binding.IsBound(t.var())) {
+          args.push_back(binding.Get(t.var()));
+        } else {
+          args.push_back(invented.at(t.var()));
+        }
+      }
+      result.Insert(atom.rel, std::move(args));
+    }
+  }
+  // b's head must embed, with universal variables pinned to their frozen
+  // nulls and existentials free.
+  const std::unordered_set<VarId> existential(b.existential.begin(),
+                                              b.existential.end());
+  Binding init(b.head.num_vars);
+  for (const Atom& atom : b.head.atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && existential.count(t.var()) == 0) {
+        init.Bind(t.var(), Value::Null(t.var()));
+      }
+    }
+  }
+  HomomorphismFinder finder(result);
+  return finder.Exists(b.head, init);
+}
+
+void AnalyzeRedundancy(const AnalysisInput& in, AnalysisReport* report) {
+  const auto analyze_group = [&](const std::vector<Tgd>& tgds,
+                                 const std::string& kind) {
+    std::vector<std::string> canon(tgds.size());
+    for (std::size_t i = 0; i < tgds.size(); ++i) canon[i] = CanonTgd(tgds[i]);
+    std::unordered_map<std::string, std::size_t> first;
+    std::vector<bool> duplicate(tgds.size(), false);
+    for (std::size_t i = 0; i < tgds.size(); ++i) {
+      const auto [it, inserted] = first.emplace(canon[i], i);
+      if (inserted) continue;
+      duplicate[i] = true;
+      report->Add("TDX014", Severity::kWarning,
+                  kind + " " + TgdName(tgds[i], i) + " duplicates " + kind +
+                      " " + TgdName(tgds[it->second], it->second) +
+                      " (identical up to variable renaming)",
+                  tgds[i].span, "delete one of the two");
+    }
+    for (std::size_t i = 0; i < tgds.size(); ++i) {
+      if (duplicate[i]) continue;
+      for (std::size_t j = 0; j < tgds.size(); ++j) {
+        if (i == j || duplicate[j] || canon[i] == canon[j]) continue;
+        if (!TgdImplies(tgds[j], tgds[i], *in.schema)) continue;
+        report->Add("TDX015", Severity::kNote,
+                    kind + " " + TgdName(tgds[i], i) + " is implied by " +
+                        kind + " " + TgdName(tgds[j], j) +
+                        " and can be dropped",
+                    tgds[i].span);
+        break;
+      }
+    }
+  };
+  analyze_group(in.mapping->st_tgds, "tgd");
+  analyze_group(in.mapping->target_tgds, "target tgd");
+  // Egds: duplicates only (implication between egds is rarely actionable).
+  std::unordered_map<std::string, std::size_t> first;
+  for (std::size_t i = 0; i < in.mapping->egds.size(); ++i) {
+    const Egd& egd = in.mapping->egds[i];
+    const auto [it, inserted] = first.emplace(CanonEgd(egd), i);
+    if (inserted) continue;
+    report->Add("TDX014", Severity::kWarning,
+                "egd " + EgdName(egd, i) + " duplicates egd " +
+                    EgdName(in.mapping->egds[it->second], it->second) +
+                    " (identical up to variable renaming)",
+                egd.span, "delete one of the two");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TDX016: normalization blowup estimate.
+
+void AnalyzeBlowup(const AnalysisInput& in, const AnalyzerOptions& options,
+                   AnalysisReport* report) {
+  if (in.source == nullptr) return;
+  const std::size_t total_facts = in.source->size();
+  if (total_facts < options.blowup_min_facts) return;
+  const Schema& schema = *in.schema;
+  // Relations co-occurring in some tgd body fragment each other during
+  // normalization against Phi+ (Section 4.2/4.3).
+  std::unordered_map<RelationId, std::unordered_set<RelationId>> cobody;
+  for (const Tgd& tgd : in.mapping->st_tgds) {
+    for (const Atom& a : tgd.body.atoms) {
+      for (const Atom& b : tgd.body.atoms) {
+        if (a.rel != b.rel) cobody[a.rel].insert(b.rel);
+      }
+    }
+  }
+  double estimate = 0;
+  std::size_t counted_facts = 0;
+  for (const auto& [rel, partners] : cobody) {
+    const Result<RelationId> twin = schema.TwinOf(rel);
+    if (!twin.ok()) continue;
+    std::vector<Interval> partner_ivs;
+    for (RelationId p : partners) {
+      const Result<RelationId> ptwin = schema.TwinOf(p);
+      if (!ptwin.ok()) continue;
+      for (const Fact& f : in.source->facts().facts(*ptwin)) {
+        if (f.has_interval()) partner_ivs.push_back(f.interval());
+      }
+    }
+    const std::vector<TimePoint> cuts = DistinctFiniteEndpoints(partner_ivs);
+    for (const Fact& f : in.source->facts().facts(*twin)) {
+      if (!f.has_interval()) continue;
+      const Interval iv = f.interval();
+      const auto lo = std::upper_bound(cuts.begin(), cuts.end(), iv.start());
+      const auto hi = std::lower_bound(cuts.begin(), cuts.end(), iv.end());
+      estimate += 1.0 + static_cast<double>(hi - lo);
+      ++counted_facts;
+    }
+  }
+  if (counted_facts == 0) return;
+  const double factor = estimate / static_cast<double>(counted_facts);
+  if (factor <= options.blowup_warn_factor) return;
+  report->Add(
+      "TDX016", Severity::kWarning,
+      "normalizing the source against Phi+ is estimated to fragment " +
+          std::to_string(counted_facts) + " facts into ~" +
+          std::to_string(static_cast<std::size_t>(estimate)) +
+          " pieces (x" + std::to_string(factor).substr(0, 4) +
+          "); Theorem 13 only bounds this by O(n^2)",
+      {},
+      "coalesce adjacent facts or split multi-relation tgd bodies to "
+      "reduce cross-relation interval cuts");
+}
+
+}  // namespace
+
+AnalysisReport Analyze(const AnalysisInput& input,
+                       const AnalyzerOptions& options) {
+  AnalysisReport report;
+  assert(input.schema != nullptr && input.mapping != nullptr);
+  if (!InputIsStructural(input)) {
+    report.Add("TDX000", Severity::kError,
+               "mapping is structurally invalid (atom arity or ids out of "
+               "range); run it through the parser first");
+    return report;
+  }
+  AnalyzeTermination(input, &report);
+  if (input.mapping->st_tgds.empty()) {
+    report.Add("TDX017", Severity::kWarning,
+               "mapping has no s-t tgds; the target instance is always empty",
+               {}, "add at least one 'tgd' statement");
+  }
+  AnalyzeRedundancy(input, &report);
+  AnalyzeEgdConstants(input, &report);
+  AnalyzeSingleUseVars(input, &report);
+  AnalyzeDeadRelations(input, &report);
+  AnalyzeSatisfiability(input, &report);
+  AnalyzeBlowup(input, options, &report);
+  report.Sort();
+  return report;
+}
+
+AnalysisReport AnalyzeProgram(const ParsedProgram& program,
+                              const AnalyzerOptions& options) {
+  AnalysisInput input;
+  input.schema = &program.schema;
+  input.mapping = &program.mapping;
+  input.source = &program.source;
+  input.queries = &program.queries;
+  input.relation_spans = &program.relation_spans;
+  return Analyze(input, options);
+}
+
+}  // namespace tdx

@@ -1,0 +1,31 @@
+#include "src/analysis/certificate.h"
+
+namespace tdx {
+
+std::string_view TerminationCriterionName(TerminationCriterion c) {
+  switch (c) {
+    case TerminationCriterion::kNoTargetTgds:
+      return "no-target-tgds";
+    case TerminationCriterion::kRichlyAcyclic:
+      return "richly-acyclic";
+    case TerminationCriterion::kWeaklyAcyclic:
+      return "weakly-acyclic";
+    case TerminationCriterion::kStratified:
+      return "stratified";
+    case TerminationCriterion::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string TerminationCertificate::ToString() const {
+  std::string out(TerminationCriterionName(criterion));
+  if (!witness.empty()) {
+    out += criterion == TerminationCriterion::kUnknown ? " (cycle: " : " (";
+    out += witness;
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace tdx

@@ -1,0 +1,73 @@
+// Termination certificates: the decidable chase-termination ladder.
+//
+// The paper restricts itself to s-t tgds and egds precisely because every
+// chase sequence then terminates (Section 1); the tdx target-tgd extension
+// re-admits non-termination, which must be ruled out *statically*. Grahne &
+// Onet ("Anatomy of the chase") survey a hierarchy of decidable criteria;
+// tdx implements the three most useful rungs (see analysis/termination.h):
+//
+//   rich acyclicity  ⊂  weak acyclicity  ⊂  stratification
+//
+// A TerminationCertificate records which rung certified a mapping (or that
+// none did, together with a witness cycle). The certificate travels with
+// the Mapping, is recorded in ChaseStats by every engine run, and lets the
+// engines skip re-deriving the check on every invocation.
+//
+// This header is deliberately a leaf (no dependency on relational/): the
+// certificate type is embedded in Mapping and ChaseStats, which live below
+// the analysis pass that computes it.
+
+#ifndef TDX_ANALYSIS_CERTIFICATE_H_
+#define TDX_ANALYSIS_CERTIFICATE_H_
+
+#include <string>
+#include <string_view>
+
+namespace tdx {
+
+/// The rung of the termination ladder that certified a set of target tgds,
+/// ordered from strongest guarantee to none.
+enum class TerminationCriterion {
+  /// No target tgds at all: the paper's own fragment; chase always
+  /// terminates regardless of anything else.
+  kNoTargetTgds,
+  /// Richly acyclic: no cycle through a special edge in the *extended*
+  /// dependency graph (special edges from every body position). Even the
+  /// oblivious (unrestricted) chase terminates.
+  kRichlyAcyclic,
+  /// Weakly acyclic (Fagin, Kolaitis, Miller, Popa): no cycle through a
+  /// special edge in the dependency graph. Every standard/restricted chase
+  /// sequence terminates.
+  kWeaklyAcyclic,
+  /// Stratified: the dependencies partition into strata (SCCs of the
+  /// firing-precedence graph) each of which is weakly acyclic on its own.
+  /// Every chase sequence still terminates, but no polynomial bound from a
+  /// single dependency graph applies.
+  kStratified,
+  /// No criterion on the ladder applies; the chase may diverge.
+  kUnknown,
+};
+
+/// Stable lower-case token for a criterion ("weakly-acyclic", ...).
+std::string_view TerminationCriterionName(TerminationCriterion c);
+
+/// The result of running the termination ladder over a set of target tgds.
+struct TerminationCertificate {
+  TerminationCriterion criterion = TerminationCriterion::kNoTargetTgds;
+  /// When criterion == kUnknown: a human-readable description of the
+  /// offending position cycle (e.g. "N.y -*-> N.y"). Otherwise empty or a
+  /// short note on what was certified.
+  std::string witness;
+
+  /// True iff every chase sequence with these target tgds terminates.
+  bool guarantees_termination() const {
+    return criterion != TerminationCriterion::kUnknown;
+  }
+
+  /// "weakly-acyclic" or "unknown (cycle: ...)".
+  std::string ToString() const;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_ANALYSIS_CERTIFICATE_H_

@@ -1,0 +1,147 @@
+#include "src/analysis/diagnostic.h"
+
+#include <algorithm>
+
+namespace tdx {
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "note";
+}
+
+void AnalysisReport::Add(std::string id, Severity severity,
+                         std::string message, SourceSpan span,
+                         std::string hint) {
+  diagnostics.push_back(Diagnostic{std::move(id), severity, std::move(message),
+                                   span, std::move(hint)});
+}
+
+std::size_t AnalysisReport::CountOf(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void AnalysisReport::PromoteWarnings() {
+  for (Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) d.severity = Severity::kError;
+  }
+}
+
+void AnalysisReport::Sort() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     if (a.span.column != b.span.column) {
+                       return a.span.column < b.span.column;
+                     }
+                     if (a.id != b.id) return a.id < b.id;
+                     return a.message < b.message;
+                   });
+}
+
+std::string RenderDiagnostic(const Diagnostic& d, std::string_view file) {
+  std::string out(file);
+  if (d.span.valid()) {
+    out += ':' + std::to_string(d.span.line) + ':' +
+           std::to_string(d.span.column);
+  }
+  out += ": ";
+  out += SeverityName(d.severity);
+  out += ": " + d.message + " [" + d.id + "]\n";
+  if (!d.hint.empty()) out += "    hint: " + d.hint + "\n";
+  return out;
+}
+
+std::string RenderText(const AnalysisReport& report, std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += RenderDiagnostic(d, file);
+  }
+  out += file;
+  out += ": " + std::to_string(report.CountOf(Severity::kError)) +
+         " error(s), " + std::to_string(report.CountOf(Severity::kWarning)) +
+         " warning(s), " + std::to_string(report.CountOf(Severity::kNote)) +
+         " note(s)\n";
+  out += file;
+  out += ": termination: " + report.certificate.ToString() + "\n";
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const AnalysisReport& report, std::string_view file) {
+  std::string out = "{\"file\":\"" + JsonEscape(file) + "\",";
+  out += "\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":\"" + JsonEscape(d.id) + "\",";
+    out += "\"severity\":\"" + std::string(SeverityName(d.severity)) + "\",";
+    out += "\"line\":" + std::to_string(d.span.line) + ",";
+    out += "\"column\":" + std::to_string(d.span.column) + ",";
+    out += "\"message\":\"" + JsonEscape(d.message) + "\"";
+    if (!d.hint.empty()) out += ",\"hint\":\"" + JsonEscape(d.hint) + "\"";
+    out += '}';
+  }
+  out += "],";
+  out += "\"certificate\":{\"criterion\":\"";
+  out += TerminationCriterionName(report.certificate.criterion);
+  out += "\",\"guarantees_termination\":";
+  out += report.certificate.guarantees_termination() ? "true" : "false";
+  if (!report.certificate.witness.empty()) {
+    out += ",\"witness\":\"" + JsonEscape(report.certificate.witness) + "\"";
+  }
+  out += "},";
+  out += "\"errors\":" + std::to_string(report.CountOf(Severity::kError)) +
+         ",\"warnings\":" +
+         std::to_string(report.CountOf(Severity::kWarning)) +
+         ",\"notes\":" + std::to_string(report.CountOf(Severity::kNote)) +
+         "}";
+  return out;
+}
+
+}  // namespace tdx

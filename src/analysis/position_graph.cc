@@ -1,0 +1,174 @@
+#include "src/analysis/position_graph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tdx {
+
+namespace {
+
+/// Packs (from, to, special) into one key for edge deduplication. Position
+/// counts are tiny (sum of arities), so 24 bits per endpoint is plenty.
+std::uint64_t EdgeKey(std::size_t from, std::size_t to, bool special) {
+  return (static_cast<std::uint64_t>(from) << 25) |
+         (static_cast<std::uint64_t>(to) << 1) | (special ? 1u : 0u);
+}
+
+}  // namespace
+
+PositionGraph PositionGraph::Build(const std::vector<Tgd>& tgds,
+                                   const Schema& schema, Kind kind) {
+  PositionGraph g;
+  // Dense node ids: positions in relation-id order, attribute order.
+  std::vector<std::size_t> base(schema.relation_count() + 1, 0);
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    base[r + 1] = base[r] + schema.relation(r).arity();
+    for (std::size_t i = 0; i < schema.relation(r).arity(); ++i) {
+      g.nodes_.push_back(Node{r, i});
+    }
+  }
+  g.adjacency_.resize(g.nodes_.size());
+  const auto node_of = [&base](RelationId rel, std::size_t attr) {
+    return base[rel] + attr;
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  const auto add_edge = [&](std::size_t from, std::size_t to, bool special,
+                            std::size_t tgd_index) {
+    if (!seen.insert(EdgeKey(from, to, special)).second) return;
+    g.adjacency_[from].push_back(Edge{to, special, tgd_index});
+    ++g.edge_count_;
+  };
+
+  for (std::size_t ti = 0; ti < tgds.size(); ++ti) {
+    const Tgd& tgd = tgds[ti];
+    const std::unordered_set<VarId> existential(tgd.existential.begin(),
+                                                tgd.existential.end());
+    // Positions of each universally quantified variable in the body.
+    std::unordered_map<VarId, std::vector<std::size_t>> body_positions;
+    for (const Atom& atom : tgd.body.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        if (atom.terms[i].is_var()) {
+          body_positions[atom.terms[i].var()].push_back(node_of(atom.rel, i));
+        }
+      }
+    }
+    // Head positions of existential variables (targets of special edges).
+    std::vector<std::size_t> existential_positions;
+    for (const Atom& atom : tgd.head.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (t.is_var() && existential.count(t.var()) != 0) {
+          existential_positions.push_back(node_of(atom.rel, i));
+        }
+      }
+    }
+    // Regular edges: body position of x -> each head position of x.
+    // Special edges (weak graph): body position of each head-occurring
+    // universal x -> every head position of every existential variable.
+    for (const Atom& atom : tgd.head.atoms) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (!t.is_var()) continue;
+        auto it = body_positions.find(t.var());
+        if (it == body_positions.end()) continue;  // existential
+        for (std::size_t from : it->second) {
+          add_edge(from, node_of(atom.rel, i), false, ti);
+          for (std::size_t special_to : existential_positions) {
+            add_edge(from, special_to, true, ti);
+          }
+        }
+      }
+    }
+    // Extended graph: special edges from every body position of every
+    // universal variable, exported or not (oblivious-chase coverage).
+    if (kind == Kind::kRich) {
+      for (const auto& [var, positions] : body_positions) {
+        (void)var;
+        for (std::size_t from : positions) {
+          for (std::size_t special_to : existential_positions) {
+            add_edge(from, special_to, true, ti);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::string PositionGraph::NodeName(const Schema& schema,
+                                    std::size_t id) const {
+  const Node& n = nodes_[id];
+  const RelationSchema& rel = schema.relation(n.rel);
+  std::string out = rel.name;
+  out += '.';
+  if (n.attr < rel.attributes.size() && !rel.attributes[n.attr].empty()) {
+    out += rel.attributes[n.attr];
+  } else {
+    out += std::to_string(n.attr);
+  }
+  return out;
+}
+
+std::optional<SpecialCycle> PositionGraph::FindSpecialCycle() const {
+  // A special edge (u, v) lies on a cycle iff u is reachable from v. BFS
+  // with parent pointers recovers the v -> ... -> u path, which closed by
+  // the special edge is the witness cycle.
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    for (const Edge& e : adjacency_[u]) {
+      if (!e.special) continue;
+      const std::size_t v = e.to;
+      std::vector<std::size_t> parent(nodes_.size(), SIZE_MAX);
+      std::vector<std::size_t> queue{v};
+      std::vector<bool> visited(nodes_.size(), false);
+      visited[v] = true;
+      bool found = (v == u);
+      for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+        const std::size_t cur = queue[qi];
+        for (const Edge& next : adjacency_[cur]) {
+          if (visited[next.to]) continue;
+          visited[next.to] = true;
+          parent[next.to] = cur;
+          if (next.to == u) {
+            found = true;
+            break;
+          }
+          queue.push_back(next.to);
+        }
+      }
+      if (!found) continue;
+      // Reconstruct u -> v -> ... -> u as a closed walk starting at u.
+      std::vector<std::size_t> path;
+      for (std::size_t cur = u; cur != v && cur != SIZE_MAX;
+           cur = parent[cur]) {
+        path.push_back(cur);
+      }
+      SpecialCycle cycle;
+      cycle.tgd_index = e.tgd_index;
+      cycle.nodes.push_back(u);
+      if (v != u) cycle.nodes.push_back(v);
+      // path holds u ... (nodes after v on the v->u walk) in reverse.
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (*it != u) cycle.nodes.push_back(*it);
+      }
+      return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string PositionGraph::FormatCycle(const Schema& schema,
+                                       const SpecialCycle& c) const {
+  std::string out;
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    out += NodeName(schema, c.nodes[i]);
+    // The first hop is the initiating special edge by construction.
+    out += (i == 0) ? " -*-> " : " -> ";
+  }
+  out += NodeName(schema, c.nodes[0]);
+  return out;
+}
+
+}  // namespace tdx

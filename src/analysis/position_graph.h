@@ -1,0 +1,88 @@
+// The position/dependency graph of a set of tgds — the shared artifact
+// behind every rung of the termination ladder (analysis/termination.h) and
+// behind CheckWeaklyAcyclic's cycle reporting.
+//
+// Nodes are *positions* (relation, attribute index). For every tgd and
+// every universally quantified variable x occurring in the head, there is a
+// regular edge from each body position of x to each head position of x, and
+// a special edge from each body position of x to each head position of
+// every existentially quantified variable (Fagin, Kolaitis, Miller, Popa).
+//
+// The *extended* graph of rich acyclicity additionally draws special edges
+// from every body position of every universal variable — exported to the
+// head or not — so that even the oblivious chase (which fires triggers
+// without the no-extension check) is covered.
+//
+// A set of tgds is weakly (richly) acyclic iff the (extended) graph has no
+// cycle through a special edge; FindSpecialCycle produces the concrete
+// offending cycle, which the diagnostics name position by position.
+
+#ifndef TDX_ANALYSIS_POSITION_GRAPH_H_
+#define TDX_ANALYSIS_POSITION_GRAPH_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/relational/dependency.h"
+
+namespace tdx {
+
+/// A cycle through at least one special edge, as a closed walk of node ids:
+/// nodes[0] -> nodes[1] -> ... -> nodes[back] -> nodes[0], where the first
+/// hop nodes[0] -> nodes[1] is the special edge that makes the cycle fatal.
+struct SpecialCycle {
+  std::vector<std::size_t> nodes;
+  /// Index into the tgd vector of the dependency that contributed the
+  /// special edge (for labeling diagnostics).
+  std::size_t tgd_index = 0;
+};
+
+class PositionGraph {
+ public:
+  /// Which edge semantics to build; see file comment.
+  enum class Kind { kWeak, kRich };
+
+  struct Node {
+    RelationId rel = 0;
+    std::size_t attr = 0;
+  };
+
+  struct Edge {
+    std::size_t to = 0;
+    bool special = false;
+    std::size_t tgd_index = 0;  ///< which tgd contributed the edge
+  };
+
+  /// Builds the graph over all positions of `schema` from `tgds`.
+  static PositionGraph Build(const std::vector<Tgd>& tgds,
+                             const Schema& schema, Kind kind = Kind::kWeak);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(std::size_t id) const { return nodes_[id]; }
+  const std::vector<Edge>& out_edges(std::size_t id) const {
+    return adjacency_[id];
+  }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// "R.attr" using the schema's relation and attribute names.
+  std::string NodeName(const Schema& schema, std::size_t id) const;
+
+  /// The smallest witness that the graph is not (weakly/richly, per its
+  /// Kind) acyclic: a cycle through a special edge. nullopt iff acyclic.
+  std::optional<SpecialCycle> FindSpecialCycle() const;
+
+  /// Renders a cycle as "R.a -*-> S.b -> R.a" ("-*->" marks the special
+  /// edge; the walk is closed back to its first node).
+  std::string FormatCycle(const Schema& schema, const SpecialCycle& c) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace tdx
+
+#endif  // TDX_ANALYSIS_POSITION_GRAPH_H_

@@ -1,0 +1,43 @@
+// Source positions for parsed artifacts.
+//
+// The lexer stamps every token with a 1-based line and column; a SourceSpan
+// records the position of the token that *introduced* a parsed object (the
+// `tgd`/`egd`/`query` keyword, a relation declaration, ...). Dependencies
+// and queries carry their span so that parse-time errors and static-analysis
+// diagnostics (src/analysis/) can point at the offending statement instead
+// of at nothing.
+//
+// Line 0 means "unknown": hand-built objects (tests, generators) never have
+// positions, and every consumer must render them gracefully.
+
+#ifndef TDX_COMMON_SOURCE_H_
+#define TDX_COMMON_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace tdx {
+
+/// A 1-based (line, column) position in a program text. Default-constructed
+/// spans are invalid ("unknown position").
+struct SourceSpan {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool valid() const { return line != 0; }
+
+  /// "line L, column C"; empty string for unknown positions.
+  std::string ToString() const {
+    if (!valid()) return "";
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+};
+
+}  // namespace tdx
+
+#endif  // TDX_COMMON_SOURCE_H_

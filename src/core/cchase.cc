@@ -1,6 +1,9 @@
 #include "src/core/cchase.h"
 
 #include <unordered_map>
+#include <utility>
+
+#include "src/analysis/termination.h"
 
 namespace tdx {
 
@@ -56,8 +59,22 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   TDX_RETURN_IF_ERROR(resolve_temporal(lifted.st_tgds));
   TDX_RETURN_IF_ERROR(resolve_temporal(lifted.target_tgds));
 
+  // Consult the lifted mapping's termination certificate (or derive one)
+  // before doing any work: an uncertified set of target tgds may chase
+  // forever.
+  TerminationCertificate certificate =
+      lifted.certificate.has_value()
+          ? *lifted.certificate
+          : CertifyTermination(lifted.target_tgds, source.schema());
+  if (!certificate.guarantees_termination()) {
+    return Status::InvalidArgument(
+        "refusing to c-chase: target tgds are not weakly acyclic (cycle " +
+        certificate.witness + "); the chase might not terminate");
+  }
+
   CChaseOutcome outcome(ConcreteInstance(&source.schema()),
                         ConcreteInstance(&source.schema()));
+  outcome.stats.certificate = std::move(certificate);
 
   // One guard governs all four phases; any trip unwinds to here and is
   // reported as kAborted with whatever stats accrued.

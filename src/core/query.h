@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/source.h"
 #include "src/common/status.h"
 #include "src/relational/homomorphism.h"
 
@@ -30,6 +31,8 @@ struct ConjunctiveQuery {
   std::vector<VarId> head;
   /// The shared free temporal variable of a lifted query (last head slot).
   std::optional<VarId> temporal_var;
+  /// Position of the declaring statement; invalid for hand-built queries.
+  SourceSpan span;
 
   Status Validate() const;
   std::string ToString(const Schema& schema, const Universe& u) const;

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/analysis/termination.h"
 #include "src/parser/lexer.h"
 
 namespace tdx {
@@ -27,10 +28,17 @@ class Parser {
                                              spec.closure_concrete,
                                              &program_->source));
     }
-    // Finalize the mapping and derive the lifted version.
-    TDX_RETURN_IF_ERROR(ValidateMapping(program_->mapping, program_->schema));
+    // Finalize the mapping and derive the lifted version. Validation also
+    // attaches the termination certificate that engines consult later; the
+    // lifted mapping is certified separately (lifting preserves weak
+    // acyclicity, but deriving the certificate from M+ itself keeps the
+    // guarantee self-contained).
+    TDX_RETURN_IF_ERROR(
+        ValidateAndCertifyMapping(&program_->mapping, program_->schema));
     TDX_ASSIGN_OR_RETURN(program_->lifted,
                          LiftMapping(program_->mapping, program_->schema));
+    program_->lifted.certificate =
+        CertifyTermination(program_->lifted.target_tgds, program_->schema);
     for (const UnionQuery& q : program_->queries) {
       TDX_RETURN_IF_ERROR(q.Validate());
     }
@@ -51,6 +59,11 @@ class Parser {
     Advance();
     return true;
   }
+  /// Position of the next token; statements record the span of their
+  /// introducing keyword.
+  SourceSpan SpanHere() const {
+    return SourceSpan{Peek().line, Peek().column};
+  }
   Status ErrorHere(const std::string& what) const {
     const Token& t = Peek();
     return Status::ParseError(what + " at line " + std::to_string(t.line) +
@@ -70,6 +83,7 @@ class Parser {
     if (!Check(TokenKind::kIdentifier)) {
       return ErrorHere("expected a statement keyword");
     }
+    statement_span_ = SpanHere();
     const std::string keyword = Peek().text;
     if (keyword == "source" || keyword == "target") {
       return ParseRelationDecl(keyword == "source" ? SchemaRole::kSource
@@ -103,7 +117,16 @@ class Parser {
         RelationId ignored,
         program_->schema.AddRelationPair(name, std::move(attrs), role));
     (void)ignored;
+    SyncRelationSpans();
     return Status::OK();
+  }
+
+  /// Stamps every relation registered since the last call with the current
+  /// statement's span (AddRelationPair registers two; closure resolution
+  /// can register more mid-statement).
+  void SyncRelationSpans() {
+    program_->relation_spans.resize(program_->schema.relation_count(),
+                                    statement_span_);
   }
 
   /// Variable table scoped to one dependency or query.
@@ -237,6 +260,7 @@ class Parser {
         base_concrete, op, closure_concrete});
     TDX_ASSIGN_OR_RETURN(RelationId closure_snap,
                          program_->schema.TwinOf(closure_concrete));
+    SyncRelationSpans();
     return closure_snap;
   }
 
@@ -255,6 +279,7 @@ class Parser {
   Status ParseTgd(bool target) {
     Advance();  // "tgd" or "ttgd"
     Tgd tgd;
+    tgd.span = statement_span_;
     tgd.label = ParseOptionalLabel();
     VarScope scope;
     // Temporal operators need source data to materialize closures over, so
@@ -277,7 +302,7 @@ class Parser {
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after tgd"));
     tgd.body.num_vars = tgd.head.num_vars = scope.names.size();
     tgd.body.var_names = tgd.head.var_names = scope.names;
-    TDX_RETURN_IF_ERROR(tgd.Finalize());
+    TDX_RETURN_IF_ERROR(WithSpan(tgd.Finalize(), tgd.span));
     if (target) {
       program_->mapping.target_tgds.push_back(std::move(tgd));
     } else {
@@ -289,6 +314,7 @@ class Parser {
   Status ParseEgd() {
     Advance();  // "egd"
     Egd egd;
+    egd.span = statement_span_;
     egd.label = ParseOptionalLabel();
     VarScope scope;
     TDX_ASSIGN_OR_RETURN(egd.body, ParseConjunction(&scope));
@@ -305,7 +331,7 @@ class Parser {
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after egd"));
     egd.body.num_vars = scope.names.size();
     egd.body.var_names = scope.names;
-    TDX_RETURN_IF_ERROR(egd.Finalize());
+    TDX_RETURN_IF_ERROR(WithSpan(egd.Finalize(), egd.span));
     program_->mapping.egds.push_back(std::move(egd));
     return Status::OK();
   }
@@ -371,6 +397,7 @@ class Parser {
       return ErrorHere("expected query name");
     }
     ConjunctiveQuery query;
+    query.span = statement_span_;
     query.name = Advance().text;
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after query name"));
     VarScope scope;
@@ -392,7 +419,7 @@ class Parser {
     TDX_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after query"));
     query.body.num_vars = scope.names.size();
     query.body.var_names = scope.names;
-    TDX_RETURN_IF_ERROR(query.Validate());
+    TDX_RETURN_IF_ERROR(WithSpan(query.Validate(), query.span));
 
     for (UnionQuery& uq : program_->queries) {
       if (uq.name == query.name) {
@@ -407,10 +434,19 @@ class Parser {
     return Status::OK();
   }
 
+  /// Rewraps a semantic validation failure as a ParseError pointing at the
+  /// offending statement.
+  static Status WithSpan(Status status, const SourceSpan& span) {
+    if (status.ok() || !span.valid()) return status;
+    return Status::ParseError(std::string(status.message()) + " at " +
+                              span.ToString());
+  }
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   ParseLimits limits_;
   std::size_t atom_depth_ = 0;  ///< temporal-operator nesting in ParseAtom
+  SourceSpan statement_span_;   ///< span of the statement being parsed
   ParsedProgram* program_;
 };
 

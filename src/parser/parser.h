@@ -65,11 +65,15 @@ struct ParsedProgram {
 
   Universe universe;
   Schema schema;
-  Mapping mapping;  ///< the non-temporal M
-  Mapping lifted;   ///< M+ = LiftMapping(mapping)
+  Mapping mapping;  ///< the non-temporal M, certified (Mapping::certificate)
+  Mapping lifted;   ///< M+ = LiftMapping(mapping), certified separately
   ConcreteInstance source;
   std::vector<UnionQuery> queries;
   std::vector<ClosureSpec> closures;
+  /// Declaration position of each relation, indexed by RelationId (twins
+  /// share their declaration's span; auto-created closure relations carry
+  /// the span of the statement that introduced them).
+  std::vector<SourceSpan> relation_spans;
 
   ParsedProgram() : source(&schema) {}
   ParsedProgram(const ParsedProgram&) = delete;

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/termination.h"
+
 namespace tdx {
 
 namespace {
@@ -265,6 +267,18 @@ Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
                                    const ChaseLimits& limits) {
   ResourceGuard guard(limits);
   ChaseOutcome outcome(Instance(&source.schema()));
+  // Consult the mapping's termination certificate (or derive one) before
+  // doing any work: an uncertified set of target tgds may chase forever.
+  outcome.stats.certificate =
+      mapping.certificate.has_value()
+          ? *mapping.certificate
+          : CertifyTermination(mapping.target_tgds, source.schema());
+  if (!outcome.stats.certificate->guarantees_termination()) {
+    return Status::InvalidArgument(
+        "refusing to chase: target tgds are not weakly acyclic (cycle " +
+        outcome.stats.certificate->witness + "); the chase might not "
+        "terminate");
+  }
   const auto aborted = [&]() {
     outcome.kind = ChaseResultKind::kAborted;
     outcome.abort_dimension = guard.dimension();

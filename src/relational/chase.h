@@ -20,6 +20,7 @@
 #define TDX_RELATIONAL_CHASE_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "src/common/resource.h"
@@ -40,6 +41,10 @@ struct ChaseStats {
   std::size_t tgd_fires = 0;     ///< triggers that actually fired
   std::size_t egd_steps = 0;     ///< successful egd applications
   std::size_t fresh_nulls = 0;   ///< labeled nulls created
+  /// The termination certificate the run consulted: taken from
+  /// Mapping::certificate when the parser filled it in, otherwise derived
+  /// on entry. Runs whose certificate is kUnknown are refused upfront.
+  std::optional<TerminationCertificate> certificate;
 };
 
 struct ChaseOutcome {

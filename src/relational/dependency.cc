@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/analysis/termination.h"
+
 namespace tdx {
 
 namespace {
@@ -177,6 +179,9 @@ Result<Mapping> LiftMapping(const Mapping& mapping, const Schema& schema) {
 }
 
 Status ValidateMapping(const Mapping& mapping, const Schema& schema) {
+  auto where = [](const SourceSpan& span) {
+    return span.valid() ? " (" + span.ToString() + ")" : std::string();
+  };
   auto check_role = [&schema](const Conjunction& conj, SchemaRole role,
                               const std::string& what) -> Status {
     for (const Atom& atom : conj.atoms) {
@@ -193,114 +198,63 @@ Status ValidateMapping(const Mapping& mapping, const Schema& schema) {
     return Status::OK();
   };
   for (const Tgd& tgd : mapping.st_tgds) {
-    TDX_RETURN_IF_ERROR(
-        check_role(tgd.body, SchemaRole::kSource, "tgd body " + tgd.label));
-    TDX_RETURN_IF_ERROR(
-        check_role(tgd.head, SchemaRole::kTarget, "tgd head " + tgd.label));
+    TDX_RETURN_IF_ERROR(check_role(tgd.body, SchemaRole::kSource,
+                                   "tgd body " + tgd.label + where(tgd.span)));
+    TDX_RETURN_IF_ERROR(check_role(tgd.head, SchemaRole::kTarget,
+                                   "tgd head " + tgd.label + where(tgd.span)));
   }
   for (const Tgd& tgd : mapping.target_tgds) {
-    TDX_RETURN_IF_ERROR(check_role(tgd.body, SchemaRole::kTarget,
-                                   "target tgd body " + tgd.label));
-    TDX_RETURN_IF_ERROR(check_role(tgd.head, SchemaRole::kTarget,
-                                   "target tgd head " + tgd.label));
+    TDX_RETURN_IF_ERROR(
+        check_role(tgd.body, SchemaRole::kTarget,
+                   "target tgd body " + tgd.label + where(tgd.span)));
+    TDX_RETURN_IF_ERROR(
+        check_role(tgd.head, SchemaRole::kTarget,
+                   "target tgd head " + tgd.label + where(tgd.span)));
   }
   for (const Egd& egd : mapping.egds) {
-    TDX_RETURN_IF_ERROR(
-        check_role(egd.body, SchemaRole::kTarget, "egd body " + egd.label));
+    TDX_RETURN_IF_ERROR(check_role(egd.body, SchemaRole::kTarget,
+                                   "egd body " + egd.label + where(egd.span)));
   }
-  return CheckWeaklyAcyclic(mapping.target_tgds, schema);
+  // Termination: any rung of the ladder will do. An attached certificate is
+  // trusted (the parser certifies every program once).
+  const TerminationCertificate certificate =
+      mapping.certificate.has_value()
+          ? *mapping.certificate
+          : CertifyTermination(mapping.target_tgds, schema);
+  if (!certificate.guarantees_termination()) {
+    return Status::InvalidArgument(
+        "target tgds are not weakly acyclic (nor stratified): the cycle " +
+        certificate.witness +
+        " passes through a special (existential) edge; the chase might not "
+        "terminate");
+  }
+  return Status::OK();
+}
+
+Status ValidateAndCertifyMapping(Mapping* mapping, const Schema& schema) {
+  mapping->certificate.reset();
+  TDX_RETURN_IF_ERROR(ValidateMapping(*mapping, schema));
+  mapping->certificate = CertifyTermination(mapping->target_tgds, schema);
+  return Status::OK();
 }
 
 Status CheckWeaklyAcyclic(const std::vector<Tgd>& target_tgds,
                           const Schema& schema) {
   if (target_tgds.empty()) return Status::OK();
-
-  // Dense node ids for positions (relation, attribute index).
-  auto node = [&schema](RelationId rel, std::size_t pos) {
-    std::size_t base = 0;
-    for (RelationId r = 0; r < rel; ++r) {
-      base += schema.relation(r).arity();
-    }
-    return base + pos;
-  };
-  std::size_t num_nodes = 0;
-  for (RelationId r = 0; r < schema.relation_count(); ++r) {
-    num_nodes += schema.relation(r).arity();
-  }
-
-  // adjacency[u] = list of (v, special?).
-  std::vector<std::vector<std::pair<std::size_t, bool>>> adj(num_nodes);
-  for (const Tgd& tgd : target_tgds) {
-    const std::unordered_set<VarId> existential(tgd.existential.begin(),
-                                                tgd.existential.end());
-    // Positions of each universally quantified variable in the body.
-    std::unordered_map<VarId, std::vector<std::size_t>> body_positions;
-    for (const Atom& atom : tgd.body.atoms) {
-      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
-        if (atom.terms[i].is_var()) {
-          body_positions[atom.terms[i].var()].push_back(node(atom.rel, i));
-        }
-      }
-    }
-    // Positions of existential variables in the head.
-    std::vector<std::size_t> existential_positions;
-    for (const Atom& atom : tgd.head.atoms) {
-      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
-        const Term& t = atom.terms[i];
-        if (t.is_var() && existential.count(t.var()) != 0) {
-          existential_positions.push_back(node(atom.rel, i));
-        }
-      }
-    }
-    // Regular edges: body position of x -> each head position of x.
-    // Special edges: body position of any head-occurring universal x ->
-    // every position of every existential variable in the head.
-    for (const Atom& atom : tgd.head.atoms) {
-      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
-        const Term& t = atom.terms[i];
-        if (!t.is_var()) continue;
-        const VarId v = t.var();
-        auto it = body_positions.find(v);
-        if (it == body_positions.end()) continue;  // existential
-        for (std::size_t from : it->second) {
-          adj[from].emplace_back(node(atom.rel, i), false);
-          for (std::size_t special_to : existential_positions) {
-            adj[from].emplace_back(special_to, true);
-          }
-        }
-      }
-    }
-  }
-
-  // Weak acyclicity fails iff some cycle contains a special edge, i.e.
-  // some special edge (u, v) has u reachable from v.
-  auto reaches = [&adj, num_nodes](std::size_t from, std::size_t to) {
-    std::vector<bool> seen(num_nodes, false);
-    std::vector<std::size_t> stack{from};
-    seen[from] = true;
-    while (!stack.empty()) {
-      const std::size_t cur = stack.back();
-      stack.pop_back();
-      if (cur == to) return true;
-      for (const auto& [next, special] : adj[cur]) {
-        if (!seen[next]) {
-          seen[next] = true;
-          stack.push_back(next);
-        }
-      }
-    }
-    return false;
-  };
-  for (std::size_t u = 0; u < num_nodes; ++u) {
-    for (const auto& [v, special] : adj[u]) {
-      if (special && reaches(v, u)) {
-        return Status::InvalidArgument(
-            "target tgds are not weakly acyclic: a cycle passes through a "
-            "special (existential) edge; the chase might not terminate");
-      }
-    }
-  }
-  return Status::OK();
+  const PositionGraph graph =
+      PositionGraph::Build(target_tgds, schema, PositionGraph::Kind::kWeak);
+  const std::optional<SpecialCycle> cycle = graph.FindSpecialCycle();
+  if (!cycle.has_value()) return Status::OK();
+  const Tgd& culprit = target_tgds[cycle->tgd_index];
+  std::string label =
+      culprit.label.empty() ? ("#" + std::to_string(cycle->tgd_index + 1))
+                            : ("'" + culprit.label + "'");
+  return Status::InvalidArgument(
+      "target tgds are not weakly acyclic: the cycle " +
+      graph.FormatCycle(schema, *cycle) +
+      " passes through a special (existential) edge of tgd " + label +
+      (culprit.span.valid() ? " (" + culprit.span.ToString() + ")" : "") +
+      "; the chase might not terminate");
 }
 
 }  // namespace tdx

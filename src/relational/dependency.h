@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/certificate.h"
+#include "src/common/source.h"
 #include "src/common/status.h"
 #include "src/relational/homomorphism.h"
 
@@ -41,6 +43,8 @@ struct Tgd {
   std::optional<VarId> temporal_var;
   /// Optional display label, e.g. "sigma1".
   std::string label;
+  /// Position of the declaring statement; invalid for hand-built tgds.
+  SourceSpan span;
 
   std::size_t num_vars() const { return body.num_vars; }
 
@@ -58,6 +62,8 @@ struct Egd {
   VarId x2 = 0;      ///< right side of the equality
   std::optional<VarId> temporal_var;
   std::string label;
+  /// Position of the declaring statement; invalid for hand-built egds.
+  SourceSpan span;
 
   std::size_t num_vars() const { return body.num_vars; }
 
@@ -78,6 +84,11 @@ struct Mapping {
   std::vector<Tgd> st_tgds;
   std::vector<Tgd> target_tgds;
   std::vector<Egd> egds;
+  /// Chase-termination certificate for `target_tgds`, filled in by
+  /// ValidateAndCertifyMapping (the parser does this for every program).
+  /// Engines consult it to skip re-deriving the termination check; absent
+  /// on hand-built mappings, in which case engines derive it on entry.
+  std::optional<TerminationCertificate> certificate;
 
   /// Left-hand sides of all s-t tgds (the Phi+ that the source instance is
   /// normalized against, Section 4.3).
@@ -101,16 +112,27 @@ Result<Mapping> LiftMapping(const Mapping& mapping, const Schema& schema);
 /// Validates that `mapping` is a proper mapping over `schema`: s-t tgd
 /// bodies use only source relations and heads only target relations;
 /// target tgds and egds mention only target relations; all equality
-/// variables occur in their bodies; and the target tgds are weakly acyclic.
+/// variables occur in their bodies; and the target tgds carry a chase
+/// termination guarantee (weak acyclicity or any other rung of the ladder
+/// in src/analysis/termination.h). A mapping whose `certificate` is already
+/// set skips re-deriving the termination check.
 Status ValidateMapping(const Mapping& mapping, const Schema& schema);
+
+/// ValidateMapping, then computes and stores `mapping->certificate` so
+/// every later engine run can consult it instead of re-deriving it.
+Status ValidateAndCertifyMapping(Mapping* mapping, const Schema& schema);
 
 /// Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2005): build the
 /// dependency graph over positions (relation, attribute); every chase
 /// sequence with a weakly acyclic set of target tgds terminates. Returns
-/// InvalidArgument naming an offending position when a cycle goes through
-/// a special (existential) edge. The temporal attribute of lifted
-/// dependencies participates like any other position; the shared variable
-/// t only ever produces regular self-loops, which are harmless.
+/// InvalidArgument naming the concrete offending cycle of positions
+/// ("R.a -*-> S.b -> R.a") when one goes through a special (existential)
+/// edge. The temporal attribute of lifted dependencies participates like
+/// any other position; the shared variable t only ever produces regular
+/// self-loops, which are harmless.
+///
+/// Compatibility shim over analysis/position_graph.h — new code that wants
+/// the full ladder should call CertifyTermination instead.
 Status CheckWeaklyAcyclic(const std::vector<Tgd>& target_tgds,
                           const Schema& schema);
 

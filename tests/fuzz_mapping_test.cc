@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/analyzer.h"
 #include "src/core/align.h"
 #include "src/core/naive_eval.h"
 #include "src/core/normalize.h"
@@ -103,6 +104,25 @@ TEST_P(FuzzMappingSweep, CoreStaysEquivalentOnRandomMappings) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_TRUE(AreAbstractEquivalent(*a, *b)) << "seed=" << GetParam();
+}
+
+TEST_P(FuzzMappingSweep, AnalyzerAcceptsGeneratedMappings) {
+  // The static analyzer must never crash on a generated setting, and a
+  // valid mapping must lint without error-severity findings and with a
+  // termination guarantee (warnings/notes are fine: random settings do
+  // produce dead relations and redundant dependencies).
+  auto w = MakeWorkload();
+  AnalysisInput input;
+  input.schema = &w->schema;
+  input.mapping = &w->mapping;
+  input.source = &w->source;
+  const AnalysisReport report = Analyze(input);
+  EXPECT_EQ(report.CountOf(Severity::kError), 0u)
+      << "seed=" << GetParam() << "\n"
+      << RenderText(report, "fuzz");
+  EXPECT_TRUE(report.certificate.guarantees_termination())
+      << "seed=" << GetParam() << " certificate="
+      << report.certificate.ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMappingSweep,

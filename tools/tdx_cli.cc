@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analyzer.h"
 #include "src/common/resource.h"
 #include "src/core/align.h"
 #include "src/core/certain.h"
@@ -70,13 +71,15 @@ int Usage() {
          "  --deadline-ms=N       abort any engine after N milliseconds\n"
          "  --max-input-bytes=N   reject program files larger than N bytes\n"
          "  --max-tokens=N        reject programs with more than N tokens\n"
-         "  --max-nesting-depth=N reject atoms nested deeper than N\n";
+         "  --max-nesting-depth=N reject atoms nested deeper than N\n"
+         "  --no-lint             skip the static-analysis warnings pass\n";
   return EXIT_FAILURE;
 }
 
 struct CliOptions {
   tdx::ChaseLimits limits;
   tdx::ParseLimits parse_limits;
+  bool lint = true;
 };
 
 bool ParseSize(std::string_view text, std::size_t* out) {
@@ -94,6 +97,10 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     const std::string_view arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
       positional->emplace_back(arg);
+      continue;
+    }
+    if (arg == "--no-lint") {
+      options->lint = false;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -332,6 +339,17 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
   tdx::ParsedProgram& program = **parsed;
+
+  // Advisory static-analysis pass: warnings and notes go to stderr so they
+  // never corrupt command output; a parsed program cannot carry lint
+  // *errors* (the parser already rejects those). Run tdx_lint for the full
+  // report.
+  if (options.lint) {
+    const tdx::AnalysisReport report = tdx::AnalyzeProgram(program);
+    for (const tdx::Diagnostic& d : report.diagnostics) {
+      std::cerr << tdx::RenderDiagnostic(d, positional[1]);
+    }
+  }
 
   if (command == "chase") return RunChase(program, options, false);
   if (command == "core") return RunChase(program, options, true);
