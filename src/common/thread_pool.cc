@@ -1,0 +1,74 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdx {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::HardwareJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min<std::size_t>(jobs, count));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace tdx

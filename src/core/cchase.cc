@@ -138,16 +138,29 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
             : Normalize(concrete_target, target_phis,
                         &outcome.target_norm_stats, &guard);
   };
+  // Semi-naive state: one finder over the target's (address-stable) fact
+  // store for the whole loop — normalization move-assigns a fresh Instance
+  // into the same object, which bumps the generation and invalidates the
+  // finder's indexes. The frontier must re-seed with the full instance after
+  // every normalization, since fragmentation rewrites existing facts.
+  DeltaFrontier frontier;
+  HomomorphismFinder round_finder(concrete_target.facts());
   std::size_t rounds = 0;
   while (true) {
     if (!guard.PokeFault("cchase/normalize-target") || !guard.CheckDeadline()) {
       return aborted_with_target();
     }
     normalize_target();
+    frontier.Reset();
     if (guard.tripped()) return aborted_with_target();
     bool fired = false;
-    while (TargetTgdRound(&concrete_target.mutable_facts(),
-                          lifted.target_tgds, fresh, &outcome.stats, &guard)) {
+    while (options.semi_naive
+               ? TargetTgdRoundDelta(&concrete_target.mutable_facts(),
+                                     lifted.target_tgds, fresh, &outcome.stats,
+                                     &guard, &frontier, &round_finder)
+               : TargetTgdRound(&concrete_target.mutable_facts(),
+                                lifted.target_tgds, fresh, &outcome.stats,
+                                &guard)) {
       fired = true;
       if (guard.tripped()) return aborted_with_target();
       if (++rounds > 100000) {

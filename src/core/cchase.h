@@ -47,6 +47,10 @@ struct CChaseOptions {
   /// stats and the exhausted dimension; rerunning the same source with a
   /// larger budget yields the identical solution.
   ChaseLimits limits;
+  /// Semi-naive target-tgd rounds (see ChaseOptions::semi_naive). The
+  /// frontier is re-seeded with the full instance after every normalization
+  /// step, since fragmentation rewrites existing facts.
+  bool semi_naive = true;
 };
 
 struct CChaseOutcome {

@@ -1,5 +1,10 @@
 #include "src/core/certain.h"
 
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 #include "src/temporal/snapshot.h"
 
 namespace tdx {
@@ -36,6 +41,47 @@ Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
   if (chase.kind != ChaseResultKind::kSuccess) return result;
   result.answers = DropTuplesWithNulls(Evaluate(query, chase.target));
   return result;
+}
+
+Result<std::vector<CertainAnswersResult>> CertainAnswersAtMany(
+    const UnionQuery& query, const ConcreteInstance& source,
+    const Mapping& mapping, const std::vector<TimePoint>& points,
+    Universe* universe, unsigned jobs, const ChaseLimits& limits) {
+  // Phase 1 (sequential): materialize every snapshot against the shared
+  // universe.
+  std::vector<Instance> snapshots;
+  snapshots.reserve(points.size());
+  for (TimePoint l : points) {
+    TDX_ASSIGN_OR_RETURN(Instance snapshot, SnapshotAt(source, l, universe));
+    snapshots.push_back(std::move(snapshot));
+  }
+  // Phase 2 (parallel): chase and evaluate each snapshot independently.
+  // Scratch universes keep the workers isolated; the answers carry no nulls,
+  // so scratch ids never escape, and the per-point results are exactly what
+  // the one-point entry computes.
+  std::vector<std::optional<Result<CertainAnswersResult>>> slots(
+      points.size());
+  ParallelFor(jobs, points.size(), [&](std::size_t i) {
+    Universe scratch;
+    auto run = [&]() -> Result<CertainAnswersResult> {
+      TDX_ASSIGN_OR_RETURN(
+          ChaseOutcome chase,
+          ChaseSnapshot(snapshots[i], mapping, &scratch, limits));
+      CertainAnswersResult result;
+      result.chase_kind = chase.kind;
+      if (chase.kind != ChaseResultKind::kSuccess) return result;
+      result.answers = DropTuplesWithNulls(Evaluate(query, chase.target));
+      return result;
+    };
+    slots[i] = run();
+  });
+  std::vector<CertainAnswersResult> results;
+  results.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    TDX_ASSIGN_OR_RETURN(CertainAnswersResult result, std::move(*slots[i]));
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace tdx

@@ -51,6 +51,19 @@ Result<CertainAnswersResult> CertainAnswersAt(const UnionQuery& query,
                                               TimePoint l, Universe* universe,
                                               const ChaseLimits& limits = {});
 
+/// CertainAnswersAt for a batch of time points, with the per-point snapshot
+/// chases fanned out over `jobs` threads. Snapshots are materialized
+/// sequentially (SnapshotAt memoizes null projections into `universe`,
+/// which is not thread-safe); each chase then runs against a scratch
+/// Universe, whose nulls never reach the answers (naive evaluation drops
+/// tuples with nulls). results[i] corresponds to points[i] and is identical
+/// to CertainAnswersAt(query, source, mapping, points[i], ...) regardless
+/// of `jobs`.
+Result<std::vector<CertainAnswersResult>> CertainAnswersAtMany(
+    const UnionQuery& query, const ConcreteInstance& source,
+    const Mapping& mapping, const std::vector<TimePoint>& points,
+    Universe* universe, unsigned jobs = 1, const ChaseLimits& limits = {});
+
 }  // namespace tdx
 
 #endif  // TDX_CORE_CERTAIN_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "src/common/thread_pool.h"
 #include "src/core/normalize.h"
 
 namespace tdx {
@@ -41,6 +43,21 @@ std::vector<Tuple> NaiveEvaluateAbstractAt(const UnionQuery& query,
                                            TimePoint l, Universe* universe) {
   const Instance snapshot = ja.At(l, universe);
   return DropTuplesWithNulls(Evaluate(query, snapshot));
+}
+
+std::vector<std::vector<Tuple>> NaiveEvaluateAbstractAtMany(
+    const UnionQuery& query, const AbstractInstance& ja,
+    const std::vector<TimePoint>& points, Universe* universe, unsigned jobs) {
+  // Materialize sequentially (At() writes projection memos into the shared
+  // universe), evaluate in parallel (pure function of the snapshot).
+  std::vector<Instance> snapshots;
+  snapshots.reserve(points.size());
+  for (TimePoint l : points) snapshots.push_back(ja.At(l, universe));
+  std::vector<std::vector<Tuple>> results(points.size());
+  ParallelFor(jobs, points.size(), [&](std::size_t i) {
+    results[i] = DropTuplesWithNulls(Evaluate(query, snapshots[i]));
+  });
+  return results;
 }
 
 std::vector<Tuple> ConcreteAnswersAt(const std::vector<Tuple>& answers,

@@ -447,4 +447,55 @@ std::unique_ptr<Workload> MakeFlightWorkload(const FlightConfig& cfg) {
   return w;
 }
 
+std::unique_ptr<Workload> MakeChainWorkload(const ChainConfig& cfg) {
+  auto w = std::make_unique<Workload>();
+  const RelationId flight_plus = Unwrap(w->schema.AddRelationPair(
+      "Flight", {"from", "to"}, SchemaRole::kSource));
+  const RelationId edge_plus = Unwrap(w->schema.AddRelationPair(
+      "Edge", {"from", "to"}, SchemaRole::kTarget));
+  const RelationId reach_plus = Unwrap(w->schema.AddRelationPair(
+      "Reach", {"from", "to"}, SchemaRole::kTarget));
+  const RelationId flight = Unwrap(w->schema.TwinOf(flight_plus));
+  const RelationId edge = Unwrap(w->schema.TwinOf(edge_plus));
+  const RelationId reach = Unwrap(w->schema.TwinOf(reach_plus));
+
+  Tgd copy_edge;
+  copy_edge.label = "edge";
+  copy_edge.body.atoms = {MakeAtom(flight, {Term::Var(0), Term::Var(1)})};
+  copy_edge.head.atoms = {MakeAtom(edge, {Term::Var(0), Term::Var(1)})};
+  copy_edge.body.num_vars = copy_edge.head.num_vars = 2;
+  copy_edge.body.var_names = {"x", "y"};
+  if (!copy_edge.Finalize().ok()) abort();
+
+  Tgd copy_reach;
+  copy_reach.label = "direct";
+  copy_reach.body.atoms = {MakeAtom(flight, {Term::Var(0), Term::Var(1)})};
+  copy_reach.head.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(1)})};
+  copy_reach.body.num_vars = copy_reach.head.num_vars = 2;
+  copy_reach.body.var_names = {"x", "y"};
+  if (!copy_reach.Finalize().ok()) abort();
+
+  Tgd extend;
+  extend.label = "extend";
+  extend.body.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(1)}),
+                       MakeAtom(edge, {Term::Var(1), Term::Var(2)})};
+  extend.head.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(2)})};
+  extend.body.num_vars = extend.head.num_vars = 3;
+  extend.body.var_names = {"x", "y", "z"};
+  if (!extend.Finalize().ok()) abort();
+
+  w->mapping.st_tgds = {std::move(copy_edge), std::move(copy_reach)};
+  w->mapping.target_tgds = {std::move(extend)};
+  if (!ValidateMapping(w->mapping, w->schema).ok()) abort();
+  w->lifted = Unwrap(LiftMapping(w->mapping, w->schema));
+
+  const Interval span(0, std::max<TimePoint>(cfg.horizon, 1));
+  for (std::size_t i = 0; i < cfg.hops; ++i) {
+    const Value a = w->universe.Constant("ap" + std::to_string(i));
+    const Value b = w->universe.Constant("ap" + std::to_string(i + 1));
+    MustAdd(&w->source, flight_plus, {a, b}, span);
+  }
+  return w;
+}
+
 }  // namespace tdx

@@ -124,6 +124,22 @@ struct FlightConfig {
 /// closure computed on the concrete view.
 std::unique_ptr<Workload> MakeFlightWorkload(const FlightConfig& cfg);
 
+struct ChainConfig {
+  std::size_t hops = 64;        ///< edges in the chain (hops+1 airports)
+  TimePoint horizon = 10;       ///< every edge is valid over [0, horizon)
+};
+
+/// A single co-valid chain ap0 -> ap1 -> ... -> ap<hops> under the LINEAR
+/// reachability mapping
+///   tgd  Flight(x, y) -> Edge(x, y)
+///   tgd  Flight(x, y) -> Reach(x, y)
+///   ttgd Reach(x, y) & Edge(y, z) -> Reach(x, z)
+/// Unlike MakeFlightWorkload's doubling self-join, the linear rule extends
+/// paths one edge at a time, so the closure takes `hops` chase rounds with
+/// an O(hops) delta each: the rounds-heavy cascade that separates naive
+/// re-enumeration (O(hops^3) triggers) from semi-naive (O(hops^2)).
+std::unique_ptr<Workload> MakeChainWorkload(const ChainConfig& cfg);
+
 }  // namespace tdx
 
 #endif  // TDX_GEN_WORKLOAD_H_

@@ -1,8 +1,10 @@
 #include "src/relational/chase.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -42,25 +44,123 @@ Fact Instantiate(const Atom& atom, const Binding& binding) {
   return Fact(atom.rel, std::move(args));
 }
 
-}  // namespace
+/// Triggers of one tgd, deduplicated and canonically ordered by the
+/// head-visible universal values: triggers agreeing there would fire
+/// indistinguishable head images (the fresh-null factories only consult
+/// head-visible variables), so the first collected binding represents the
+/// key. Collection always completes before any firing, so the enumerated
+/// instance may alias the insertion target.
+using TriggerSet = std::map<std::vector<Value>, Binding>;
 
-namespace {
+void CollectTriggers(HomomorphismFinder* finder, const Tgd& tgd,
+                     const std::vector<VarId>& key_vars, ChaseStats* stats,
+                     TriggerSet* triggers) {
+  finder->ForEach(tgd.body, Binding(tgd.num_vars()),
+                  [&](const Binding& binding, const AtomImage&) {
+                    ++stats->tgd_triggers;
+                    std::vector<Value> key;
+                    key.reserve(key_vars.size());
+                    for (VarId v : key_vars) key.push_back(binding.Get(v));
+                    triggers->emplace(std::move(key), binding);
+                    return true;
+                  });
+}
 
-/// Fires all of `tgd`'s triggers found in `source` into `target` (which may
-/// alias `source` for target tgds; triggers are fully collected before any
-/// insertion). Returns true if at least one new fact was inserted.
+/// Semi-naive collection: seeds enumeration on each body atom's frontier
+/// range, so only triggers whose image touches at least one frontier fact
+/// are found. Triggers touching several frontier facts are enumerated once
+/// per touched atom; the key map absorbs the duplicates.
+void CollectTriggersDelta(HomomorphismFinder* finder, const Instance& inst,
+                          const Tgd& tgd, const std::vector<VarId>& key_vars,
+                          const DeltaFrontier& frontier, ChaseStats* stats,
+                          TriggerSet* triggers) {
+  for (std::size_t i = 0; i < tgd.body.atoms.size(); ++i) {
+    const RelationId rel = tgd.body.atoms[i].rel;
+    const std::uint32_t begin = frontier.mark(rel);
+    const auto end = static_cast<std::uint32_t>(inst.facts(rel).size());
+    if (begin >= end) continue;
+    finder->ForEachSeeded(tgd.body, i, begin, end, Binding(tgd.num_vars()),
+                          [&](const Binding& binding, const AtomImage&) {
+                            ++stats->tgd_triggers;
+                            std::vector<Value> key;
+                            key.reserve(key_vars.size());
+                            for (VarId v : key_vars) {
+                              key.push_back(binding.Get(v));
+                            }
+                            triggers->emplace(std::move(key), binding);
+                            return true;
+                          });
+  }
+}
+
+/// Fires every collected trigger that lacks an extension witness in the
+/// current target (restricted chase). `head_finder` enumerates over the
+/// live target: its index cache absorbs the inserts this loop performs, so
+/// a witness fired moments ago is visible to the next Exists probe — the
+/// behavior the old per-insert finder rebuild bought, at append cost.
+/// Returns true if at least one new fact was inserted.
+bool FireTriggers(Instance* target, const Tgd& tgd, TriggerSet& triggers,
+                  const FreshNullFactory& fresh, ChaseStats* stats,
+                  ResourceGuard* guard, HomomorphismFinder* head_finder) {
+  bool inserted_any = false;
+  for (auto& [key, binding] : triggers) {
+    if (!guard->CheckDeadline()) break;
+    if (head_finder->Exists(tgd.head, binding)) continue;
+    // Budget checks come before the corresponding work, so an aborted
+    // firing never half-materializes: no nulls are minted and no facts
+    // inserted once the guard trips.
+    if (!guard->ChargeTgdFire()) break;
+    Binding extended = binding;
+    for (VarId y : tgd.existential) {
+      if (!guard->ChargeFreshNull()) break;
+      extended.Bind(y, fresh(tgd, binding));
+      ++stats->fresh_nulls;
+    }
+    if (guard->tripped()) break;
+    bool fact_budget_ok = true;
+    for (const Atom& atom : tgd.head.atoms) {
+      if (target->Insert(Instantiate(atom, extended))) {
+        inserted_any = true;
+        // Duplicates are free: only facts that grew the instance count.
+        if (!guard->ChargeFact()) {
+          fact_budget_ok = false;
+          break;
+        }
+      }
+    }
+    ++stats->tgd_fires;
+    if (!fact_budget_ok) break;
+  }
+  return inserted_any;
+}
+
+/// Naive firing of one tgd: full trigger enumeration via `body_finder`,
+/// witness checks via `head_finder` (the two may be one finder when source
+/// aliases target).
 bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
              const FreshNullFactory& fresh, ChaseStats* stats,
-             ResourceGuard* guard);
+             ResourceGuard* guard, HomomorphismFinder* body_finder,
+             HomomorphismFinder* head_finder) {
+  (void)source;
+  const std::vector<VarId> key_vars = HeadUniversalVars(tgd);
+  TriggerSet triggers;
+  CollectTriggers(body_finder, tgd, key_vars, stats, &triggers);
+  return FireTriggers(target, tgd, triggers, fresh, stats, guard, head_finder);
+}
 
 }  // namespace
 
 void TgdPhase(const Instance& source, Instance* target,
               const std::vector<Tgd>& tgds, const FreshNullFactory& fresh,
               ChaseStats* stats, ResourceGuard* guard) {
+  // One finder per side for the whole phase: the source is immutable here,
+  // and the target finder's indexes absorb the phase's own inserts.
+  HomomorphismFinder body_finder(source);
+  HomomorphismFinder head_finder(*target);
   for (const Tgd& tgd : tgds) {
     if (guard->tripped()) return;
-    FireTgd(source, target, tgd, fresh, stats, guard);
+    FireTgd(source, target, tgd, fresh, stats, guard, &body_finder,
+            &head_finder);
   }
 }
 
@@ -70,94 +170,66 @@ bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
   bool inserted = false;
   for (const Tgd& tgd : tgds) {
     if (guard->tripped()) break;
-    if (FireTgd(*target, target, tgd, fresh, stats, guard)) inserted = true;
+    // A fresh finder per tgd, as the naive engine always did: this path is
+    // the oracle, kept deliberately simple.
+    HomomorphismFinder finder(*target);
+    if (FireTgd(*target, target, tgd, fresh, stats, guard, &finder, &finder)) {
+      inserted = true;
+    }
   }
   return inserted;
 }
 
-namespace {
-
-bool FireTgd(const Instance& source, Instance* target, const Tgd& tgd,
-             const FreshNullFactory& fresh, ChaseStats* stats,
-             ResourceGuard* guard) {
-  bool inserted_any = false;
-  {
-    // Collect triggers, deduplicated by the head-visible universal values:
-    // triggers agreeing there would fire indistinguishable head images.
-    // Collection completes before any firing, so `source` may alias
-    // `*target` (target tgds) without invalidation.
+bool TargetTgdRoundDelta(Instance* target, const std::vector<Tgd>& tgds,
+                         const FreshNullFactory& fresh, ChaseStats* stats,
+                         ResourceGuard* guard, DeltaFrontier* frontier,
+                         HomomorphismFinder* finder) {
+  // Everything inserted from here on is the next round's frontier. Sizes
+  // are captured before any firing; facts a tgd inserts this round are
+  // enumerated by later tgds' collections (they are past the current marks)
+  // AND again next round — redundant but harmless, the witness check skips
+  // re-fires.
+  const std::size_t relation_count = target->schema().relation_count();
+  std::vector<std::uint32_t> start_sizes(relation_count);
+  for (RelationId rel = 0; rel < relation_count; ++rel) {
+    start_sizes[rel] = static_cast<std::uint32_t>(target->facts(rel).size());
+  }
+  bool inserted = false;
+  for (const Tgd& tgd : tgds) {
+    if (guard->tripped()) break;
     const std::vector<VarId> key_vars = HeadUniversalVars(tgd);
-    std::map<std::vector<Value>, Binding> triggers;
-    HomomorphismFinder source_finder(source);
-    source_finder.ForEach(
-        tgd.body, Binding(tgd.num_vars()),
-        [&](const Binding& binding, const AtomImage&) {
-          ++stats->tgd_triggers;
-          std::vector<Value> key;
-          key.reserve(key_vars.size());
-          for (VarId v : key_vars) key.push_back(binding.Get(v));
-          triggers.emplace(std::move(key), binding);
-          return true;
-        });
-
-    // Fire each unique trigger unless an extension homomorphism already
-    // exists in the current target (restricted chase). With a single-atom
-    // head, a fired fact carries its own trigger's universal values at
-    // every universal position, so it can never witness a DIFFERENT key:
-    // the extension finder built at phase start stays exact and is not
-    // rebuilt. Multi-atom heads can witness other keys through mixed fact
-    // combinations, so there the finder is rebuilt whenever the target
-    // grows.
-    const bool rebuild_on_insert = tgd.head.atoms.size() > 1;
-    std::unique_ptr<HomomorphismFinder> target_finder;
-    bool target_dirty = true;
-    for (auto& [key, binding] : triggers) {
-      if (!guard->CheckDeadline()) break;
-      if (target_dirty) {
-        target_finder = std::make_unique<HomomorphismFinder>(*target);
-        target_dirty = false;
-      }
-      if (target_finder->Exists(tgd.head, binding)) continue;
-      // Budget checks come before the corresponding work, so an aborted
-      // firing never half-materializes: no nulls are minted and no facts
-      // inserted once the guard trips.
-      if (!guard->ChargeTgdFire()) break;
-      Binding extended = binding;
-      for (VarId y : tgd.existential) {
-        if (!guard->ChargeFreshNull()) break;
-        extended.Bind(y, fresh(tgd, binding));
-        ++stats->fresh_nulls;
-      }
-      if (guard->tripped()) break;
-      bool fact_budget_ok = true;
-      for (const Atom& atom : tgd.head.atoms) {
-        if (target->Insert(Instantiate(atom, extended))) {
-          if (rebuild_on_insert) target_dirty = true;
-          inserted_any = true;
-          // Duplicates are free: only facts that grew the instance count.
-          if (!guard->ChargeFact()) {
-            fact_budget_ok = false;
-            break;
-          }
-        }
-      }
-      ++stats->tgd_fires;
-      if (!fact_budget_ok) break;
+    TriggerSet triggers;
+    if (frontier->full()) {
+      CollectTriggers(finder, tgd, key_vars, stats, &triggers);
+    } else {
+      CollectTriggersDelta(finder, *target, tgd, key_vars, *frontier, stats,
+                           &triggers);
+    }
+    if (FireTriggers(target, tgd, triggers, fresh, stats, guard, finder)) {
+      inserted = true;
     }
   }
-  return inserted_any;
+  frontier->AdvanceTo(std::move(start_sizes));
+  return inserted;
 }
-
-}  // namespace
 
 ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
                             ChaseStats* stats, std::string* failure_reason,
                             ResourceGuard* guard) {
   // Batched passes: collect every violated equality, merge the equivalence
-  // classes with union-find, rebuild the instance once, repeat. This is
-  // equivalent to applying egd steps one at a time (the egd chase is
-  // confluent up to null renaming) but costs one rebuild per pass instead
-  // of one per step.
+  // classes with union-find, substitute, repeat. This is equivalent to
+  // applying egd steps one at a time (the egd chase is confluent up to null
+  // renaming) but costs one substitution pass per batch instead of one per
+  // step.
+  //
+  // The substitution itself is in-place over only the facts that mention a
+  // merged value. Those facts are found through a reverse null->positions
+  // index built on the first merging pass and maintained incrementally
+  // afterwards; it is dropped (and lazily rebuilt) whenever fact positions
+  // shift. Only nulls need indexing: a merge never replaces a constant (a
+  // non-null representative always wins, and two non-nulls fail the chase).
+  std::unordered_map<Value, std::vector<FactRef>, ValueHash> reverse;
+  bool reverse_valid = false;
   while (true) {
     if (!guard->PokeFault("chase/egd-fixpoint") || !guard->CheckDeadline()) {
       return ChaseResultKind::kAborted;
@@ -233,39 +305,105 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
       }
     }
 
-    // ---- apply all merges in one rebuild ----------------------------------
-    // The pass's steps are charged before the rebuild: a pass that blows
-    // the egd budget aborts without paying for the rebuild.
+    // ---- flatten the classes into a substitution map ---------------------
+    std::unordered_map<Value, Value, ValueHash> subst;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const Value& rep = representative.at(find(i));
+      if (rep != values[i]) subst.emplace(values[i], rep);
+    }
+
+    // The pass's steps are charged before the substitution: a pass that
+    // blows the egd budget aborts without paying for the rewrite.
     if (!guard->ChargeEgdSteps(index.size() - representative.size())) {
       return ChaseResultKind::kAborted;
     }
-    Instance next(&target->schema());
-    std::size_t replaced = 0;
-    target->ForEach([&](const Fact& fact) {
-      std::vector<Value> args;
-      args.reserve(fact.arity());
-      for (const Value& v : fact.args()) {
-        auto it = index.find(v);
-        if (it == index.end()) {
-          args.push_back(v);
-          continue;
-        }
-        const Value& rep = representative.at(find(it->second));
-        if (rep != v) ++replaced;
-        args.push_back(rep);
-      }
-      next.Insert(Fact(fact.relation(), std::move(args)));
-    });
     stats->egd_steps += index.size() - representative.size();
-    (void)replaced;
-    *target = std::move(next);
+
+    // ---- find the affected facts through the reverse index ---------------
+    if (!reverse_valid) {
+      reverse.clear();
+      const std::size_t relation_count = target->schema().relation_count();
+      for (RelationId rel = 0; rel < relation_count; ++rel) {
+        const std::vector<Fact>& facts = target->facts(rel);
+        for (std::uint32_t pos = 0; pos < facts.size(); ++pos) {
+          for (const Value& v : facts[pos].args()) {
+            if (v.is_any_null()) reverse[v].push_back({rel, pos});
+          }
+        }
+      }
+      reverse_valid = true;
+    }
+    std::vector<FactRef> affected;
+    for (const auto& [from, to] : subst) {
+      (void)to;
+      auto it = reverse.find(from);
+      if (it == reverse.end()) continue;
+      affected.insert(affected.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(affected.begin(), affected.end(),
+              [](const FactRef& a, const FactRef& b) {
+                return a.rel != b.rel ? a.rel < b.rel : a.pos < b.pos;
+              });
+    affected.erase(std::unique(affected.begin(), affected.end(),
+                               [](const FactRef& a, const FactRef& b) {
+                                 return a.rel == b.rel && a.pos == b.pos;
+                               }),
+                   affected.end());
+
+    if (affected.size() > target->size() / 2) {
+      // ---- heavy merge: rebuild the instance wholesale -------------------
+      Instance next(&target->schema());
+      target->ForEach([&](const Fact& fact) {
+        std::vector<Value> args;
+        args.reserve(fact.arity());
+        for (const Value& v : fact.args()) {
+          auto it = subst.find(v);
+          if (it == subst.end()) {
+            args.push_back(v);
+            continue;
+          }
+          ++stats->values_rewritten;
+          args.push_back(it->second);
+        }
+        next.Insert(Fact(fact.relation(), std::move(args)));
+      });
+      *target = std::move(next);
+      reverse_valid = false;
+    } else {
+      // ---- light merge: rewrite only the affected facts in place ---------
+      const RewriteResult result = target->RewriteFacts(affected, subst);
+      stats->values_rewritten += result.values_rewritten;
+      if (result.compacted) {
+        // Positions shifted; the reverse index is stale beyond repair.
+        reverse_valid = false;
+      } else {
+        // Maintain the index: the merged nulls are gone everywhere (every
+        // occurrence was just rewritten), and each affected fact now holds
+        // representative values at the rewritten slots.
+        std::unordered_set<Value, ValueHash> null_reps;
+        for (const auto& [from, to] : subst) {
+          reverse.erase(from);
+          if (to.is_any_null()) null_reps.insert(to);
+        }
+        if (!null_reps.empty()) {
+          for (const FactRef& ref : affected) {
+            for (const Value& v : target->facts(ref.rel)[ref.pos].args()) {
+              if (null_reps.count(v) != 0) reverse[v].push_back(ref);
+            }
+          }
+        }
+      }
+    }
   }
 }
 
-Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
-                                   const Mapping& mapping, Universe* universe,
-                                   const ChaseLimits& limits) {
-  ResourceGuard guard(limits);
+namespace {
+
+Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
+                                       const Mapping& mapping,
+                                       Universe* universe,
+                                       const ChaseOptions& options) {
+  ResourceGuard guard(options.limits);
   ChaseOutcome outcome(Instance(&source.schema()));
   // Consult the mapping's termination certificate (or derive one) before
   // doing any work: an uncertified set of target tgds may chase forever.
@@ -296,11 +434,23 @@ Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
   // Interleave target-tgd rounds and egd steps to a joint fixpoint. Weak
   // acyclicity (ValidateMapping) bounds the number of fresh nulls, so this
   // terminates; the round cap is a defensive backstop for unvalidated input.
+  //
+  // Semi-naive execution keeps ONE finder alive across every round; its
+  // indexes absorb inserts incrementally and rebuild after egd rewrites
+  // (generation check). The frontier resets whenever the egd fixpoint
+  // rewrote anything, since rewritten facts can seed triggers the frontier
+  // would otherwise never revisit.
+  DeltaFrontier frontier;
+  HomomorphismFinder finder(outcome.target);
   std::size_t rounds = 0;
   while (true) {
     bool fired = false;
-    while (TargetTgdRound(&outcome.target, mapping.target_tgds, fresh,
-                          &outcome.stats, &guard)) {
+    while (options.semi_naive
+               ? TargetTgdRoundDelta(&outcome.target, mapping.target_tgds,
+                                     fresh, &outcome.stats, &guard, &frontier,
+                                     &finder)
+               : TargetTgdRound(&outcome.target, mapping.target_tgds, fresh,
+                                &outcome.stats, &guard)) {
       fired = true;
       if (guard.tripped()) return aborted();
       if (++rounds > 100000) {
@@ -316,6 +466,7 @@ Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
     if (outcome.kind == ChaseResultKind::kFailure) return outcome;
     if (outcome.kind == ChaseResultKind::kAborted) return aborted();
     if (!fired && outcome.stats.egd_steps == egd_before) break;
+    if (outcome.stats.egd_steps != egd_before) frontier.Reset();
     if (++rounds > 100000) {
       return Status::Internal(
           "chase exceeded its iteration budget; are the target tgds weakly "
@@ -323,6 +474,22 @@ Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
     }
   }
   return outcome;
+}
+
+}  // namespace
+
+Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
+                                   const Mapping& mapping, Universe* universe,
+                                   const ChaseOptions& options) {
+  return ChaseSnapshotImpl(source, mapping, universe, options);
+}
+
+Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
+                                   const Mapping& mapping, Universe* universe,
+                                   const ChaseLimits& limits) {
+  ChaseOptions options;
+  options.limits = limits;
+  return ChaseSnapshotImpl(source, mapping, universe, options);
 }
 
 }  // namespace tdx

@@ -19,13 +19,17 @@
 #ifndef TDX_RELATIONAL_CHASE_H_
 #define TDX_RELATIONAL_CHASE_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/resource.h"
 #include "src/common/status.h"
 #include "src/relational/dependency.h"
+#include "src/relational/homomorphism.h"
 #include "src/relational/instance.h"
 
 namespace tdx {
@@ -41,10 +45,28 @@ struct ChaseStats {
   std::size_t tgd_fires = 0;     ///< triggers that actually fired
   std::size_t egd_steps = 0;     ///< successful egd applications
   std::size_t fresh_nulls = 0;   ///< labeled nulls created
+  /// Argument slots rewritten by egd merges ("replaced everywhere",
+  /// Definition 16) — a measure of how much substitution work the egd
+  /// fixpoint did beyond the merge decisions themselves.
+  std::size_t values_rewritten = 0;
   /// The termination certificate the run consulted: taken from
   /// Mapping::certificate when the parser filled it in, otherwise derived
   /// on entry. Runs whose certificate is kUnknown are refused upfront.
   std::optional<TerminationCertificate> certificate;
+};
+
+/// Execution knobs for the snapshot chase (the c-chase mirrors them in
+/// CChaseOptions).
+struct ChaseOptions {
+  ChaseLimits limits;
+  /// Delta-driven (semi-naive) target-tgd rounds: each round enumerates only
+  /// the triggers whose body image touches at least one fact inserted since
+  /// the frontier last advanced, instead of re-joining the entire target.
+  /// Both modes produce identical outcomes — a trigger over wholly-old facts
+  /// was already enumerated the round its newest fact arrived, and fired or
+  /// found witnessed then — so the naive mode survives purely as the
+  /// correctness oracle (tests/seminaive_chase_test.cc pins the equivalence).
+  bool semi_naive = true;
 };
 
 struct ChaseOutcome {
@@ -77,6 +99,11 @@ Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
                                    const Mapping& mapping, Universe* universe,
                                    const ChaseLimits& limits = {});
 
+/// Same, with execution knobs (semi-naive vs naive rounds).
+Result<ChaseOutcome> ChaseSnapshot(const Instance& source,
+                                   const Mapping& mapping, Universe* universe,
+                                   const ChaseOptions& options);
+
 // ---------------------------------------------------------------------------
 // Building blocks, shared with the concrete chase (core/cchase.h), which
 // differs only in how fresh nulls are minted (interval-annotated with h(t))
@@ -102,6 +129,12 @@ void TgdPhase(const Instance& source, Instance* target,
 /// values, kAborted when `guard` trips (budget, deadline, or the armed
 /// fault point "chase/egd-fixpoint"). Handles labeled and
 /// interval-annotated nulls uniformly.
+///
+/// Merges are applied through an in-place substitution over only the facts
+/// that mention a merged value (found via a reverse value->fact index kept
+/// across passes), falling back to a full instance rebuild when a pass
+/// touches more than half the facts. Slots rewritten either way accrue to
+/// ChaseStats::values_rewritten.
 ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
                             ChaseStats* stats, std::string* failure_reason,
                             ResourceGuard* guard);
@@ -110,9 +143,61 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
 /// target, fires those without an extension witness, and returns true if
 /// anything was inserted. Callers loop rounds to a fixpoint (guaranteed to
 /// exist for weakly acyclic target tgds) and interleave with EgdFixpoint.
+/// This is the naive round: every trigger is re-enumerated every round. It
+/// is kept as the oracle the semi-naive engine is tested (and benchmarked)
+/// against.
 bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
                     const FreshNullFactory& fresh, ChaseStats* stats,
                     ResourceGuard* guard);
+
+/// Per-relation delta frontier for semi-naive target-tgd rounds: facts of
+/// relation r at positions >= mark(r) form the frontier (inserted since the
+/// frontier last advanced). A fresh or Reset frontier covers every fact —
+/// round 0 seeds semi-naive evaluation with the full instance; callers also
+/// Reset after anything rewrites existing facts (egd merges, normalization),
+/// since rewritten facts can participate in triggers the frontier would
+/// otherwise skip.
+class DeltaFrontier {
+ public:
+  DeltaFrontier() = default;
+
+  /// True while the frontier covers the whole instance.
+  bool full() const { return full_; }
+
+  /// First frontier position of `rel` (0 while full or for relations that
+  /// appeared after the last advance).
+  std::uint32_t mark(RelationId rel) const {
+    return rel < marks_.size() ? marks_[rel] : 0;
+  }
+
+  /// Re-seed with the full instance.
+  void Reset() {
+    full_ = true;
+    marks_.clear();
+  }
+
+  /// Advances the frontier: facts of `rel` below `sizes[rel]` stop being
+  /// frontier. Callers pass the per-relation sizes captured at round start,
+  /// so everything a round inserts is the next round's frontier.
+  void AdvanceTo(std::vector<std::uint32_t> sizes) {
+    full_ = false;
+    marks_ = std::move(sizes);
+  }
+
+ private:
+  bool full_ = true;
+  std::vector<std::uint32_t> marks_;
+};
+
+/// Semi-naive round: like TargetTgdRound, but only enumerates triggers whose
+/// body image touches the frontier, and probes the restricted-chase Exists
+/// check against `finder` — a persistent HomomorphismFinder over `target`
+/// whose indexes catch up incrementally instead of being rebuilt per round.
+/// Advances `frontier` past the facts that existed at round start.
+bool TargetTgdRoundDelta(Instance* target, const std::vector<Tgd>& tgds,
+                         const FreshNullFactory& fresh, ChaseStats* stats,
+                         ResourceGuard* guard, DeltaFrontier* frontier,
+                         HomomorphismFinder* finder);
 
 }  // namespace tdx
 

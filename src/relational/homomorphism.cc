@@ -109,7 +109,11 @@ bool HomomorphismFinder::Search(const Conjunction& conj,
     return cont;
   };
 
-  if (positions.empty()) {
+  // Index probe on bound positions; nullptr (nothing bound, or a wide
+  // relation beyond the mask width) falls back to a full scan.
+  const std::vector<std::uint32_t>* candidates =
+      positions.empty() ? nullptr : cache_.Probe(atom.rel, positions, values);
+  if (candidates == nullptr) {
     for (const Fact& fact : rel_facts) {
       if (!try_fact(fact)) {
         keep_going = false;
@@ -117,9 +121,7 @@ bool HomomorphismFinder::Search(const Conjunction& conj,
       }
     }
   } else {
-    const std::vector<std::uint32_t>& candidates =
-        cache_.Probe(atom.rel, positions, values);
-    for (std::uint32_t idx : candidates) {
+    for (std::uint32_t idx : *candidates) {
       if (!try_fact(rel_facts[idx])) {
         keep_going = false;
         break;
@@ -141,6 +143,32 @@ bool HomomorphismFinder::ForEach(const Conjunction& conj, Binding initial,
   // Placeholder facts; every slot is overwritten before the callback runs.
   AtomImage image(conj.atoms.size(), Fact(0, {}));
   return Search(conj, done, conj.atoms.size(), initial, image, cb);
+}
+
+bool HomomorphismFinder::ForEachSeeded(const Conjunction& conj,
+                                       std::size_t seed_atom,
+                                       std::uint32_t seed_begin,
+                                       std::uint32_t seed_end, Binding initial,
+                                       const HomCallback& cb) {
+  assert(initial.size() >= conj.num_vars);
+  assert(seed_atom < conj.atoms.size());
+  const Atom& atom = conj.atoms[seed_atom];
+  const std::vector<Fact>& rel_facts = instance_->facts(atom.rel);
+  assert(seed_end <= rel_facts.size());
+  std::vector<bool> done(conj.atoms.size(), false);
+  AtomImage image(conj.atoms.size(), Fact(0, {}));
+  done[seed_atom] = true;
+  std::vector<VarId> newly_bound;
+  for (std::uint32_t i = seed_begin; i < seed_end; ++i) {
+    newly_bound.clear();
+    if (!MatchAtom(atom, rel_facts[i], initial, newly_bound)) continue;
+    image[seed_atom] = rel_facts[i];
+    const bool cont =
+        Search(conj, done, conj.atoms.size() - 1, initial, image, cb);
+    for (VarId v : newly_bound) initial.Unbind(v);
+    if (!cont) return false;
+  }
+  return true;
 }
 
 bool HomomorphismFinder::Exists(const Conjunction& conj, Binding initial) {

@@ -111,8 +111,13 @@ using AtomImage = std::vector<Fact>;
 using HomCallback =
     std::function<bool(const Binding& binding, const AtomImage& image)>;
 
-/// Short-lived view over an immutable Instance that enumerates
-/// homomorphisms. Do not mutate the instance while a finder is alive.
+/// View over an Instance that enumerates homomorphisms. The finder may
+/// outlive instance mutations: its index cache catches up incrementally on
+/// appends and rebuilds itself when the instance's generation changes
+/// (erase, in-place rewrite, assignment) — see index.h. This is what lets
+/// the chase keep ONE finder alive across rounds. Do not mutate the
+/// instance from inside an enumeration callback, though: candidate lists
+/// for the in-flight probe would dangle.
 class HomomorphismFinder {
  public:
   explicit HomomorphismFinder(const Instance& instance)
@@ -123,6 +128,17 @@ class HomomorphismFinder {
   /// Returns false iff the callback stopped enumeration early.
   bool ForEach(const Conjunction& conj, Binding initial,
                const HomCallback& cb);
+
+  /// Semi-naive building block: enumerates every homomorphism extending
+  /// `initial` whose image of atom `seed_atom` is one of the facts
+  /// facts(conj.atoms[seed_atom].rel)[seed_begin..seed_end). Seeding each
+  /// body atom with a delta range enumerates exactly the homomorphisms that
+  /// touch at least one delta fact (with overlap when several atoms hit the
+  /// delta; chase trigger collection deduplicates by key, so overlap costs
+  /// time, never correctness). Returns false iff the callback stopped early.
+  bool ForEachSeeded(const Conjunction& conj, std::size_t seed_atom,
+                     std::uint32_t seed_begin, std::uint32_t seed_end,
+                     Binding initial, const HomCallback& cb);
 
   /// Does any homomorphism extending `initial` exist?
   bool Exists(const Conjunction& conj, Binding initial);

@@ -19,29 +19,42 @@ std::size_t IndexCache::HashValues(const std::vector<Value>& values) {
   return h;
 }
 
-const std::vector<std::uint32_t>& IndexCache::Probe(
+void IndexCache::AppendNewFacts(RelationId rel, MaskIndex* index) {
+  const std::vector<Fact>& facts = instance_->facts(rel);
+  for (std::uint32_t i = index->indexed_count; i < facts.size(); ++i) {
+    index->buckets[HashValuesAt(facts[i], index->positions)].push_back(i);
+  }
+  index->indexed_count = static_cast<std::uint32_t>(facts.size());
+}
+
+const std::vector<std::uint32_t>* IndexCache::Probe(
     RelationId rel, const std::vector<std::uint32_t>& positions,
     const std::vector<Value>& values) {
   assert(!positions.empty());
   assert(positions.size() == values.size());
+  // A generation change means facts moved or were rewritten in place; every
+  // cached bucket may now point at the wrong fact, so start over. Appends
+  // do not change the generation and are handled incrementally below.
+  if (instance_->generation() != generation_) {
+    indexes_.clear();
+    generation_ = instance_->generation();
+  }
   std::uint64_t mask = 0;
   for (std::uint32_t pos : positions) {
-    assert(pos < 64 && "indexes support up to 64 attributes");
+    if (pos >= 64) return nullptr;  // wide relation: caller scans instead
     mask |= (std::uint64_t{1} << pos);
   }
   const MaskKey key{rel, mask};
   auto it = indexes_.find(key);
   if (it == indexes_.end()) {
     MaskIndex index;
-    const std::vector<Fact>& facts = instance_->facts(rel);
-    for (std::uint32_t i = 0; i < facts.size(); ++i) {
-      index.buckets[HashValuesAt(facts[i], positions)].push_back(i);
-    }
+    index.positions = positions;
     it = indexes_.emplace(key, std::move(index)).first;
   }
+  AppendNewFacts(rel, &it->second);
   auto bucket = it->second.buckets.find(HashValues(values));
-  if (bucket == it->second.buckets.end()) return empty_;
-  return bucket->second;
+  if (bucket == it->second.buckets.end()) return &empty_;
+  return &bucket->second;
 }
 
 }  // namespace tdx

@@ -1,11 +1,21 @@
-// Lazy hash indexes over an Instance, keyed by (relation, set of bound
-// attribute positions).
+// Incrementally maintained hash indexes over an Instance, keyed by
+// (relation, set of bound attribute positions).
 //
 // The homomorphism engine (homomorphism.h) probes an index with the values
 // an atom has already bound; the index returns candidate fact positions.
-// Indexes are built on first use per (relation, position mask) and are valid
-// as long as the underlying Instance is not mutated — the engine owns the
-// cache and is itself a short-lived view over an immutable instance.
+// Indexes are built on first use per (relation, position mask) and then kept
+// in sync with the instance:
+//
+//  * Appends (Instance::Insert) leave existing fact positions stable, so a
+//    probe catches an index up by hashing only the tail of facts added since
+//    the last probe (AppendNewFacts) — the chase inserts between rounds and
+//    the next round's probes pay O(delta), not O(instance).
+//  * Mutations that move or rewrite facts (Erase, RewriteFacts, assignment)
+//    bump the instance's generation; a probe that observes a new generation
+//    discards every mask index and rebuilds lazily.
+//
+// This is what lets a HomomorphismFinder persist across chase rounds instead
+// of being rebuilt per round (see chase.cc's semi-naive trigger enumeration).
 //
 // Probing is approximate: candidates are bucketed by a hash of the bound
 // values, and the engine re-verifies every candidate during matching, so
@@ -24,7 +34,8 @@ namespace tdx {
 
 class IndexCache {
  public:
-  explicit IndexCache(const Instance* instance) : instance_(instance) {}
+  explicit IndexCache(const Instance* instance)
+      : instance_(instance), generation_(instance->generation()) {}
 
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
@@ -32,15 +43,25 @@ class IndexCache {
   /// Candidate positions (indexes into instance.facts(rel)) of facts whose
   /// arguments at `positions` hash-match `values`. `positions` must be
   /// sorted ascending and non-empty; `values[i]` corresponds to
-  /// `positions[i]`. The returned reference is valid until the next Probe.
-  const std::vector<std::uint32_t>& Probe(RelationId rel,
-                                          const std::vector<std::uint32_t>& positions,
-                                          const std::vector<Value>& values);
+  /// `positions[i]`. The returned pointer is valid until the next Probe.
+  ///
+  /// Returns nullptr when the index cannot cover the probe — an attribute
+  /// position >= 64 does not fit the mask key (wide relations) — in which
+  /// case the caller scans the full relation instead. Never UB.
+  const std::vector<std::uint32_t>* Probe(
+      RelationId rel, const std::vector<std::uint32_t>& positions,
+      const std::vector<Value>& values);
 
  private:
   struct MaskIndex {
     // bucket hash -> fact positions
     std::unordered_map<std::size_t, std::vector<std::uint32_t>> buckets;
+    // The probed positions (the expansion of the mask key), kept so the
+    // catch-up path can hash new facts without re-deriving them.
+    std::vector<std::uint32_t> positions;
+    // Facts [0, indexed_count) are in the buckets; facts beyond are the
+    // un-indexed tail appended since the last probe.
+    std::uint32_t indexed_count = 0;
   };
   struct MaskKey {
     RelationId rel;
@@ -59,7 +80,11 @@ class IndexCache {
                                   const std::vector<std::uint32_t>& positions);
   static std::size_t HashValues(const std::vector<Value>& values);
 
+  /// Hashes the facts appended since `index` was last caught up.
+  void AppendNewFacts(RelationId rel, MaskIndex* index);
+
   const Instance* instance_;
+  std::uint64_t generation_;
   std::unordered_map<MaskKey, MaskIndex, MaskKeyHash> indexes_;
   std::vector<std::uint32_t> empty_;
 };

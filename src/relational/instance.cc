@@ -21,7 +21,75 @@ bool Instance::Erase(const Fact& fact) {
   if (all_.erase(fact) == 0) return false;
   std::vector<Fact>& vec = by_rel_[fact.relation()];
   vec.erase(std::remove(vec.begin(), vec.end(), fact), vec.end());
+  ++generation_;
   return true;
+}
+
+RewriteResult Instance::RewriteFacts(
+    const std::vector<FactRef>& refs,
+    const std::unordered_map<Value, Value, ValueHash>& subst) {
+  RewriteResult result;
+  if (refs.empty() || subst.empty()) return result;
+  ++generation_;
+
+  // Pass 1: compute the rewritten spellings and remove the old ones from the
+  // membership set, so that pass 2 detects collisions against exactly the
+  // facts that survive the whole substitution (matching the semantics of a
+  // full rebuild, where every fact is rewritten before dedup applies).
+  struct Pending {
+    FactRef ref;
+    Fact fact;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(refs.size());
+  for (const FactRef& ref : refs) {
+    assert(ref.rel < by_rel_.size() && ref.pos < by_rel_[ref.rel].size());
+    const Fact& old_fact = by_rel_[ref.rel][ref.pos];
+    std::vector<Value> args = old_fact.args();
+    std::size_t changed = 0;
+    for (Value& v : args) {
+      auto it = subst.find(v);
+      if (it != subst.end() && it->second != v) {
+        v = it->second;
+        ++changed;
+      }
+    }
+    if (changed == 0) continue;  // stale ref: fact mentions no merged value
+    if (all_.erase(old_fact) == 0) continue;  // duplicate ref: already queued
+    result.values_rewritten += changed;
+    ++result.facts_rewritten;
+    pending.push_back({ref, Fact(old_fact.relation(), std::move(args))});
+  }
+
+  // Pass 2: re-insert the rewritten facts at their original positions; a
+  // collision (with an untouched fact or an earlier rewrite) marks the slot
+  // dead and forces compaction.
+  std::vector<std::vector<std::uint32_t>> dead(by_rel_.size());
+  for (Pending& p : pending) {
+    if (all_.insert(p.fact).second) {
+      by_rel_[p.ref.rel][p.ref.pos] = std::move(p.fact);
+    } else {
+      dead[p.ref.rel].push_back(p.ref.pos);
+      result.compacted = true;
+    }
+  }
+  for (RelationId rel = 0; rel < dead.size(); ++rel) {
+    std::vector<std::uint32_t>& holes = dead[rel];
+    if (holes.empty()) continue;
+    std::sort(holes.begin(), holes.end());
+    std::vector<Fact>& vec = by_rel_[rel];
+    std::size_t write = holes[0];
+    std::size_t next_hole = 0;
+    for (std::size_t read = holes[0]; read < vec.size(); ++read) {
+      if (next_hole < holes.size() && read == holes[next_hole]) {
+        ++next_hole;
+        continue;
+      }
+      vec[write++] = std::move(vec[read]);
+    }
+    vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(write), vec.end());
+  }
+  return result;
 }
 
 void Instance::ForEach(const std::function<void(const Fact&)>& fn) const {

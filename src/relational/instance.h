@@ -11,15 +11,37 @@
 #ifndef TDX_RELATIONAL_INSTANCE_H_
 #define TDX_RELATIONAL_INSTANCE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/relational/fact.h"
 #include "src/relational/schema.h"
 
 namespace tdx {
+
+/// Position of one fact inside an Instance: (relation, index into
+/// facts(relation)). Valid until the instance compacts (see
+/// Instance::generation).
+struct FactRef {
+  RelationId rel = 0;
+  std::uint32_t pos = 0;
+};
+
+/// Outcome of an in-place substitution pass (Instance::RewriteFacts).
+struct RewriteResult {
+  std::size_t facts_rewritten = 0;   ///< facts whose arguments changed
+  std::size_t values_rewritten = 0;  ///< argument slots replaced
+  /// True when a rewritten fact collided with another fact and was removed:
+  /// fact positions after the collision point shifted, so position-based
+  /// caches (FactRef lists, mask indexes) must be rebuilt.
+  bool compacted = false;
+};
 
 class Instance {
  public:
@@ -31,7 +53,38 @@ class Instance {
     by_rel_.resize(schema->relation_count());
   }
 
+  Instance(const Instance&) = default;
+  Instance(Instance&&) = default;
+  /// Assignment replaces the contents of an instance other code may hold
+  /// position-based views into (IndexCache keys candidates by fact
+  /// position), so it advances the generation past both operands: any view
+  /// keyed to either old generation sees a mismatch and rebuilds.
+  Instance& operator=(const Instance& other) {
+    if (this == &other) return *this;
+    const std::uint64_t gen = std::max(generation_, other.generation_) + 1;
+    schema_ = other.schema_;
+    by_rel_ = other.by_rel_;
+    all_ = other.all_;
+    generation_ = gen;
+    return *this;
+  }
+  Instance& operator=(Instance&& other) noexcept {
+    if (this == &other) return *this;
+    const std::uint64_t gen = std::max(generation_, other.generation_) + 1;
+    schema_ = other.schema_;
+    by_rel_ = std::move(other.by_rel_);
+    all_ = std::move(other.all_);
+    generation_ = gen;
+    return *this;
+  }
+
   const Schema& schema() const { return *schema_; }
+
+  /// Mutation generation. Bumped by every operation that can invalidate a
+  /// position-based view of the instance — Erase, RewriteFacts, assignment —
+  /// but NOT by Insert, which only appends (positions of existing facts are
+  /// stable, so an index can catch up incrementally instead of rebuilding).
+  std::uint64_t generation() const { return generation_; }
 
   /// Inserts a fact; returns true if newly inserted, false if duplicate.
   /// Asserts the fact's arity matches its relation's schema.
@@ -70,6 +123,21 @@ class Instance {
   /// substitution collapse (set semantics).
   Instance ReplaceValue(const Value& from, const Value& to) const;
 
+  /// In-place substitution primitive for egd merges: rewrites ONLY the
+  /// facts at `refs`, replacing every argument that appears in `subst` with
+  /// its mapped value. `refs` must cover every fact that mentions a key of
+  /// `subst` (the egd fixpoint finds them through its reverse value->fact
+  /// index); other facts are untouched, which is what makes this cheaper
+  /// than a full rebuild when a merge touches few facts.
+  ///
+  /// A rewritten fact that collides with another fact is removed (set
+  /// semantics); the result reports `compacted` so callers drop
+  /// position-based caches. Always bumps the generation (rewritten facts
+  /// hash differently, so mask indexes over them are stale either way).
+  RewriteResult RewriteFacts(
+      const std::vector<FactRef>& refs,
+      const std::unordered_map<Value, Value, ValueHash>& subst);
+
   /// Set-union of two instances over the same schema.
   static Instance Union(const Instance& a, const Instance& b);
 
@@ -86,6 +154,7 @@ class Instance {
   const Schema* schema_;
   std::vector<std::vector<Fact>> by_rel_;
   std::unordered_set<Fact, FactHash> all_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace tdx

@@ -1,62 +1,156 @@
 #include "src/temporal/abstract_chase.h"
 
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace tdx {
+
+namespace {
+
+bool PieceIsComplete(const AbstractPiece& piece) {
+  bool complete = true;
+  piece.snapshot.ForEach([&](const Fact& fact) {
+    for (const Value& v : fact.args()) {
+      if (v.is_any_null()) complete = false;
+    }
+  });
+  return complete;
+}
+
+/// The distinct labeled nulls of `target` in first-occurrence order (fact
+/// order is deterministic, so this order is too).
+std::vector<Value> CollectNulls(const Instance& target) {
+  std::unordered_set<NullId> seen;
+  std::vector<Value> out;
+  target.ForEach([&](const Fact& fact) {
+    for (const Value& v : fact.args()) {
+      if (v.is_null() && seen.insert(v.null_id()).second) out.push_back(v);
+    }
+  });
+  return out;
+}
+
+/// Re-labels the chase's fresh labeled nulls as interval-annotated nulls
+/// spanning the piece: a distinct unknown at every snapshot (Section 3:
+/// "the fresh labeled nulls produced in a snapshot are distinct from those
+/// produced in the other snapshots"). One rebuild pass; the substitution is
+/// injective over distinct nulls, so no facts collapse and per-relation
+/// fact order is preserved — identical to replacing the nulls one at a time.
+Instance RelabelNulls(Instance target, const std::vector<Value>& nulls,
+                      const Interval& span, Universe* universe) {
+  if (nulls.empty()) return target;
+  std::unordered_map<Value, Value, ValueHash> subst;
+  subst.reserve(nulls.size());
+  for (const Value& old_null : nulls) {
+    subst.emplace(old_null, universe->FreshAnnotatedNull(span));
+  }
+  Instance relabeled(&target.schema());
+  target.ForEach([&](const Fact& fact) {
+    std::vector<Value> args;
+    args.reserve(fact.arity());
+    for (const Value& v : fact.args()) {
+      auto it = subst.find(v);
+      args.push_back(it == subst.end() ? v : it->second);
+    }
+    relabeled.Insert(Fact(fact.relation(), std::move(args)));
+  });
+  return relabeled;
+}
+
+/// Folds one piece's chase result into the aggregate outcome. Returns true
+/// to continue with the next piece, false when the piece failed or aborted
+/// (the aggregate then carries the failure and later pieces are dropped,
+/// exactly like the sequential engine that never ran them).
+bool MergePiece(const AbstractPiece& piece, ChaseOutcome piece_outcome,
+                Universe* universe, AbstractChaseOutcome* outcome) {
+  outcome->stats.tgd_triggers += piece_outcome.stats.tgd_triggers;
+  outcome->stats.tgd_fires += piece_outcome.stats.tgd_fires;
+  outcome->stats.egd_steps += piece_outcome.stats.egd_steps;
+  outcome->stats.fresh_nulls += piece_outcome.stats.fresh_nulls;
+  outcome->stats.values_rewritten += piece_outcome.stats.values_rewritten;
+  if (piece_outcome.kind != ChaseResultKind::kSuccess) {
+    outcome->kind = piece_outcome.kind;
+    outcome->failure_span = piece.span;
+    outcome->abort_dimension = piece_outcome.abort_dimension;
+    outcome->abort_reason = std::move(piece_outcome.abort_reason);
+    return false;
+  }
+  const std::vector<Value> nulls = CollectNulls(piece_outcome.target);
+  outcome->target.AddPiece(
+      piece.span, RelabelNulls(std::move(piece_outcome.target), nulls,
+                               piece.span, universe));
+  return true;
+}
+
+}  // namespace
+
+Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
+                                           const Mapping& mapping,
+                                           Universe* universe,
+                                           const AbstractChaseOptions& options) {
+  AbstractChaseOutcome outcome(AbstractInstance(&source.schema()));
+  const std::vector<AbstractPiece>& pieces = source.pieces();
+
+  if (options.jobs <= 1 || pieces.size() <= 1) {
+    // Sequential engine: pieces chase against the shared universe in order.
+    for (const AbstractPiece& piece : pieces) {
+      if (!PieceIsComplete(piece)) {
+        return Status::InvalidArgument(
+            "abstract chase requires a complete source instance");
+      }
+      TDX_ASSIGN_OR_RETURN(
+          ChaseOutcome piece_outcome,
+          ChaseSnapshot(piece.snapshot, mapping, universe, options.chase));
+      if (!MergePiece(piece, std::move(piece_outcome), universe, &outcome)) {
+        return outcome;
+      }
+    }
+    return outcome;
+  }
+
+  // Parallel engine: pieces are independent (fresh nulls per snapshot), so
+  // each chases against its own scratch Universe on a pool thread. Pieces
+  // are complete, so every null in a piece's target is scratch-minted and
+  // replaced during the merge — scratch null ids never leak out. Constants
+  // stay valid across universes (the chase never interns; it copies values
+  // already interned in the shared universe). The merge runs sequentially
+  // in piece order, making the outcome independent of thread scheduling.
+  std::vector<std::optional<Result<ChaseOutcome>>> results(pieces.size());
+  std::vector<char> incomplete(pieces.size(), 0);
+  ParallelFor(options.jobs, pieces.size(), [&](std::size_t i) {
+    if (!PieceIsComplete(pieces[i])) {
+      incomplete[i] = 1;
+      return;
+    }
+    Universe scratch;
+    results[i] =
+        ChaseSnapshot(pieces[i].snapshot, mapping, &scratch, options.chase);
+  });
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (incomplete[i] != 0) {
+      return Status::InvalidArgument(
+          "abstract chase requires a complete source instance");
+    }
+    TDX_ASSIGN_OR_RETURN(ChaseOutcome piece_outcome, std::move(*results[i]));
+    if (!MergePiece(pieces[i], std::move(piece_outcome), universe, &outcome)) {
+      return outcome;
+    }
+  }
+  return outcome;
+}
 
 Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
                                            const Mapping& mapping,
                                            Universe* universe,
                                            const ChaseLimits& limits) {
-  AbstractChaseOutcome outcome(AbstractInstance(&source.schema()));
-  for (const AbstractPiece& piece : source.pieces()) {
-    bool complete = true;
-    piece.snapshot.ForEach([&](const Fact& fact) {
-      for (const Value& v : fact.args()) {
-        if (v.is_any_null()) complete = false;
-      }
-    });
-    if (!complete) {
-      return Status::InvalidArgument(
-          "abstract chase requires a complete source instance");
-    }
-
-    TDX_ASSIGN_OR_RETURN(
-        ChaseOutcome piece_outcome,
-        ChaseSnapshot(piece.snapshot, mapping, universe, limits));
-    outcome.stats.tgd_triggers += piece_outcome.stats.tgd_triggers;
-    outcome.stats.tgd_fires += piece_outcome.stats.tgd_fires;
-    outcome.stats.egd_steps += piece_outcome.stats.egd_steps;
-    outcome.stats.fresh_nulls += piece_outcome.stats.fresh_nulls;
-    if (piece_outcome.kind != ChaseResultKind::kSuccess) {
-      outcome.kind = piece_outcome.kind;
-      outcome.failure_span = piece.span;
-      outcome.abort_dimension = piece_outcome.abort_dimension;
-      outcome.abort_reason = std::move(piece_outcome.abort_reason);
-      return outcome;
-    }
-
-    // Re-label the chase's fresh labeled nulls as interval-annotated nulls
-    // spanning the piece: a distinct unknown at every snapshot (Section 3:
-    // "the fresh labeled nulls produced in a snapshot are distinct from
-    // those produced in the other snapshots").
-    std::unordered_set<NullId> seen;
-    std::vector<Value> to_replace;
-    piece_outcome.target.ForEach([&](const Fact& fact) {
-      for (const Value& v : fact.args()) {
-        if (v.is_null() && seen.insert(v.null_id()).second) {
-          to_replace.push_back(v);
-        }
-      }
-    });
-    Instance relabeled = std::move(piece_outcome.target);
-    for (const Value& old_null : to_replace) {
-      relabeled = relabeled.ReplaceValue(
-          old_null, universe->FreshAnnotatedNull(piece.span));
-    }
-    outcome.target.AddPiece(piece.span, std::move(relabeled));
-  }
-  return outcome;
+  AbstractChaseOptions options;
+  options.chase.limits = limits;
+  return AbstractChase(source, mapping, universe, options);
 }
 
 Result<ChaseOutcome> ChaseSnapshotAt(const AbstractInstance& source,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 namespace tdx {
 namespace {
@@ -20,19 +21,30 @@ class IndexTest : public ::testing::Test {
   }
 
   /// Verified candidates: probe, then filter by actual equality (the
-  /// engine always re-verifies, so the index may over-approximate).
+  /// engine always re-verifies, so the index may over-approximate). A
+  /// nullptr probe (scan fallback) counts over the whole relation, like
+  /// the engine does.
   std::size_t VerifiedCount(IndexCache* cache,
                             const std::vector<std::uint32_t>& positions,
                             const std::vector<Value>& values) {
-    const auto& candidates = cache->Probe(e_, positions, values);
-    std::size_t count = 0;
-    for (std::uint32_t idx : candidates) {
-      const Fact& f = instance_->facts(e_)[idx];
-      bool match = true;
+    const std::vector<std::uint32_t>* candidates =
+        cache->Probe(e_, positions, values);
+    const auto& facts = instance_->facts(e_);
+    auto matches = [&](const Fact& f) {
       for (std::size_t i = 0; i < positions.size(); ++i) {
-        if (f.arg(positions[i]) != values[i]) match = false;
+        if (f.arg(positions[i]) != values[i]) return false;
       }
-      if (match) ++count;
+      return true;
+    };
+    std::size_t count = 0;
+    if (candidates == nullptr) {
+      for (const Fact& f : facts) {
+        if (matches(f)) ++count;
+      }
+      return count;
+    }
+    for (std::uint32_t idx : *candidates) {
+      if (matches(facts[idx])) ++count;
     }
     return count;
   }
@@ -85,17 +97,62 @@ TEST_F(IndexTest, CandidatesContainAllTrueMatches) {
   IndexCache cache(instance_.get());
   const std::vector<std::uint32_t> positions{1};
   const std::vector<Value> values{u_.Constant("y0")};
-  const auto& candidates = cache.Probe(e_, positions, values);
+  const std::vector<std::uint32_t>* candidates =
+      cache.Probe(e_, positions, values);
+  ASSERT_NE(candidates, nullptr);
   std::size_t real = 0;
   const auto& facts = instance_->facts(e_);
   for (std::uint32_t i = 0; i < facts.size(); ++i) {
     if (facts[i].arg(1) == values[0]) {
       ++real;
-      EXPECT_NE(std::find(candidates.begin(), candidates.end(), i),
-                candidates.end());
+      EXPECT_NE(std::find(candidates->begin(), candidates->end(), i),
+                candidates->end());
     }
   }
   EXPECT_EQ(real, 20u);
+}
+
+TEST_F(IndexTest, AppendedFactsBecomeVisibleWithoutRebuild) {
+  // Incremental maintenance: an index built before an append catches up on
+  // the next probe instead of staying stale.
+  IndexCache cache(instance_.get());
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("x3")}), 10u);
+  instance_->Insert(e_, {u_.Constant("x3"), u_.Constant("y9"),
+                         u_.Constant("z-new")});
+  EXPECT_EQ(VerifiedCount(&cache, {0}, {u_.Constant("x3")}), 11u);
+  // A mask first probed AFTER the append also sees the new fact.
+  EXPECT_EQ(VerifiedCount(&cache, {1}, {u_.Constant("y9")}), 1u);
+}
+
+TEST_F(IndexTest, GenerationChangeInvalidatesIndexes) {
+  // Erase bumps the instance generation; positions shifted, so the cache
+  // must rebuild rather than serve stale candidate lists.
+  IndexCache cache(instance_.get());
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z99")}), 1u);
+  const Fact victim = instance_->facts(e_)[0];
+  ASSERT_TRUE(instance_->Erase(victim));
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z99")}), 1u);
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z0")}), 0u);
+}
+
+TEST_F(IndexTest, WideRelationFallsBackToScan) {
+  // Positions at or beyond the 64-bit mask width cannot be indexed; Probe
+  // must report the scan fallback instead of tripping UB in the shift.
+  Schema schema;
+  std::vector<std::string> cols;
+  cols.reserve(70);
+  for (int i = 0; i < 70; ++i) cols.push_back("c" + std::to_string(i));
+  const RelationId wide =
+      *schema.AddRelation("W", cols, SchemaRole::kSource);
+  Instance inst(&schema);
+  Universe u;
+  std::vector<Value> args(70, u.Constant("pad"));
+  args[69] = u.Constant("tail");
+  inst.Insert(wide, args);
+  IndexCache cache(&inst);
+  EXPECT_EQ(cache.Probe(wide, {69}, {u.Constant("tail")}), nullptr);
+  // Probes under the width still index fine on the same relation.
+  EXPECT_NE(cache.Probe(wide, {0}, {u.Constant("pad")}), nullptr);
 }
 
 TEST_F(IndexTest, IntervalValuesAreIndexable) {
@@ -108,10 +165,11 @@ TEST_F(IndexTest, IntervalValuesAreIndexable) {
     inst.Insert(r, {u.Constant("v"), Value::OfInterval(Interval(t, t + 1))});
   }
   IndexCache cache(&inst);
-  const auto& hits =
+  const std::vector<std::uint32_t>* hits =
       cache.Probe(r, {1}, {Value::OfInterval(Interval(7, 8))});
+  ASSERT_NE(hits, nullptr);
   std::size_t verified = 0;
-  for (std::uint32_t i : hits) {
+  for (std::uint32_t i : *hits) {
     if (inst.facts(r)[i].interval() == Interval(7, 8)) ++verified;
   }
   EXPECT_EQ(verified, 1u);

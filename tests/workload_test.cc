@@ -88,6 +88,37 @@ TEST(RandomWorkloadTest, RespectsConfigBounds) {
   });
 }
 
+TEST(ChainWorkloadTest, ClosesTheFullChain) {
+  ChainConfig cfg;
+  cfg.hops = 8;
+  auto w = MakeChainWorkload(cfg);
+  EXPECT_EQ(w->source.size(), 8u);
+  auto outcome = CChase(w->source, w->lifted, &w->universe);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  // 8 Edge copies + one Reach fact per ordered pair i < j on 9 airports.
+  EXPECT_EQ(outcome->target.size(), 8u + (9u * 8u) / 2u);
+}
+
+TEST(ChainWorkloadTest, SemiNaivePrunesTheCascade) {
+  ChainConfig cfg;
+  cfg.hops = 12;
+  auto semi_w = MakeChainWorkload(cfg);
+  auto naive_w = MakeChainWorkload(cfg);
+  CChaseOptions semi, naive;
+  semi.semi_naive = true;
+  naive.semi_naive = false;
+  auto a = CChase(semi_w->source, semi_w->lifted, &semi_w->universe, semi);
+  auto b = CChase(naive_w->source, naive_w->lifted, &naive_w->universe, naive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.tgd_fires, b->stats.tgd_fires);
+  EXPECT_EQ(a->target.size(), b->target.size());
+  // The linear cascade needs `hops` rounds: naive re-enumerates the whole
+  // Reach relation every round, semi-naive only the delta.
+  EXPECT_LT(a->stats.tgd_triggers, b->stats.tgd_triggers);
+}
+
 TEST(RandomWorkloadTest, UnboundedProbabilityOneGivesAllUnbounded) {
   RandomConfig cfg;
   cfg.num_facts = 20;

@@ -13,12 +13,16 @@
 //   tdx_cli snapshots <file> <l..> print target snapshots at time points
 //   tdx_cli emit <file>            re-emit the parsed program (round-trip)
 //   tdx_cli possible <file> <q> <l> possible answers of query q at time l
+//   tdx_cli query-at <file> <q> <l..> per-snapshot certain answers of q,
+//                                  chasing the snapshots in parallel (--jobs)
 //
 // Resource-governance flags (any command; default unlimited):
 //
 //   --max-tgd-fires=N --max-egd-steps=N --max-fresh-nulls=N --max-facts=N
 //   --max-fragments=N --deadline-ms=N
 //   --max-input-bytes=N --max-tokens=N --max-nesting-depth=N
+//
+// Execution flags: --jobs=N (0 = all cores), --stats, --naive-chase
 //
 // A chase that exhausts its budget prints "ABORTED (<dimension>): <reason>"
 // and exits non-zero; the partial target is never printed as a solution.
@@ -34,6 +38,7 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/common/resource.h"
+#include "src/common/thread_pool.h"
 #include "src/core/align.h"
 #include "src/core/certain.h"
 #include "src/core/naive_eval.h"
@@ -62,6 +67,8 @@ int Usage() {
          "  snapshots  print target snapshots: tdx_cli snapshots <file> <l>...\n"
          "  emit       re-emit the parsed program in the text format\n"
          "  possible   possible answers: tdx_cli possible <file> <q> <l>\n"
+         "  query-at   per-snapshot certain answers:\n"
+         "             tdx_cli query-at <file> <query-name> <l>...\n"
          "flags (default unlimited):\n"
          "  --max-tgd-fires=N     abort the chase after N tgd firings\n"
          "  --max-egd-steps=N     abort after N egd applications\n"
@@ -72,7 +79,11 @@ int Usage() {
          "  --max-input-bytes=N   reject program files larger than N bytes\n"
          "  --max-tokens=N        reject programs with more than N tokens\n"
          "  --max-nesting-depth=N reject atoms nested deeper than N\n"
-         "  --no-lint             skip the static-analysis warnings pass\n";
+         "  --no-lint             skip the static-analysis warnings pass\n"
+         "  --jobs=N              snapshot-parallel commands use N threads\n"
+         "                        (0 = all hardware threads; default 1)\n"
+         "  --stats               print chase statistics after chase/core\n"
+         "  --naive-chase         disable semi-naive target-tgd rounds\n";
   return EXIT_FAILURE;
 }
 
@@ -80,6 +91,9 @@ struct CliOptions {
   tdx::ChaseLimits limits;
   tdx::ParseLimits parse_limits;
   bool lint = true;
+  bool stats = false;
+  bool semi_naive = true;
+  unsigned jobs = 1;
 };
 
 bool ParseSize(std::string_view text, std::size_t* out) {
@@ -101,6 +115,14 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     }
     if (arg == "--no-lint") {
       options->lint = false;
+      continue;
+    }
+    if (arg == "--stats") {
+      options->stats = true;
+      continue;
+    }
+    if (arg == "--naive-chase") {
+      options->semi_naive = false;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -134,6 +156,9 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
       options->parse_limits.max_tokens = n;
     } else if (name == "--max-nesting-depth") {
       options->parse_limits.max_nesting_depth = n;
+    } else if (name == "--jobs") {
+      options->jobs =
+          n == 0 ? tdx::ThreadPool::HardwareJobs() : static_cast<unsigned>(n);
     } else {
       std::cerr << "unknown flag '" << name << "'\n";
       return false;
@@ -164,8 +189,16 @@ tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
                                           const CliOptions& options) {
   tdx::CChaseOptions chase_options;
   chase_options.limits = options.limits;
+  chase_options.semi_naive = options.semi_naive;
   return tdx::CChase(program.source, program.lifted, &program.universe,
                      chase_options);
+}
+
+void PrintChaseStats(const tdx::ChaseStats& stats) {
+  std::cout << "(stats: triggers=" << stats.tgd_triggers
+            << " fires=" << stats.tgd_fires << " egd_steps=" << stats.egd_steps
+            << " fresh_nulls=" << stats.fresh_nulls
+            << " values_rewritten=" << stats.values_rewritten << ")\n";
 }
 
 int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
@@ -191,6 +224,45 @@ int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
               << chase->target.size() << " facts)\n";
   } else {
     std::cout << tdx::RenderConcreteInstance(chase->target, program.universe);
+  }
+  if (options.stats) PrintChaseStats(chase->stats);
+  return EXIT_SUCCESS;
+}
+
+// Per-snapshot certain answers for a batch of time points; the snapshot
+// chases fan out over --jobs threads (core/certain.h).
+int RunQueryAt(tdx::ParsedProgram& program, const CliOptions& options,
+               const std::vector<std::string>& positional) {
+  auto query = program.FindQuery(positional[2]);
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::vector<tdx::TimePoint> points;
+  for (std::size_t i = 3; i < positional.size(); ++i) {
+    points.push_back(std::stoull(positional[i]));
+  }
+  auto results = tdx::CertainAnswersAtMany(**query, program.source,
+                                           program.mapping, points,
+                                           &program.universe, options.jobs,
+                                           options.limits);
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const tdx::CertainAnswersResult& result = (*results)[i];
+    std::cout << "--- certain(" << positional[2] << ", db_" << points[i]
+              << ") ---\n";
+    if (result.chase_kind == tdx::ChaseResultKind::kAborted) {
+      std::cout << "ABORTED: chase budget exhausted; answers are unknown\n";
+      return EXIT_FAILURE;
+    }
+    if (result.chase_kind == tdx::ChaseResultKind::kFailure) {
+      std::cout << "NO SOLUTION\n";
+      continue;
+    }
+    std::cout << tdx::RenderAnswers(result.answers, program.universe);
   }
   return EXIT_SUCCESS;
 }
@@ -361,6 +433,10 @@ int main(int argc, char** argv) {
     return RunQuery(program, options, positional[2]);
   }
   if (command == "snapshots") return RunSnapshots(program, options, positional);
+  if (command == "query-at") {
+    if (positional.size() < 4) return Usage();
+    return RunQueryAt(program, options, positional);
+  }
   if (command == "possible") {
     if (positional.size() < 4) return Usage();
     auto chase = RunCChase(program, options);
