@@ -1,0 +1,156 @@
+// Checkpointing overhead: offering safe points must be near-free, and the
+// default cadence (persist every 16th round-level point, boundaries always)
+// must keep a fully checkpointed run within 5% of an unhooked one.
+//
+//  * BM_CChaseNoCheckpoint — the baseline c-chase.
+//  * BM_CChaseOfferOnly — checkpointer attached but cadence so sparse that
+//    build() never runs at a round point: the cost of the offer plumbing.
+//  * BM_CChaseInMemory / BM_CChaseInMemoryEveryRound — in-memory retention
+//    at the default cadence and at cadence 1 (every safe point builds a
+//    full copy of the target — the worst case the chaos tests run under).
+//  * BM_CChaseToDisk — durable writes at the default cadence: serialize +
+//    temp file + atomic rename per persisted point.
+//  * BM_SerializeCheckpoint / BM_ParseCheckpoint — the encoding in
+//    isolation, for sizing the per-write cost.
+//
+// Compare with: ./bench_checkpoint --benchmark_filter=CChase
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "src/common/checkpoint.h"
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+#include "src/parser/serialize.h"
+
+namespace {
+
+std::unique_ptr<tdx::Workload> MakeInstance(std::int64_t people) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = static_cast<std::size_t>(people);
+  cfg.num_companies = 10;
+  cfg.avg_jobs = 3;
+  cfg.horizon = 100;
+  cfg.salary_known_fraction = 0.7;
+  cfg.seed = 13;
+  return tdx::MakeEmploymentWorkload(cfg);
+}
+
+void RunChase(benchmark::State& state, const std::string& path,
+              std::size_t cadence, double max_overhead) {
+  std::optional<tdx::CChaseOutcome> last;
+  std::size_t writes = 0;
+  std::size_t safe_points = 0;
+  for (auto _ : state) {
+    // A fresh workload per iteration: reusing one Universe would let nulls
+    // minted by earlier iterations pile up, and the checkpoint's null-name
+    // capture would bill that pile to the checkpointed variants only.
+    state.PauseTiming();
+    auto w = MakeInstance(state.range(0));
+    tdx::Checkpointer checkpointer(path, &w->schema, &w->universe);
+    checkpointer.set_cadence(cadence);
+    checkpointer.set_max_overhead(max_overhead);
+    tdx::CChaseOptions options;
+    options.checkpointer = &checkpointer;
+    state.ResumeTiming();
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, options);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+    writes = checkpointer.writes();
+    safe_points = checkpointer.safe_points();
+  }
+  if (!path.empty()) std::remove(path.c_str());
+  if (last.has_value()) {
+    state.counters["tgd_fires"] = static_cast<double>(last->stats.tgd_fires);
+  }
+  state.counters["safe_points"] = static_cast<double>(safe_points);
+  state.counters["writes"] = static_cast<double>(writes);
+}
+
+void BM_CChaseNoCheckpoint(benchmark::State& state) {
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = MakeInstance(state.range(0));
+    state.ResumeTiming();
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  if (last.has_value()) {
+    state.counters["tgd_fires"] = static_cast<double>(last->stats.tgd_fires);
+  }
+}
+BENCHMARK(BM_CChaseNoCheckpoint)->Arg(50)->Arg(200);
+
+void BM_CChaseOfferOnly(benchmark::State& state) {
+  // Cadence beyond any real round count: round points never build, only
+  // the handful of phase boundaries do. Measures the offer plumbing.
+  RunChase(state, "", 1u << 30, 0.05);
+}
+BENCHMARK(BM_CChaseOfferOnly)->Arg(50)->Arg(200);
+
+void BM_CChaseInMemory(benchmark::State& state) {
+  // Default cadence + default overhead throttle: the acceptance bar is a
+  // <= 5% delta against BM_CChaseNoCheckpoint.
+  RunChase(state, "", 16, 0.05);
+}
+BENCHMARK(BM_CChaseInMemory)->Arg(50)->Arg(200);
+
+void BM_CChaseInMemoryEveryRound(benchmark::State& state) {
+  // Throttle off, every safe point persists: the chaos-test worst case.
+  RunChase(state, "", 1, 0.0);
+}
+BENCHMARK(BM_CChaseInMemoryEveryRound)->Arg(50)->Arg(200);
+
+void BM_CChaseToDisk(benchmark::State& state) {
+  RunChase(state, "bench_checkpoint.tdxckpt", 16, 0.05);
+}
+BENCHMARK(BM_CChaseToDisk)->Arg(50)->Arg(200);
+
+void BM_SerializeCheckpoint(benchmark::State& state) {
+  auto w = MakeInstance(state.range(0));
+  tdx::Checkpointer checkpointer("", &w->schema, &w->universe);
+  checkpointer.set_cadence(1);
+  tdx::CChaseOptions options;
+  options.checkpointer = &checkpointer;
+  auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, options);
+  if (!outcome.ok() || !checkpointer.latest().has_value()) {
+    state.SkipWithError("chase failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto text = tdx::SerializeCheckpoint(*checkpointer.latest(), w->schema,
+                                         w->universe);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_SerializeCheckpoint)->Arg(50)->Arg(200);
+
+void BM_ParseCheckpoint(benchmark::State& state) {
+  auto w = MakeInstance(state.range(0));
+  tdx::Checkpointer checkpointer("", &w->schema, &w->universe);
+  checkpointer.set_cadence(1);
+  tdx::CChaseOptions options;
+  options.checkpointer = &checkpointer;
+  auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, options);
+  auto text = outcome.ok() && checkpointer.latest().has_value()
+                  ? tdx::SerializeCheckpoint(*checkpointer.latest(),
+                                             w->schema, w->universe)
+                  : tdx::Result<std::string>(
+                        tdx::Status::Internal("chase failed"));
+  if (!text.ok()) {
+    state.SkipWithError("chase failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto parsed = tdx::ParseCheckpoint(*text, &w->schema, &w->universe);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseCheckpoint)->Arg(50)->Arg(200);
+
+}  // namespace

@@ -33,6 +33,7 @@
 #define TDX_COMMON_RESOURCE_H_
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -83,6 +84,26 @@ enum class ResourceDimension {
 /// Stable human-readable token for a dimension ("tgd-fires", ...).
 std::string_view ResourceDimensionToString(ResourceDimension dim);
 
+/// Everything a guard has charged so far, plus monotonic elapsed wall time.
+/// A checkpoint stores the ledger of the interrupted run; seeding a new
+/// guard with it makes the resumed run charge against the *remaining*
+/// allowance instead of a reset budget.
+///
+/// Caveat: under fully-unlimited limits the guard's fast path skips the
+/// count bookkeeping entirely, so the count fields stay zero — ChaseStats
+/// is the record of work done, the ledger is the record of budget spent.
+struct ResourceLedger {
+  std::size_t tgd_fires = 0;
+  std::size_t egd_steps = 0;
+  std::size_t fresh_nulls = 0;
+  std::size_t facts = 0;
+  std::size_t fragments = 0;
+  /// Wall time consumed, measured on std::chrono::steady_clock so system
+  /// clock jumps can neither spuriously trip nor indefinitely extend a
+  /// deadline.
+  std::chrono::milliseconds elapsed{0};
+};
+
 // ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------
@@ -119,6 +140,25 @@ class FaultRegistry {
 
  private:
   static std::atomic<std::size_t> armed_count_;
+};
+
+/// Every named fault site compiled into the engines, for harnesses that
+/// sweep the whole surface (tests/chaos_resume_test.cc and the CI
+/// chaos-resume job). Keep in sync when adding a TDX_FAULT_POINT,
+/// PokeFault, or FaultRegistry::Fire call site.
+inline constexpr std::string_view kRegisteredFaultSites[] = {
+    "parser/statement",
+    "chase/tgd-phase",
+    "chase/egd-fixpoint",
+    "cchase/normalize-source",
+    "cchase/tgd-phase",
+    "cchase/normalize-target",
+    "cchase/egd-fixpoint",
+    "normalize/naive",
+    "normalize/algorithm1",
+    "naive-eval/normalize",
+    "thread-pool/dispatch",
+    "abstract-chase/merge",
 };
 
 /// RAII arm/disarm for tests: the fault is disarmed when the scope exits.
@@ -167,13 +207,54 @@ class ResourceGuard {
   ResourceGuard() : ResourceGuard(ChaseLimits{}) {}
 
   explicit ResourceGuard(const ChaseLimits& limits)
-      : limits_(limits), unlimited_(limits.Unlimited()) {
+      : ResourceGuard(limits, ResourceLedger{}) {}
+
+  /// Resume constructor: the guard starts with `consumed` already charged,
+  /// so only the remaining allowance (counts and wall time) is available.
+  /// If the prior run already spent the whole deadline, the guard starts
+  /// tripped and the first poll aborts the engine.
+  ResourceGuard(const ChaseLimits& limits, const ResourceLedger& consumed)
+      : limits_(limits),
+        unlimited_(limits.Unlimited()),
+        start_(std::chrono::steady_clock::now()),
+        prior_elapsed_(consumed.elapsed),
+        tgd_fires_(consumed.tgd_fires),
+        egd_steps_(consumed.egd_steps),
+        fresh_nulls_(consumed.fresh_nulls),
+        facts_(consumed.facts),
+        fragments_(consumed.fragments) {
     if (limits_.deadline.has_value()) {
-      deadline_ = std::chrono::steady_clock::now() + *limits_.deadline;
+      if (prior_elapsed_ >= *limits_.deadline) {
+        Trip(ResourceDimension::kWallClock,
+             "wall-clock deadline of " +
+                 std::to_string(limits_.deadline->count()) +
+                 "ms already consumed before resume");
+      } else {
+        deadline_ = start_ + (*limits_.deadline - prior_elapsed_);
+      }
     }
   }
 
   const ChaseLimits& limits() const { return limits_; }
+
+  /// Snapshot of everything charged so far, for checkpointing. Elapsed time
+  /// is prior consumption plus this guard's lifetime on the steady clock;
+  /// successive snapshots are monotonically non-decreasing (asserted —
+  /// steady_clock is monotonic by contract).
+  ResourceLedger Consumed() const {
+    const auto now = std::chrono::steady_clock::now();
+    assert(now >= start_ && "steady_clock went backwards");
+    ResourceLedger ledger;
+    ledger.tgd_fires = tgd_fires_;
+    ledger.egd_steps = egd_steps_;
+    ledger.fresh_nulls = fresh_nulls_;
+    ledger.facts = facts_;
+    ledger.fragments = fragments_;
+    ledger.elapsed =
+        prior_elapsed_ + std::chrono::duration_cast<std::chrono::milliseconds>(
+                             now - start_);
+    return ledger;
+  }
 
   /// True while no dimension has been exceeded and no fault injected.
   bool ok() const { return dimension_ == ResourceDimension::kNone; }
@@ -275,6 +356,8 @@ class ResourceGuard {
 
   ChaseLimits limits_;
   bool unlimited_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::milliseconds prior_elapsed_{0};
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::size_t deadline_poll_ = 0;
 

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/resource.h"
+
 namespace tdx {
+
+namespace {
+
+/// The thread-pool/dispatch fault site: when armed, the next dispatched
+/// work item is silently dropped — a stand-in for a worker killed between
+/// dequeue and execution. Callers that fan out through ParallelFor observe
+/// an unfilled result slot and must turn it into a clean abort (see
+/// temporal/abstract_chase.cc).
+bool DispatchFaultDropsTask() {
+#ifndef TDX_DISABLE_FAULT_POINTS
+  if (FaultRegistry::AnyArmed()) {
+    return !FaultRegistry::Fire("thread-pool/dispatch").ok();
+  }
+#endif
+  return false;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned n = std::max(1u, threads);
@@ -61,12 +81,18 @@ unsigned ThreadPool::HardwareJobs() {
 void ParallelFor(unsigned jobs, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
   if (jobs <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (DispatchFaultDropsTask()) continue;
+      fn(i);
+    }
     return;
   }
   ThreadPool pool(std::min<std::size_t>(jobs, count));
   for (std::size_t i = 0; i < count; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+    pool.Submit([&fn, i] {
+      if (DispatchFaultDropsTask()) return;
+      fn(i);
+    });
   }
   pool.Wait();
 }

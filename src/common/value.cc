@@ -34,6 +34,14 @@ Value Universe::ProjectNull(const Value& annotated, TimePoint l) {
   return fresh;
 }
 
+void Universe::RestoreNullState(NullId next_null,
+                                std::vector<std::string> names) {
+  assert(names.size() == next_null);
+  next_null_ = next_null;
+  null_names_ = std::move(names);
+  projections_.clear();
+}
+
 std::string_view Universe::NullName(NullId id) const {
   assert(id < null_names_.size());
   return null_names_[id];

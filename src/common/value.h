@@ -213,6 +213,14 @@ class Universe {
   /// Display name of a null id (for rendering and tests).
   std::string_view NullName(NullId id) const;
 
+  /// Restores the labeled-null namespace to a checkpointed state: the next
+  /// fresh null gets id `next_null`, and ids below it render with the given
+  /// names. Also clears the projection memo (projection ids minted after
+  /// the checkpoint would collide with nulls the resumed chase re-mints).
+  /// Only the chase engines call this, on resume; they own the null
+  /// namespace for the duration of a run.
+  void RestoreNullState(NullId next_null, std::vector<std::string> names);
+
  private:
   SymbolTable symbols_;
   NullId next_null_ = 0;

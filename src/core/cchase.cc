@@ -1,9 +1,11 @@
 #include "src/core/cchase.h"
 
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "src/analysis/termination.h"
+#include "src/common/checkpoint.h"
 
 namespace tdx {
 
@@ -72,13 +74,64 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
         certificate.witness + "); the chase might not terminate");
   }
 
+  // Checkpoint/resume plumbing. The config fingerprint covers every option
+  // that alters the execution trajectory; resource limits are deliberately
+  // excluded (raising the budget on resume is the intended recovery path).
+  const ChaseCheckpoint* resume = options.resume_from;
+  std::string config = "engine=cchase semi-naive=";
+  config += options.semi_naive ? '1' : '0';
+  config += " naive-normalizer=";
+  config += options.use_naive_normalizer ? '1' : '0';
+  config += " coalesce=";
+  config += options.coalesce_result ? '1' : '0';
+  const std::string start_phase =
+      resume != nullptr ? resume->phase : std::string("init");
+  if (resume != nullptr) {
+    if (resume->engine != ChaseCheckpoint::Engine::kCChase) {
+      return Status::InvalidArgument(
+          "checkpoint was not written by the c-chase engine");
+    }
+    if (resume->config != config) {
+      return Status::InvalidArgument(
+          "checkpoint was written under different execution options (\"" +
+          resume->config + "\" vs \"" + config + "\")");
+    }
+    if (start_phase != "init" && start_phase != "st-tgd" &&
+        start_phase != "loop-top" && start_phase != "rounds") {
+      return Status::InvalidArgument("unknown c-chase checkpoint phase '" +
+                                     start_phase + "'");
+    }
+    if (start_phase != "init" && !resume->normalized_source.has_value()) {
+      return Status::InvalidArgument(
+          "c-chase checkpoint is missing its normalized source");
+    }
+    if ((start_phase == "loop-top" || start_phase == "rounds") &&
+        !resume->target.has_value()) {
+      return Status::InvalidArgument(
+          "c-chase checkpoint is missing its target instance");
+    }
+  }
+
   CChaseOutcome outcome(ConcreteInstance(&source.schema()),
                         ConcreteInstance(&source.schema()));
   outcome.stats.certificate = std::move(certificate);
 
   // One guard governs all four phases; any trip unwinds to here and is
-  // reported as kAborted with whatever stats accrued.
-  ResourceGuard guard(options.limits);
+  // reported as kAborted with whatever stats accrued. A resumed guard
+  // starts with the interrupted run's consumption already charged.
+  ResourceGuard guard = resume != nullptr
+                            ? ResourceGuard(options.limits, resume->consumed)
+                            : ResourceGuard(options.limits);
+  if (resume != nullptr) {
+    // Stats and the null namespace resume from the safe point; the
+    // certificate is derived state and keeps the recomputed value.
+    const auto recomputed = outcome.stats.certificate;
+    outcome.stats = resume->stats;
+    outcome.stats.certificate = recomputed;
+    outcome.source_norm_stats = resume->source_norm_stats;
+    outcome.target_norm_stats = resume->target_norm_stats;
+    universe->RestoreNullState(resume->next_null, resume->null_names);
+  }
   const auto aborted = [&]() {
     outcome.kind = ChaseResultKind::kAborted;
     outcome.abort_dimension = guard.dimension();
@@ -86,14 +139,52 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     return outcome;
   };
 
-  // ---- Step 1: normalize the source w.r.t. lhs(Sigma+st) ----------------
-  if (!guard.PokeFault("cchase/normalize-source")) return aborted();
-  outcome.normalized_source =
-      options.use_naive_normalizer
-          ? NaiveNormalize(source, &outcome.source_norm_stats, &guard)
-          : Normalize(source, lifted.TgdBodies(), &outcome.source_norm_stats,
-                      &guard);
+  std::size_t rounds = 0;
+  DeltaFrontier frontier;
+  // Offers a safe point to the checkpointer: everything captured is the
+  // state a fresh run holds at the same point, so resume + re-execution is
+  // bit-identical to the uninterrupted run.
+  const auto offer_checkpoint = [&](bool boundary, const char* phase,
+                                    const Instance* target_now) {
+    if (options.checkpointer == nullptr) return;
+    options.checkpointer->AtSafePoint(boundary, [&]() {
+      ChaseCheckpoint ck;
+      ck.engine = ChaseCheckpoint::Engine::kCChase;
+      ck.config = config;
+      ck.phase = phase;
+      ck.rounds = rounds;
+      ck.stats = outcome.stats;
+      ck.source_norm_stats = outcome.source_norm_stats;
+      ck.target_norm_stats = outcome.target_norm_stats;
+      ck.consumed = guard.Consumed();
+      CaptureUniverseNulls(*universe, &ck);
+      ck.frontier_full = frontier.full();
+      ck.frontier_marks = frontier.marks();
+      if (std::string_view(phase) != "init") {
+        ck.normalized_source = outcome.normalized_source.facts();
+      }
+      if (target_now != nullptr) ck.target = *target_now;
+      return ck;
+    });
+  };
+
   if (guard.tripped()) return aborted();
+  if (start_phase == "init") {
+    // A boundary checkpoint before any work, so even a kill inside source
+    // normalization has something to resume from.
+    if (resume == nullptr) offer_checkpoint(true, "init", nullptr);
+    // ---- Step 1: normalize the source w.r.t. lhs(Sigma+st) --------------
+    if (!guard.PokeFault("cchase/normalize-source")) return aborted();
+    outcome.normalized_source =
+        options.use_naive_normalizer
+            ? NaiveNormalize(source, &outcome.source_norm_stats, &guard)
+            : Normalize(source, lifted.TgdBodies(), &outcome.source_norm_stats,
+                        &guard);
+    if (guard.tripped()) return aborted();
+    offer_checkpoint(true, "st-tgd", nullptr);
+  } else {
+    outcome.normalized_source = ConcreteInstance(*resume->normalized_source);
+  }
 
   // ---- Step 2: s-t tgd c-chase steps -------------------------------------
   // The fresh-null factory annotates with h(t), resolved per dependency.
@@ -107,11 +198,15 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     return universe->FreshAnnotatedNull(t_value.interval());
   };
 
-  if (!guard.PokeFault("cchase/tgd-phase")) return aborted();
   Instance target(&source.schema());
-  TgdPhase(outcome.normalized_source.facts(), &target, lifted.st_tgds, fresh,
-           &outcome.stats, &guard);
-  if (guard.tripped()) return aborted();
+  if (start_phase == "init" || start_phase == "st-tgd") {
+    if (!guard.PokeFault("cchase/tgd-phase")) return aborted();
+    TgdPhase(outcome.normalized_source.facts(), &target, lifted.st_tgds, fresh,
+             &outcome.stats, &guard);
+    if (guard.tripped()) return aborted();
+  } else {
+    target = *resume->target;
+  }
 
   // ---- Steps 3+4: normalize the target, then fire target tgds and egds to
   // a joint fixpoint. Target-tgd heads inherit their trigger's interval, so
@@ -138,22 +233,44 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
             : Normalize(concrete_target, target_phis,
                         &outcome.target_norm_stats, &guard);
   };
+  // Restore the loop cursor when resuming into it; otherwise mark the first
+  // materialized-target boundary.
+  bool mid_rounds = false;
+  if (start_phase == "loop-top" || start_phase == "rounds") {
+    rounds = resume->rounds;
+    if (resume->frontier_full) {
+      frontier.Reset();
+    } else {
+      frontier.AdvanceTo(resume->frontier_marks);
+    }
+    // A "rounds" checkpoint sits between two fired inner rounds: skip the
+    // leading normalization (it ran before those rounds) and continue the
+    // inner loop with the fired flag already set.
+    mid_rounds = start_phase == "rounds";
+  } else {
+    offer_checkpoint(true, "loop-top", &concrete_target.facts());
+  }
+
   // Semi-naive state: one finder over the target's (address-stable) fact
   // store for the whole loop — normalization move-assigns a fresh Instance
   // into the same object, which bumps the generation and invalidates the
   // finder's indexes. The frontier must re-seed with the full instance after
-  // every normalization, since fragmentation rewrites existing facts.
-  DeltaFrontier frontier;
+  // every normalization, since fragmentation rewrites existing facts. The
+  // finder is derived state: on resume it is rebuilt over the restored
+  // target.
   HomomorphismFinder round_finder(concrete_target.facts());
-  std::size_t rounds = 0;
   while (true) {
-    if (!guard.PokeFault("cchase/normalize-target") || !guard.CheckDeadline()) {
-      return aborted_with_target();
+    if (!mid_rounds) {
+      if (!guard.PokeFault("cchase/normalize-target") ||
+          !guard.CheckDeadline()) {
+        return aborted_with_target();
+      }
+      normalize_target();
+      frontier.Reset();
+      if (guard.tripped()) return aborted_with_target();
     }
-    normalize_target();
-    frontier.Reset();
-    if (guard.tripped()) return aborted_with_target();
-    bool fired = false;
+    bool fired = mid_rounds;
+    mid_rounds = false;
     while (options.semi_naive
                ? TargetTgdRoundDelta(&concrete_target.mutable_facts(),
                                      lifted.target_tgds, fresh, &outcome.stats,
@@ -167,6 +284,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
         return Status::Internal(
             "target-tgd c-chase exceeded its iteration budget");
       }
+      offer_checkpoint(false, "rounds", &concrete_target.facts());
     }
     if (guard.tripped()) return aborted_with_target();
     if (fired) {
@@ -185,6 +303,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     if (++rounds > 100000) {
       return Status::Internal("c-chase exceeded its iteration budget");
     }
+    offer_checkpoint(true, "loop-top", &concrete_target.facts());
   }
   if (outcome.kind == ChaseResultKind::kSuccess &&
       options.coalesce_result) {

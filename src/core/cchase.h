@@ -51,6 +51,14 @@ struct CChaseOptions {
   /// frontier is re-seeded with the full instance after every normalization
   /// step, since fragmentation rewrites existing facts.
   bool semi_naive = true;
+  /// Checkpoint/resume hooks; see ChaseOptions for the contract. Safe
+  /// points: "init" (nothing run), "st-tgd" (source normalized), "loop-top"
+  /// (target materialized, next step normalizes it), "rounds" (between two
+  /// fired target-tgd rounds). Normalization passes and egd fixpoints are
+  /// atomic between safe points — a kill inside one redoes the whole phase
+  /// identically on resume.
+  Checkpointer* checkpointer = nullptr;
+  const ChaseCheckpoint* resume_from = nullptr;
 };
 
 struct CChaseOutcome {

@@ -1,6 +1,10 @@
 #include "src/parser/serialize.h"
 
+#include <charconv>
+#include <cstdio>
+#include <limits>
 #include <optional>
+#include <utility>
 
 namespace tdx {
 
@@ -184,6 +188,498 @@ Result<std::string> SerializeProgram(const ParsedProgram& program) {
   out += facts;
   out += SerializeQueries(program.queries, program.schema, program.universe);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string_view EngineName(ChaseCheckpoint::Engine engine) {
+  switch (engine) {
+    case ChaseCheckpoint::Engine::kSnapshot:
+      return "snapshot";
+    case ChaseCheckpoint::Engine::kCChase:
+      return "cchase";
+    case ChaseCheckpoint::Engine::kAbstract:
+      return "abstract";
+  }
+  return "?";
+}
+
+bool EngineFromName(std::string_view name, ChaseCheckpoint::Engine* out) {
+  if (name == "snapshot") *out = ChaseCheckpoint::Engine::kSnapshot;
+  else if (name == "cchase") *out = ChaseCheckpoint::Engine::kCChase;
+  else if (name == "abstract") *out = ChaseCheckpoint::Engine::kAbstract;
+  else return false;
+  return true;
+}
+
+std::string EscapeCheckpointString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::string IntervalToken(const Interval& iv) {
+  return "[" + TimePointToString(iv.start()) + "," +
+         TimePointToString(iv.end()) + ")";
+}
+
+void AppendValue(std::string* out, const Value& v, const Universe& u) {
+  switch (v.kind()) {
+    case ValueKind::kConstant:
+      *out += "c\"";
+      *out += EscapeCheckpointString(u.symbols().Spelling(v.symbol()));
+      *out += "\"";
+      break;
+    case ValueKind::kNull:
+      *out += "n" + std::to_string(v.null_id());
+      break;
+    case ValueKind::kAnnotatedNull:
+      *out += "a" + std::to_string(v.null_id()) + IntervalToken(v.interval());
+      break;
+    case ValueKind::kInterval:
+      *out += "i" + IntervalToken(v.interval());
+      break;
+  }
+}
+
+void AppendFactLines(std::string* out, const Instance& instance,
+                     const Universe& u) {
+  const Schema& schema = instance.schema();
+  for (RelationId rel = 0; rel < schema.relation_count(); ++rel) {
+    for (const Fact& fact : instance.facts(rel)) {
+      *out += "fact " + schema.relation(rel).name;
+      for (std::size_t i = 0; i < fact.arity(); ++i) {
+        *out += " ";
+        AppendValue(out, fact.arg(i), u);
+      }
+      *out += "\n";
+    }
+  }
+}
+
+Status Malformed(const std::string& what) {
+  return Status::ParseError("checkpoint: " + what);
+}
+
+/// Cursor over one checkpoint line.
+struct TokenCursor {
+  std::string_view s;
+
+  void SkipSpaces() {
+    while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  }
+  bool Eat(std::string_view prefix) {
+    if (s.substr(0, prefix.size()) != prefix) return false;
+    s.remove_prefix(prefix.size());
+    return true;
+  }
+  bool Uint(std::uint64_t* out) {
+    SkipSpaces();
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), *out, 10);
+    if (ec != std::errc() || ptr == s.data()) return false;
+    s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+    return true;
+  }
+  bool Hex(std::uint64_t* out) {
+    SkipSpaces();
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), *out, 16);
+    if (ec != std::errc() || ptr == s.data()) return false;
+    s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+    return true;
+  }
+  /// A time point: digits or "inf".
+  bool Time(TimePoint* out) {
+    SkipSpaces();
+    if (Eat("inf")) {
+      *out = kTimeInfinity;
+      return true;
+    }
+    std::uint64_t v = 0;
+    if (!Uint(&v)) return false;
+    *out = v;
+    return true;
+  }
+  /// Next space-delimited word (not quote-aware).
+  std::string_view Word() {
+    SkipSpaces();
+    std::size_t n = 0;
+    while (n < s.size() && s[n] != ' ') ++n;
+    const std::string_view w = s.substr(0, n);
+    s.remove_prefix(n);
+    return w;
+  }
+  /// A quoted, escaped string starting at the cursor.
+  bool Quoted(std::string* out) {
+    SkipSpaces();
+    if (!Eat("\"")) return false;
+    out->clear();
+    while (!s.empty()) {
+      const char c = s.front();
+      s.remove_prefix(1);
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (s.empty()) return false;
+      const char esc = s.front();
+      s.remove_prefix(1);
+      switch (esc) {
+        case '\\': *out += '\\'; break;
+        case '"': *out += '"'; break;
+        case 'n': *out += '\n'; break;
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool AtEnd() {
+    SkipSpaces();
+    return s.empty();
+  }
+};
+
+Result<Interval> ParseIntervalToken(TokenCursor* c) {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  if (!c->Eat("[") || !c->Time(&start) || !c->Eat(",") || !c->Time(&end) ||
+      !c->Eat(")")) {
+    return Malformed("malformed interval");
+  }
+  return Interval::Make(start, end);
+}
+
+Result<Value> ParseValueToken(TokenCursor* c, Universe* universe,
+                              NullId null_limit) {
+  c->SkipSpaces();
+  if (c->s.empty()) return Malformed("missing value");
+  const char kind = c->s.front();
+  c->s.remove_prefix(1);
+  switch (kind) {
+    case 'c': {
+      std::string spelling;
+      if (!c->Quoted(&spelling)) return Malformed("malformed constant");
+      return universe->Constant(spelling);
+    }
+    case 'n': {
+      std::uint64_t id = 0;
+      if (!c->Uint(&id)) return Malformed("malformed null id");
+      if (id >= null_limit) return Malformed("null id out of range");
+      return Value::Null(id);
+    }
+    case 'a': {
+      std::uint64_t id = 0;
+      if (!c->Uint(&id)) return Malformed("malformed null id");
+      if (id >= null_limit) return Malformed("null id out of range");
+      TDX_ASSIGN_OR_RETURN(Interval iv, ParseIntervalToken(c));
+      return Value::AnnotatedNull(id, iv);
+    }
+    case 'i': {
+      TDX_ASSIGN_OR_RETURN(Interval iv, ParseIntervalToken(c));
+      return Value::OfInterval(iv);
+    }
+    default:
+      return Malformed(std::string("unknown value kind '") + kind + "'");
+  }
+}
+
+/// Sequential reader over the body's lines.
+struct LineReader {
+  std::string_view body;
+
+  bool done() const { return body.empty(); }
+  std::string_view Next() {
+    const std::size_t nl = body.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? body : body.substr(0, nl);
+    body.remove_prefix(nl == std::string_view::npos ? body.size() : nl + 1);
+    return line;
+  }
+};
+
+Result<Instance> ParseFactBlock(LineReader* reader, std::uint64_t count,
+                                const Schema* schema, Universe* universe,
+                                NullId null_limit) {
+  Instance instance(schema);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    if (reader->done()) return Malformed("truncated fact block");
+    TokenCursor c{reader->Next()};
+    if (!c.Eat("fact ")) return Malformed("expected a fact line");
+    const std::string_view rel_name = c.Word();
+    TDX_ASSIGN_OR_RETURN(RelationId rel, schema->Find(rel_name));
+    const std::size_t arity = schema->relation(rel).arity();
+    std::vector<Value> args;
+    args.reserve(arity);
+    while (!c.AtEnd()) {
+      TDX_ASSIGN_OR_RETURN(Value v, ParseValueToken(&c, universe, null_limit));
+      args.push_back(v);
+    }
+    if (args.size() != arity) {
+      return Malformed("fact arity mismatch for relation '" +
+                       std::string(rel_name) + "'");
+    }
+    instance.Insert(rel, std::move(args));
+  }
+  return instance;
+}
+
+}  // namespace
+
+Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
+                                        const Schema& schema,
+                                        const Universe& u) {
+  (void)schema;
+  if (checkpoint.null_names.size() != checkpoint.next_null) {
+    return Status::Internal(
+        "checkpoint null-name table does not match its null counter");
+  }
+  if (checkpoint.config.find('\n') != std::string::npos ||
+      checkpoint.phase.find('\n') != std::string::npos) {
+    return Status::Internal("checkpoint config/phase must be single-line");
+  }
+  std::string out = "tdxckpt v" +
+                    std::to_string(ChaseCheckpoint::kFormatVersion) + "\n";
+  out += "engine ";
+  out += EngineName(checkpoint.engine);
+  out += "\n";
+  out += "fingerprint " + Hex16(checkpoint.program_fingerprint) + "\n";
+  out += "config " + checkpoint.config + "\n";
+  out += "phase " + checkpoint.phase + "\n";
+  out += "rounds " + std::to_string(checkpoint.rounds) + "\n";
+  out += "piece-cursor " + std::to_string(checkpoint.piece_cursor) + "\n";
+  out += "stats " + std::to_string(checkpoint.stats.tgd_triggers) + " " +
+         std::to_string(checkpoint.stats.tgd_fires) + " " +
+         std::to_string(checkpoint.stats.egd_steps) + " " +
+         std::to_string(checkpoint.stats.fresh_nulls) + " " +
+         std::to_string(checkpoint.stats.values_rewritten) + "\n";
+  const auto norm_line = [](const char* head, const NormalizeStats& ns) {
+    return std::string(head) + " " + std::to_string(ns.input_facts) + " " +
+           std::to_string(ns.output_facts) + " " +
+           std::to_string(ns.homomorphisms) + " " +
+           std::to_string(ns.groups) + "\n";
+  };
+  out += norm_line("norm-source", checkpoint.source_norm_stats);
+  out += norm_line("norm-target", checkpoint.target_norm_stats);
+  out += "consumed " + std::to_string(checkpoint.consumed.tgd_fires) + " " +
+         std::to_string(checkpoint.consumed.egd_steps) + " " +
+         std::to_string(checkpoint.consumed.fresh_nulls) + " " +
+         std::to_string(checkpoint.consumed.facts) + " " +
+         std::to_string(checkpoint.consumed.fragments) + " " +
+         std::to_string(checkpoint.consumed.elapsed.count()) + "\n";
+  out += "nulls " + std::to_string(checkpoint.next_null) + "\n";
+  for (NullId id = 0; id < checkpoint.next_null; ++id) {
+    out += "null " + std::to_string(id) + " \"" +
+           EscapeCheckpointString(checkpoint.null_names[id]) + "\"\n";
+  }
+  if (checkpoint.frontier_full) {
+    out += "frontier full\n";
+  } else {
+    out += "frontier marks " +
+           std::to_string(checkpoint.frontier_marks.size());
+    for (const std::uint32_t m : checkpoint.frontier_marks) {
+      out += " " + std::to_string(m);
+    }
+    out += "\n";
+  }
+  if (checkpoint.target.has_value()) {
+    out += "instance target " + std::to_string(checkpoint.target->size()) +
+           "\n";
+    AppendFactLines(&out, *checkpoint.target, u);
+  }
+  if (checkpoint.normalized_source.has_value()) {
+    out += "instance normalized-source " +
+           std::to_string(checkpoint.normalized_source->size()) + "\n";
+    AppendFactLines(&out, *checkpoint.normalized_source, u);
+  }
+  for (const AbstractPiece& piece : checkpoint.pieces) {
+    out += "piece " + IntervalToken(piece.span) + " " +
+           std::to_string(piece.snapshot.size()) + "\n";
+    AppendFactLines(&out, piece.snapshot, u);
+  }
+  out += "end " + Hex16(FingerprintText(out)) + "\n";
+  return out;
+}
+
+Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
+                                        const Schema* schema,
+                                        Universe* universe) {
+  // Verify the trailing checksum over everything before the "end" line.
+  const std::size_t end_pos = text.rfind("\nend ");
+  if (end_pos == std::string_view::npos) {
+    return Malformed("missing end line (truncated file?)");
+  }
+  const std::string_view body = text.substr(0, end_pos + 1);
+  TokenCursor end_cursor{text.substr(end_pos + 1)};
+  std::uint64_t checksum = 0;
+  if (!end_cursor.Eat("end ") || !end_cursor.Hex(&checksum)) {
+    return Malformed("malformed end line");
+  }
+  if (checksum != FingerprintText(body)) {
+    return Malformed("checksum mismatch (corrupt or torn file)");
+  }
+
+  LineReader reader{body};
+  ChaseCheckpoint ck;
+
+  TokenCursor c{reader.Next()};
+  std::uint64_t version = 0;
+  if (!c.Eat("tdxckpt v") || !c.Uint(&version)) {
+    return Malformed("missing tdxckpt header");
+  }
+  if (version != ChaseCheckpoint::kFormatVersion) {
+    return Malformed("unsupported format version v" +
+                     std::to_string(version));
+  }
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("engine ") || !EngineFromName(c.Word(), &ck.engine)) {
+    return Malformed("malformed engine line");
+  }
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("fingerprint ") || !c.Hex(&ck.program_fingerprint)) {
+    return Malformed("malformed fingerprint line");
+  }
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("config ")) return Malformed("malformed config line");
+  ck.config = std::string(c.s);
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("phase ")) return Malformed("malformed phase line");
+  ck.phase = std::string(c.Word());
+  std::uint64_t n = 0;
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("rounds ") || !c.Uint(&n)) return Malformed("malformed rounds");
+  ck.rounds = static_cast<std::size_t>(n);
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("piece-cursor ") || !c.Uint(&n)) {
+    return Malformed("malformed piece-cursor");
+  }
+  ck.piece_cursor = static_cast<std::size_t>(n);
+  {
+    c = TokenCursor{reader.Next()};
+    std::uint64_t v[5];
+    if (!c.Eat("stats ") || !c.Uint(&v[0]) || !c.Uint(&v[1]) ||
+        !c.Uint(&v[2]) || !c.Uint(&v[3]) || !c.Uint(&v[4])) {
+      return Malformed("malformed stats line");
+    }
+    ck.stats.tgd_triggers = static_cast<std::size_t>(v[0]);
+    ck.stats.tgd_fires = static_cast<std::size_t>(v[1]);
+    ck.stats.egd_steps = static_cast<std::size_t>(v[2]);
+    ck.stats.fresh_nulls = static_cast<std::size_t>(v[3]);
+    ck.stats.values_rewritten = static_cast<std::size_t>(v[4]);
+  }
+  const auto parse_norm = [&reader](const char* head, NormalizeStats* ns)
+      -> Status {
+    TokenCursor line{reader.Next()};
+    std::uint64_t v[4];
+    if (!line.Eat(head) || !line.Eat(" ") || !line.Uint(&v[0]) ||
+        !line.Uint(&v[1]) || !line.Uint(&v[2]) || !line.Uint(&v[3])) {
+      return Malformed(std::string("malformed ") + head + " line");
+    }
+    ns->input_facts = static_cast<std::size_t>(v[0]);
+    ns->output_facts = static_cast<std::size_t>(v[1]);
+    ns->homomorphisms = static_cast<std::size_t>(v[2]);
+    ns->groups = static_cast<std::size_t>(v[3]);
+    return Status::OK();
+  };
+  TDX_RETURN_IF_ERROR(parse_norm("norm-source", &ck.source_norm_stats));
+  TDX_RETURN_IF_ERROR(parse_norm("norm-target", &ck.target_norm_stats));
+  {
+    c = TokenCursor{reader.Next()};
+    std::uint64_t v[6];
+    if (!c.Eat("consumed ") || !c.Uint(&v[0]) || !c.Uint(&v[1]) ||
+        !c.Uint(&v[2]) || !c.Uint(&v[3]) || !c.Uint(&v[4]) ||
+        !c.Uint(&v[5])) {
+      return Malformed("malformed consumed line");
+    }
+    ck.consumed.tgd_fires = static_cast<std::size_t>(v[0]);
+    ck.consumed.egd_steps = static_cast<std::size_t>(v[1]);
+    ck.consumed.fresh_nulls = static_cast<std::size_t>(v[2]);
+    ck.consumed.facts = static_cast<std::size_t>(v[3]);
+    ck.consumed.fragments = static_cast<std::size_t>(v[4]);
+    ck.consumed.elapsed =
+        std::chrono::milliseconds(static_cast<std::int64_t>(v[5]));
+  }
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("nulls ") || !c.Uint(&n)) return Malformed("malformed nulls");
+  ck.next_null = n;
+  ck.null_names.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t id = 0; id < n; ++id) {
+    if (reader.done()) return Malformed("truncated null table");
+    c = TokenCursor{reader.Next()};
+    std::uint64_t got = 0;
+    std::string name;
+    if (!c.Eat("null ") || !c.Uint(&got) || got != id || !c.Quoted(&name)) {
+      return Malformed("malformed null line");
+    }
+    ck.null_names.push_back(std::move(name));
+  }
+  c = TokenCursor{reader.Next()};
+  if (!c.Eat("frontier ")) return Malformed("malformed frontier line");
+  if (c.Eat("full")) {
+    ck.frontier_full = true;
+  } else if (c.Eat("marks")) {
+    ck.frontier_full = false;
+    std::uint64_t count = 0;
+    if (!c.Uint(&count)) return Malformed("malformed frontier marks");
+    ck.frontier_marks.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t k = 0; k < count; ++k) {
+      std::uint64_t m = 0;
+      if (!c.Uint(&m) || m > std::numeric_limits<std::uint32_t>::max()) {
+        return Malformed("malformed frontier marks");
+      }
+      ck.frontier_marks.push_back(static_cast<std::uint32_t>(m));
+    }
+  } else {
+    return Malformed("malformed frontier line");
+  }
+
+  while (!reader.done()) {
+    c = TokenCursor{reader.Next()};
+    if (c.AtEnd()) continue;
+    if (c.Eat("instance target ")) {
+      if (!c.Uint(&n)) return Malformed("malformed instance header");
+      TDX_ASSIGN_OR_RETURN(
+          Instance inst,
+          ParseFactBlock(&reader, n, schema, universe, ck.next_null));
+      ck.target = std::move(inst);
+    } else if (c.Eat("instance normalized-source ")) {
+      if (!c.Uint(&n)) return Malformed("malformed instance header");
+      TDX_ASSIGN_OR_RETURN(
+          Instance inst,
+          ParseFactBlock(&reader, n, schema, universe, ck.next_null));
+      ck.normalized_source = std::move(inst);
+    } else if (c.Eat("piece ")) {
+      TDX_ASSIGN_OR_RETURN(Interval span, ParseIntervalToken(&c));
+      if (!c.Uint(&n)) return Malformed("malformed piece header");
+      TDX_ASSIGN_OR_RETURN(
+          Instance inst,
+          ParseFactBlock(&reader, n, schema, universe, ck.next_null));
+      ck.pieces.push_back(AbstractPiece{span, std::move(inst)});
+    } else {
+      return Malformed("unexpected line in checkpoint body");
+    }
+  }
+  return ck;
 }
 
 }  // namespace tdx

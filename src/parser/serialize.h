@@ -14,7 +14,9 @@
 #define TDX_PARSER_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 
+#include "src/common/checkpoint.h"
 #include "src/parser/parser.h"
 
 namespace tdx {
@@ -39,6 +41,34 @@ std::string SerializeQueries(const std::vector<UnionQuery>& queries,
 
 /// The whole program: schema, mapping, facts, queries.
 Result<std::string> SerializeProgram(const ParsedProgram& program);
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding
+// ---------------------------------------------------------------------------
+//
+// The `fact` statement format above deliberately rejects nulls (sources are
+// complete); a chase checkpoint is exactly a partial target full of labeled
+// and interval-annotated nulls, so it gets its own line-based durable
+// encoding: a version header, the cursor/stats/ledger scalars, the null
+// namespace, then instances as `fact <relation> <value>...` lines with a
+// typed value syntax (c"..." constant, n<id> labeled null,
+// a<id>[s,e) annotated null, i[s,e) interval; "inf" for the open right
+// endpoint), terminated by an FNV-1a checksum line that ParseCheckpoint
+// verifies. Deterministic: the same checkpoint serializes to the same bytes.
+
+/// Encodes `checkpoint`. `schema`/`universe` are the ones its instances
+/// refer to (relations are written by name, constants by spelling).
+Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
+                                        const Schema& schema,
+                                        const Universe& u);
+
+/// Decodes a checkpoint: validates the version, checksum, relation names,
+/// and arities against `schema`, and re-interns constants into `universe`.
+/// Does NOT touch the universe's null namespace — the engine restores it
+/// when the checkpoint is passed via resume_from.
+Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
+                                        const Schema* schema,
+                                        Universe* universe);
 
 }  // namespace tdx
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/analysis/termination.h"
+#include "src/common/checkpoint.h"
 
 namespace tdx {
 
@@ -403,8 +404,29 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
                                        const Mapping& mapping,
                                        Universe* universe,
                                        const ChaseOptions& options) {
-  ResourceGuard guard(options.limits);
-  ChaseOutcome outcome(Instance(&source.schema()));
+  const ChaseCheckpoint* resume = options.resume_from;
+  const std::string config = std::string("engine=snapshot semi-naive=") +
+                             (options.semi_naive ? "1" : "0");
+  if (resume != nullptr) {
+    if (resume->engine != ChaseCheckpoint::Engine::kSnapshot) {
+      return Status::InvalidArgument(
+          "checkpoint was not written by the snapshot chase engine");
+    }
+    if (resume->config != config) {
+      return Status::InvalidArgument(
+          "checkpoint was written under different execution options (\"" +
+          resume->config + "\" vs \"" + config + "\")");
+    }
+    if (!resume->target.has_value()) {
+      return Status::InvalidArgument(
+          "snapshot checkpoint is missing its target instance");
+    }
+  }
+  ResourceGuard guard = resume != nullptr
+                            ? ResourceGuard(options.limits, resume->consumed)
+                            : ResourceGuard(options.limits);
+  ChaseOutcome outcome(resume != nullptr ? *resume->target
+                                         : Instance(&source.schema()));
   // Consult the mapping's termination certificate (or derive one) before
   // doing any work: an uncertified set of target tgds may chase forever.
   outcome.stats.certificate =
@@ -417,6 +439,14 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
         outcome.stats.certificate->witness + "); the chase might not "
         "terminate");
   }
+  if (resume != nullptr) {
+    // Stats and the null namespace resume from the safe point; the
+    // certificate is derived state and keeps the recomputed value.
+    const auto certificate = outcome.stats.certificate;
+    outcome.stats = resume->stats;
+    outcome.stats.certificate = certificate;
+    universe->RestoreNullState(resume->next_null, resume->null_names);
+  }
   const auto aborted = [&]() {
     outcome.kind = ChaseResultKind::kAborted;
     outcome.abort_dimension = guard.dimension();
@@ -426,10 +456,54 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   const FreshNullFactory fresh = [universe](const Tgd&, const Binding&) {
     return universe->FreshNull();
   };
-  if (!guard.PokeFault("chase/tgd-phase")) return aborted();
-  TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
-           &guard);
+
+  DeltaFrontier frontier;
+  std::size_t rounds = 0;
+  bool mid_rounds = false;
+  // Offers a safe point to the checkpointer. Everything captured is the
+  // state a fresh run would hold at the same point, so resuming from the
+  // checkpoint and re-executing produces bit-identical results.
+  const auto offer_checkpoint = [&](bool boundary, const char* phase) {
+    if (options.checkpointer == nullptr) return;
+    options.checkpointer->AtSafePoint(boundary, [&]() {
+      ChaseCheckpoint ck;
+      ck.engine = ChaseCheckpoint::Engine::kSnapshot;
+      ck.config = config;
+      ck.phase = phase;
+      ck.rounds = rounds;
+      ck.stats = outcome.stats;
+      ck.consumed = guard.Consumed();
+      CaptureUniverseNulls(*universe, &ck);
+      ck.frontier_full = frontier.full();
+      ck.frontier_marks = frontier.marks();
+      ck.target = outcome.target;
+      return ck;
+    });
+  };
+
   if (guard.tripped()) return aborted();
+  const std::string start_phase = resume != nullptr ? resume->phase : "init";
+  if (start_phase == "init") {
+    if (resume == nullptr) offer_checkpoint(true, "init");
+    if (!guard.PokeFault("chase/tgd-phase")) return aborted();
+    TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
+             &guard);
+    if (guard.tripped()) return aborted();
+    offer_checkpoint(true, "loop-top");
+  } else if (start_phase == "loop-top" || start_phase == "rounds") {
+    rounds = resume->rounds;
+    if (resume->frontier_full) {
+      frontier.Reset();
+    } else {
+      frontier.AdvanceTo(resume->frontier_marks);
+    }
+    // A "rounds" checkpoint sits between two fired rounds: the resumed
+    // iteration continues the inner loop with the fired flag already set.
+    mid_rounds = start_phase == "rounds";
+  } else {
+    return Status::InvalidArgument("unknown snapshot checkpoint phase '" +
+                                   start_phase + "'");
+  }
 
   // Interleave target-tgd rounds and egd steps to a joint fixpoint. Weak
   // acyclicity (ValidateMapping) bounds the number of fresh nulls, so this
@@ -439,12 +513,12 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   // indexes absorb inserts incrementally and rebuild after egd rewrites
   // (generation check). The frontier resets whenever the egd fixpoint
   // rewrote anything, since rewritten facts can seed triggers the frontier
-  // would otherwise never revisit.
-  DeltaFrontier frontier;
+  // would otherwise never revisit. The finder is derived state: on resume
+  // it is rebuilt fresh over the restored target.
   HomomorphismFinder finder(outcome.target);
-  std::size_t rounds = 0;
   while (true) {
-    bool fired = false;
+    bool fired = mid_rounds;
+    mid_rounds = false;
     while (options.semi_naive
                ? TargetTgdRoundDelta(&outcome.target, mapping.target_tgds,
                                      fresh, &outcome.stats, &guard, &frontier,
@@ -458,6 +532,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
             "target-tgd chase exceeded its iteration budget; are the "
             "target tgds weakly acyclic?");
       }
+      offer_checkpoint(false, "rounds");
     }
     if (guard.tripped()) return aborted();
     const std::size_t egd_before = outcome.stats.egd_steps;
@@ -472,6 +547,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
           "chase exceeded its iteration budget; are the target tgds weakly "
           "acyclic?");
     }
+    offer_checkpoint(true, "loop-top");
   }
   return outcome;
 }

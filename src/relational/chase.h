@@ -34,6 +34,11 @@
 
 namespace tdx {
 
+// Checkpoint/resume support (src/common/checkpoint.h); forward-declared so
+// the options structs can carry the hooks without an include cycle.
+class Checkpointer;
+struct ChaseCheckpoint;
+
 enum class ChaseResultKind {
   kSuccess,  ///< target is a universal solution
   kFailure,  ///< an egd equated two distinct non-null values: no solution
@@ -67,6 +72,16 @@ struct ChaseOptions {
   /// found witnessed then — so the naive mode survives purely as the
   /// correctness oracle (tests/seminaive_chase_test.cc pins the equivalence).
   bool semi_naive = true;
+  /// When set, the engine offers a checkpoint at every safe point (phase
+  /// boundaries and fired target-tgd rounds); the checkpointer decides which
+  /// to persist. Not owned; may be null.
+  Checkpointer* checkpointer = nullptr;
+  /// When set, the engine restores the checkpointed state and continues from
+  /// its safe point instead of starting fresh. The checkpoint must have been
+  /// written by this engine under the same execution options (validated);
+  /// limits may differ — raising the budget is the intended recovery path.
+  /// Not owned; must outlive the call. May be null.
+  const ChaseCheckpoint* resume_from = nullptr;
 };
 
 struct ChaseOutcome {
@@ -175,6 +190,9 @@ class DeltaFrontier {
     full_ = true;
     marks_.clear();
   }
+
+  /// Raw per-relation marks, for checkpointing. Meaningful when !full().
+  const std::vector<std::uint32_t>& marks() const { return marks_; }
 
   /// Advances the frontier: facts of `rel` below `sizes[rel]` stop being
   /// frontier. Callers pass the per-relation sizes captured at round start,

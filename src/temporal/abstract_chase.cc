@@ -1,11 +1,14 @@
 #include "src/temporal/abstract_chase.h"
 
+#include <cstddef>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/checkpoint.h"
 #include "src/common/thread_pool.h"
 
 namespace tdx {
@@ -95,20 +98,100 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
                                            const AbstractChaseOptions& options) {
   AbstractChaseOutcome outcome(AbstractInstance(&source.schema()));
   const std::vector<AbstractPiece>& pieces = source.pieces();
+  const bool parallel = options.jobs > 1 && pieces.size() > 1;
+  const std::string config =
+      std::string("engine=abstract semi-naive=") +
+      (options.chase.semi_naive ? "1" : "0") + " parallel=" +
+      (parallel ? "1" : "0");
 
-  if (options.jobs <= 1 || pieces.size() <= 1) {
+  // Per-piece chases never checkpoint themselves: the abstract engine's
+  // safe points sit between merged pieces, and a piece's chase is atomic.
+  ChaseOptions piece_options = options.chase;
+  piece_options.checkpointer = nullptr;
+  piece_options.resume_from = nullptr;
+
+  const ChaseCheckpoint* resume = options.resume_from;
+  std::size_t start = 0;
+  if (resume != nullptr) {
+    if (resume->engine != ChaseCheckpoint::Engine::kAbstract) {
+      return Status::InvalidArgument(
+          "checkpoint was written by a different engine");
+    }
+    if (resume->config != config) {
+      return Status::InvalidArgument(
+          "checkpoint execution options mismatch: expected \"" + config +
+          "\", checkpoint has \"" + resume->config + "\"");
+    }
+    if (resume->phase != "pieces" || resume->piece_cursor > pieces.size() ||
+        resume->pieces.size() != resume->piece_cursor) {
+      return Status::InvalidArgument(
+          "checkpoint does not match this source instance");
+    }
+    outcome.stats = resume->stats;
+    universe->RestoreNullState(resume->next_null, resume->null_names);
+    for (const AbstractPiece& merged : resume->pieces) {
+      outcome.target.AddPiece(merged.span, Instance(merged.snapshot));
+    }
+    start = resume->piece_cursor;
+  }
+
+  // The armed-fault gate for the merge seam, shared by both execution
+  // paths. When the abstract-chase/merge site fires, the run aborts before
+  // piece i is merged — exactly the state the "pieces" checkpoint after
+  // piece i-1 captured.
+  const auto merge_fault = [&](std::size_t i) -> bool {
+#ifndef TDX_DISABLE_FAULT_POINTS
+    if (FaultRegistry::AnyArmed()) {
+      Status fault = FaultRegistry::Fire("abstract-chase/merge");
+      if (!fault.ok()) {
+        outcome.kind = ChaseResultKind::kAborted;
+        outcome.failure_span = pieces[i].span;
+        outcome.abort_dimension = ResourceDimension::kInjectedFault;
+        outcome.abort_reason = fault.ToString();
+        return false;
+      }
+    }
+#else
+    (void)i;
+#endif
+    return true;
+  };
+
+  const auto offer_checkpoint = [&](std::size_t merged_count) {
+    if (options.checkpointer == nullptr) return;
+    options.checkpointer->AtSafePoint(false, [&] {
+      ChaseCheckpoint ck;
+      ck.engine = ChaseCheckpoint::Engine::kAbstract;
+      ck.config = config;
+      ck.phase = "pieces";
+      ck.piece_cursor = merged_count;
+      ck.stats = outcome.stats;
+      CaptureUniverseNulls(*universe, &ck);
+      ck.pieces.reserve(merged_count);
+      for (const AbstractPiece& merged : outcome.target.pieces()) {
+        ck.pieces.push_back(AbstractPiece{merged.span,
+                                          Instance(merged.snapshot)});
+      }
+      return ck;
+    });
+  };
+
+  if (!parallel) {
     // Sequential engine: pieces chase against the shared universe in order.
-    for (const AbstractPiece& piece : pieces) {
+    for (std::size_t i = start; i < pieces.size(); ++i) {
+      const AbstractPiece& piece = pieces[i];
       if (!PieceIsComplete(piece)) {
         return Status::InvalidArgument(
             "abstract chase requires a complete source instance");
       }
       TDX_ASSIGN_OR_RETURN(
           ChaseOutcome piece_outcome,
-          ChaseSnapshot(piece.snapshot, mapping, universe, options.chase));
+          ChaseSnapshot(piece.snapshot, mapping, universe, piece_options));
+      if (!merge_fault(i)) return outcome;
       if (!MergePiece(piece, std::move(piece_outcome), universe, &outcome)) {
         return outcome;
       }
+      offer_checkpoint(i + 1);
     }
     return outcome;
   }
@@ -122,24 +205,38 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
   // in piece order, making the outcome independent of thread scheduling.
   std::vector<std::optional<Result<ChaseOutcome>>> results(pieces.size());
   std::vector<char> incomplete(pieces.size(), 0);
-  ParallelFor(options.jobs, pieces.size(), [&](std::size_t i) {
+  ParallelFor(options.jobs, pieces.size() - start, [&](std::size_t k) {
+    const std::size_t i = start + k;
     if (!PieceIsComplete(pieces[i])) {
       incomplete[i] = 1;
       return;
     }
     Universe scratch;
     results[i] =
-        ChaseSnapshot(pieces[i].snapshot, mapping, &scratch, options.chase);
+        ChaseSnapshot(pieces[i].snapshot, mapping, &scratch, piece_options);
   });
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
+  for (std::size_t i = start; i < pieces.size(); ++i) {
     if (incomplete[i] != 0) {
       return Status::InvalidArgument(
           "abstract chase requires a complete source instance");
     }
+    if (!results[i].has_value()) {
+      // The pool dropped this piece's task (only the thread-pool/dispatch
+      // fault site does that — a stand-in for a killed worker). Surface a
+      // clean abort with the stats of the pieces already merged; the last
+      // checkpoint resumes from exactly here.
+      outcome.kind = ChaseResultKind::kAborted;
+      outcome.failure_span = pieces[i].span;
+      outcome.abort_dimension = ResourceDimension::kInjectedFault;
+      outcome.abort_reason = "piece chase task was dropped before execution";
+      return outcome;
+    }
     TDX_ASSIGN_OR_RETURN(ChaseOutcome piece_outcome, std::move(*results[i]));
+    if (!merge_fault(i)) return outcome;
     if (!MergePiece(pieces[i], std::move(piece_outcome), universe, &outcome)) {
       return outcome;
     }
+    offer_checkpoint(i + 1);
   }
   return outcome;
 }

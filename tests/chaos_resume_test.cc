@@ -1,0 +1,399 @@
+// Kill-and-recover chaos harness: arm a fault site, let the engine die at
+// it, resume from the newest checkpoint, and require the final instance and
+// statistics to be bit-identical to an uninterrupted run. Every engine is
+// deterministic, so a checkpoint at a safe point plus re-execution of the
+// work lost after it must reproduce the exact same trajectory — any
+// divergence is a checkpoint bug, not noise.
+//
+// The harness sweeps each site over increasing skip counts (the fault moves
+// later into the run each time) until the run completes without hitting the
+// site, so every dynamic occurrence of every site is exercised. The
+// in-memory checkpointer runs at cadence 1: every safe point is retained,
+// making the recovery window as tight as the engine allows.
+
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/checkpoint.h"
+#include "src/common/resource.h"
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+#include "src/parser/parser.h"
+#include "src/parser/printer.h"
+#include "src/relational/chase.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/abstract_instance.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::kPaperProgram;
+using ::tdx::testing::ParseOrDie;
+
+Status Injected() { return Status::Internal("injected fault"); }
+
+std::string SiteTestName(
+    const ::testing::TestParamInfo<const char*>& param_info) {
+  std::string name = param_info.param;
+  for (char& c : name) {
+    if (c == '/' || c == '-') c = '_';
+  }
+  return name;
+}
+
+// Hard cap on the skip sweep; every run here hits each site far fewer times.
+constexpr std::size_t kMaxSkip = 64;
+
+void ExpectSameStats(const ChaseStats& got, const ChaseStats& want) {
+  EXPECT_EQ(got.tgd_triggers, want.tgd_triggers);
+  EXPECT_EQ(got.tgd_fires, want.tgd_fires);
+  EXPECT_EQ(got.egd_steps, want.egd_steps);
+  EXPECT_EQ(got.fresh_nulls, want.fresh_nulls);
+  EXPECT_EQ(got.values_rewritten, want.values_rewritten);
+}
+
+// ---------------------------------------------------------------------------
+// C-chase: kill at every site, every occurrence; resume must be identical.
+// ---------------------------------------------------------------------------
+
+struct CChaseBaseline {
+  std::string rendered;
+  ChaseStats stats;
+};
+
+CChaseBaseline RunCChaseBaseline() {
+  auto program = ParseOrDie(kPaperProgram);
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe);
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  return {RenderConcreteInstance(outcome->target, program->universe),
+          outcome->stats};
+}
+
+class CChaseChaosTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { FaultRegistry::DisarmAll(); }
+};
+
+TEST_P(CChaseChaosTest, KillResumeIsBitIdentical) {
+  const CChaseBaseline baseline = RunCChaseBaseline();
+  const char* site = GetParam();
+
+  std::size_t kills = 0;
+  for (std::size_t skip = 0; skip < kMaxSkip; ++skip) {
+    auto program = ParseOrDie(kPaperProgram);
+    Checkpointer checkpointer("", &program->schema, &program->universe);
+    checkpointer.set_cadence(1);
+    checkpointer.set_max_overhead(0);
+    CChaseOptions options;
+    options.checkpointer = &checkpointer;
+
+    bool killed = false;
+    {
+      ScopedFault fault(site, Injected(), skip);
+      auto outcome =
+          CChase(program->source, program->lifted, &program->universe,
+                 options);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      if (outcome->kind == ChaseResultKind::kSuccess) {
+        // The fault moved past the last occurrence of the site: the sweep
+        // has covered every dynamic hit. Sanity-check and stop.
+        EXPECT_EQ(RenderConcreteInstance(outcome->target, program->universe),
+                  baseline.rendered);
+        break;
+      }
+      ASSERT_EQ(outcome->kind, ChaseResultKind::kAborted);
+      EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kInjectedFault);
+      killed = true;
+    }
+    if (!killed) break;
+    ++kills;
+
+    // Recover: resume from the newest checkpoint (or from scratch when the
+    // kill landed before the first safe point persisted).
+    CChaseOptions resume_options;
+    resume_options.resume_from = checkpointer.latest().has_value()
+                                     ? &*checkpointer.latest()
+                                     : nullptr;
+    auto resumed = CChase(program->source, program->lifted,
+                          &program->universe, resume_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_EQ(resumed->kind, ChaseResultKind::kSuccess);
+    EXPECT_EQ(RenderConcreteInstance(resumed->target, program->universe),
+              baseline.rendered)
+        << "divergence after kill at " << site << "@" << skip;
+    ExpectSameStats(resumed->stats, baseline.stats);
+  }
+  EXPECT_GT(kills, 0u) << "site " << site << " was never reached";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, CChaseChaosTest,
+                         ::testing::Values("cchase/normalize-source",
+                                           "cchase/tgd-phase",
+                                           "cchase/normalize-target",
+                                           "cchase/egd-fixpoint",
+                                           "normalize/algorithm1"),
+                         SiteTestName);
+
+// ---------------------------------------------------------------------------
+// Snapshot engine: same harness over the relational chase.
+// ---------------------------------------------------------------------------
+
+class SnapshotChaosTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { FaultRegistry::DisarmAll(); }
+
+  static EmploymentConfig Config() {
+    EmploymentConfig cfg;
+    cfg.num_people = 10;
+    cfg.num_companies = 3;
+    cfg.seed = 7;
+    return cfg;
+  }
+};
+
+TEST_P(SnapshotChaosTest, KillResumeIsBitIdentical) {
+  const char* site = GetParam();
+
+  // Baseline: chase the first piece's snapshot uninterrupted.
+  auto base_w = MakeEmploymentWorkload(Config());
+  auto base_ia = AbstractInstance::FromConcrete(base_w->source);
+  ASSERT_TRUE(base_ia.ok()) << base_ia.status();
+  ASSERT_FALSE(base_ia->pieces().empty());
+  auto base_outcome = ChaseSnapshot(base_ia->pieces()[0].snapshot,
+                                    base_w->mapping, &base_w->universe);
+  ASSERT_TRUE(base_outcome.ok()) << base_outcome.status();
+  ASSERT_EQ(base_outcome->kind, ChaseResultKind::kSuccess);
+  const std::string baseline =
+      RenderInstanceTables(base_outcome->target, base_w->universe);
+
+  std::size_t kills = 0;
+  for (std::size_t skip = 0; skip < kMaxSkip; ++skip) {
+    auto w = MakeEmploymentWorkload(Config());
+    auto ia = AbstractInstance::FromConcrete(w->source);
+    ASSERT_TRUE(ia.ok()) << ia.status();
+    Checkpointer checkpointer("", &w->schema, &w->universe);
+    checkpointer.set_cadence(1);
+    checkpointer.set_max_overhead(0);
+    ChaseOptions options;
+    options.checkpointer = &checkpointer;
+
+    bool killed = false;
+    {
+      ScopedFault fault(site, Injected(), skip);
+      auto outcome = ChaseSnapshot(ia->pieces()[0].snapshot, w->mapping,
+                                   &w->universe, options);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      if (outcome->kind == ChaseResultKind::kSuccess) {
+        EXPECT_EQ(RenderInstanceTables(outcome->target, w->universe),
+                  baseline);
+        break;
+      }
+      ASSERT_EQ(outcome->kind, ChaseResultKind::kAborted);
+      EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kInjectedFault);
+      killed = true;
+    }
+    if (!killed) break;
+    ++kills;
+
+    ChaseOptions resume_options;
+    resume_options.resume_from = checkpointer.latest().has_value()
+                                     ? &*checkpointer.latest()
+                                     : nullptr;
+    auto resumed = ChaseSnapshot(ia->pieces()[0].snapshot, w->mapping,
+                                 &w->universe, resume_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_EQ(resumed->kind, ChaseResultKind::kSuccess);
+    EXPECT_EQ(RenderInstanceTables(resumed->target, w->universe), baseline)
+        << "divergence after kill at " << site << "@" << skip;
+  }
+  EXPECT_GT(kills, 0u) << "site " << site << " was never reached";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, SnapshotChaosTest,
+                         ::testing::Values("chase/tgd-phase",
+                                           "chase/egd-fixpoint"),
+                         SiteTestName);
+
+// ---------------------------------------------------------------------------
+// Abstract engine: per-piece checkpoints, sequential and parallel.
+// ---------------------------------------------------------------------------
+
+class AbstractChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::DisarmAll(); }
+
+  static EmploymentConfig Config() {
+    EmploymentConfig cfg;
+    cfg.num_people = 8;
+    cfg.num_companies = 3;
+    cfg.seed = 11;
+    return cfg;
+  }
+
+  struct Baseline {
+    std::string rendered;
+    ChaseStats stats;
+  };
+
+  static Baseline RunBaseline(unsigned jobs) {
+    auto w = MakeEmploymentWorkload(Config());
+    auto ia = AbstractInstance::FromConcrete(w->source);
+    EXPECT_TRUE(ia.ok()) << ia.status();
+    AbstractChaseOptions options;
+    options.jobs = jobs;
+    auto outcome = AbstractChase(*ia, w->mapping, &w->universe, options);
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+    return {RenderAbstractInstance(outcome->target, w->universe),
+            outcome->stats};
+  }
+};
+
+TEST_F(AbstractChaosTest, SequentialMergeKillResumeIsBitIdentical) {
+  const Baseline baseline = RunBaseline(1);
+
+  std::size_t kills = 0;
+  for (std::size_t skip = 0; skip < kMaxSkip; ++skip) {
+    auto w = MakeEmploymentWorkload(Config());
+    auto ia = AbstractInstance::FromConcrete(w->source);
+    ASSERT_TRUE(ia.ok()) << ia.status();
+    Checkpointer checkpointer("", &w->schema, &w->universe);
+    checkpointer.set_cadence(1);
+    checkpointer.set_max_overhead(0);
+    AbstractChaseOptions options;
+    options.checkpointer = &checkpointer;
+
+    bool killed = false;
+    {
+      ScopedFault fault("abstract-chase/merge", Injected(), skip);
+      auto outcome = AbstractChase(*ia, w->mapping, &w->universe, options);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      if (outcome->kind == ChaseResultKind::kSuccess) {
+        EXPECT_EQ(RenderAbstractInstance(outcome->target, w->universe),
+                  baseline.rendered);
+        break;
+      }
+      ASSERT_EQ(outcome->kind, ChaseResultKind::kAborted);
+      EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kInjectedFault);
+      EXPECT_TRUE(outcome->failure_span.has_value());
+      killed = true;
+    }
+    if (!killed) break;
+    ++kills;
+
+    AbstractChaseOptions resume_options;
+    resume_options.resume_from = checkpointer.latest().has_value()
+                                     ? &*checkpointer.latest()
+                                     : nullptr;
+    auto resumed =
+        AbstractChase(*ia, w->mapping, &w->universe, resume_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_EQ(resumed->kind, ChaseResultKind::kSuccess);
+    EXPECT_EQ(RenderAbstractInstance(resumed->target, w->universe),
+              baseline.rendered)
+        << "divergence after kill at abstract-chase/merge@" << skip;
+    ExpectSameStats(resumed->stats, baseline.stats);
+  }
+  EXPECT_GT(kills, 0u);
+}
+
+TEST_F(AbstractChaosTest, ParallelDispatchDropResumesBitIdentical) {
+  const Baseline baseline = RunBaseline(4);
+
+  auto w = MakeEmploymentWorkload(Config());
+  auto ia = AbstractInstance::FromConcrete(w->source);
+  ASSERT_TRUE(ia.ok()) << ia.status();
+  ASSERT_GT(ia->pieces().size(), 1u);
+  Checkpointer checkpointer("", &w->schema, &w->universe);
+  checkpointer.set_cadence(1);
+  checkpointer.set_max_overhead(0);
+  AbstractChaseOptions options;
+  options.jobs = 4;
+  options.checkpointer = &checkpointer;
+
+  {
+    // Drop one pool task mid-fan-out: the engine must surface a clean abort
+    // with the stats of the pieces merged before the hole, never touch the
+    // unfilled slot, and leak nothing (ASan/TSan-checked in CI).
+    ScopedFault fault("thread-pool/dispatch", Injected());
+    auto outcome = AbstractChase(*ia, w->mapping, &w->universe, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_EQ(outcome->kind, ChaseResultKind::kAborted);
+    EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kInjectedFault);
+    EXPECT_TRUE(outcome->failure_span.has_value());
+  }
+
+  AbstractChaseOptions resume_options;
+  resume_options.jobs = 4;
+  resume_options.resume_from = checkpointer.latest().has_value()
+                                   ? &*checkpointer.latest()
+                                   : nullptr;
+  auto resumed = AbstractChase(*ia, w->mapping, &w->universe, resume_options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ASSERT_EQ(resumed->kind, ChaseResultKind::kSuccess);
+  EXPECT_EQ(RenderAbstractInstance(resumed->target, w->universe),
+            baseline.rendered);
+  ExpectSameStats(resumed->stats, baseline.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Budget: a resumed run charges the remaining allowance, not a fresh one.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetResumeTest, ResumedRunChargesRemainingBudget) {
+  // The paper program needs 8 tgd fires end to end; cap at 5.
+  ChaseLimits limits;
+  limits.max_tgd_fires = 5;
+
+  auto program = ParseOrDie(kPaperProgram);
+  Checkpointer checkpointer("", &program->schema, &program->universe);
+  checkpointer.set_cadence(1);
+  checkpointer.set_max_overhead(0);
+  CChaseOptions options;
+  options.limits = limits;
+  options.checkpointer = &checkpointer;
+  auto aborted =
+      CChase(program->source, program->lifted, &program->universe, options);
+  ASSERT_TRUE(aborted.ok()) << aborted.status();
+  ASSERT_EQ(aborted->kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(aborted->abort_dimension, ResourceDimension::kTgdFires);
+  ASSERT_TRUE(checkpointer.latest().has_value());
+
+  // Same limits on resume: the run still cannot afford the remaining work —
+  // a reset budget would have granted 5 fresh fires and finished.
+  CChaseOptions same_budget;
+  same_budget.limits = limits;
+  same_budget.resume_from = &*checkpointer.latest();
+  auto still_aborted = CChase(program->source, program->lifted,
+                              &program->universe, same_budget);
+  ASSERT_TRUE(still_aborted.ok()) << still_aborted.status();
+  EXPECT_EQ(still_aborted->kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(still_aborted->abort_dimension, ResourceDimension::kTgdFires);
+
+  // Raising the budget is the intended recovery: the resumed run completes
+  // and matches an unrestricted run exactly.
+  auto unrestricted = ParseOrDie(kPaperProgram);
+  auto full = CChase(unrestricted->source, unrestricted->lifted,
+                     &unrestricted->universe);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->kind, ChaseResultKind::kSuccess);
+
+  CChaseOptions raised;
+  raised.limits.max_tgd_fires = 100;
+  raised.resume_from = &*checkpointer.latest();
+  auto recovered =
+      CChase(program->source, program->lifted, &program->universe, raised);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_EQ(recovered->kind, ChaseResultKind::kSuccess);
+  EXPECT_EQ(RenderConcreteInstance(recovered->target, program->universe),
+            RenderConcreteInstance(full->target, unrestricted->universe));
+  EXPECT_EQ(recovered->stats.tgd_fires, full->stats.tgd_fires);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -1,0 +1,283 @@
+// Checkpoint/resume mechanics: the durable encoding round-trips every field
+// (interval-annotated nulls included), the loader rejects anything it cannot
+// trust (wrong program, wrong version, torn or tampered file), the cadence
+// gates round-level safe points, and the engines refuse checkpoints written
+// under different execution options. The end-to-end kill/resume guarantees
+// live in tests/chaos_resume_test.cc.
+
+#include "src/common/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cchase.h"
+#include "src/parser/parser.h"
+#include "src/parser/serialize.h"
+#include "tests/test_util.h"
+
+namespace tdx {
+namespace {
+
+using ::tdx::testing::kPaperProgram;
+using ::tdx::testing::ParseOrDie;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+// Runs the paper's c-chase with an in-memory checkpointer at cadence 1 and
+// returns the newest checkpoint (a real, resumable "loop-top" snapshot with
+// annotated nulls in the target).
+ChaseCheckpoint CaptureFromPaperRun(ParsedProgram* program) {
+  Checkpointer checkpointer("", &program->schema, &program->universe);
+  checkpointer.set_cadence(1);
+  checkpointer.set_max_overhead(0);  // persist every safe point
+  checkpointer.set_fingerprint(FingerprintText(kPaperProgram));
+  CChaseOptions options;
+  options.checkpointer = &checkpointer;
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(checkpointer.latest().has_value());
+  return *checkpointer.latest();
+}
+
+TEST(FingerprintTest, DistinguishesTexts) {
+  EXPECT_EQ(FingerprintText("abc"), FingerprintText("abc"));
+  EXPECT_NE(FingerprintText("abc"), FingerprintText("abd"));
+  EXPECT_NE(FingerprintText(""), FingerprintText(std::string_view("\0", 1)));
+}
+
+TEST(CheckpointRoundTripTest, SerializeParseIsIdentity) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint original = CaptureFromPaperRun(program.get());
+  ASSERT_TRUE(original.target.has_value());
+
+  auto text = SerializeCheckpoint(original, program->schema,
+                                  program->universe);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = ParseCheckpoint(*text, &program->schema, &program->universe);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ(parsed->engine, original.engine);
+  EXPECT_EQ(parsed->program_fingerprint, original.program_fingerprint);
+  EXPECT_EQ(parsed->config, original.config);
+  EXPECT_EQ(parsed->phase, original.phase);
+  EXPECT_EQ(parsed->rounds, original.rounds);
+  EXPECT_EQ(parsed->stats.tgd_fires, original.stats.tgd_fires);
+  EXPECT_EQ(parsed->stats.fresh_nulls, original.stats.fresh_nulls);
+  EXPECT_EQ(parsed->source_norm_stats.output_facts,
+            original.source_norm_stats.output_facts);
+  EXPECT_EQ(parsed->next_null, original.next_null);
+  EXPECT_EQ(parsed->null_names, original.null_names);
+  EXPECT_EQ(parsed->frontier_full, original.frontier_full);
+  EXPECT_EQ(parsed->frontier_marks, original.frontier_marks);
+  ASSERT_TRUE(parsed->target.has_value());
+  EXPECT_EQ(parsed->target->size(), original.target->size());
+  ASSERT_TRUE(parsed->normalized_source.has_value());
+  EXPECT_EQ(parsed->normalized_source->size(),
+            original.normalized_source->size());
+
+  // Second serialization of the parse is byte-identical: the encoding is
+  // canonical, so re-saving a loaded checkpoint never churns the file.
+  auto text2 =
+      SerializeCheckpoint(*parsed, program->schema, program->universe);
+  ASSERT_TRUE(text2.ok()) << text2.status();
+  EXPECT_EQ(*text, *text2);
+}
+
+TEST(CheckpointRoundTripTest, ConsumedLedgerRoundTrips) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  ck.consumed.tgd_fires = 7;
+  ck.consumed.egd_steps = 3;
+  ck.consumed.fresh_nulls = 5;
+  ck.consumed.facts = 11;
+  ck.consumed.fragments = 2;
+  ck.consumed.elapsed = std::chrono::milliseconds(1234);
+
+  auto text = SerializeCheckpoint(ck, program->schema, program->universe);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = ParseCheckpoint(*text, &program->schema, &program->universe);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->consumed.tgd_fires, 7u);
+  EXPECT_EQ(parsed->consumed.egd_steps, 3u);
+  EXPECT_EQ(parsed->consumed.fresh_nulls, 5u);
+  EXPECT_EQ(parsed->consumed.facts, 11u);
+  EXPECT_EQ(parsed->consumed.fragments, 2u);
+  EXPECT_EQ(parsed->consumed.elapsed, std::chrono::milliseconds(1234));
+}
+
+TEST(CheckpointFileTest, SaveLoadRoundTrips) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  const std::string path = TempPath("save_load.tdxckpt");
+
+  ASSERT_TRUE(
+      SaveChaseCheckpoint(ck, program->schema, program->universe, path).ok());
+  auto loaded = LoadChaseCheckpoint(path, kPaperProgram, &program->schema,
+                                    &program->universe);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->phase, ck.phase);
+  EXPECT_EQ(loaded->null_names, ck.null_names);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, RejectsDifferentProgram) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  const std::string path = TempPath("wrong_program.tdxckpt");
+  ASSERT_TRUE(
+      SaveChaseCheckpoint(ck, program->schema, program->universe, path).ok());
+
+  auto loaded = LoadChaseCheckpoint(path, "not the same program",
+                                    &program->schema, &program->universe);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, RejectsMissingFile) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto loaded = LoadChaseCheckpoint(TempPath("does_not_exist.tdxckpt"),
+                                    kPaperProgram, &program->schema,
+                                    &program->universe);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointFileTest, RejectsTamperedFile) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  const std::string path = TempPath("tampered.tdxckpt");
+  ASSERT_TRUE(
+      SaveChaseCheckpoint(ck, program->schema, program->universe, path).ok());
+
+  std::string text = ReadAll(path);
+  const std::size_t pos = text.find("rounds ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 7] = '9';  // flip the round counter without fixing the checksum
+  WriteAll(path, text);
+
+  auto loaded = LoadChaseCheckpoint(path, kPaperProgram, &program->schema,
+                                    &program->universe);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, RejectsTruncatedFile) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  const std::string path = TempPath("truncated.tdxckpt");
+  ASSERT_TRUE(
+      SaveChaseCheckpoint(ck, program->schema, program->universe, path).ok());
+
+  std::string text = ReadAll(path);
+  WriteAll(path, text.substr(0, text.size() / 2));
+  auto loaded = LoadChaseCheckpoint(path, kPaperProgram, &program->schema,
+                                    &program->universe);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, RejectsUnknownVersion) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto parsed = ParseCheckpoint("tdxckpt v99\nend 0000000000000000\n",
+                                &program->schema, &program->universe);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CheckpointerTest, CadenceGatesRoundPointsNotBoundaries) {
+  auto program = ParseOrDie(kPaperProgram);
+  Checkpointer checkpointer("", &program->schema, &program->universe);
+  checkpointer.set_cadence(3);
+  checkpointer.set_max_overhead(0);
+
+  auto build = [&] {
+    ChaseCheckpoint ck;
+    ck.engine = ChaseCheckpoint::Engine::kCChase;
+    return ck;
+  };
+  // Boundaries always persist.
+  EXPECT_TRUE(checkpointer.AtSafePoint(true, build));
+  // Round points persist on every 3rd offer only.
+  EXPECT_FALSE(checkpointer.AtSafePoint(false, build));
+  EXPECT_FALSE(checkpointer.AtSafePoint(false, build));
+  EXPECT_TRUE(checkpointer.AtSafePoint(false, build));
+  EXPECT_FALSE(checkpointer.AtSafePoint(false, build));
+  EXPECT_EQ(checkpointer.safe_points(), 5u);
+  EXPECT_EQ(checkpointer.writes(), 2u);
+  EXPECT_TRUE(checkpointer.last_error().ok());
+}
+
+TEST(CheckpointerTest, WriteFailureIsRecordedNotFatal) {
+  auto program = ParseOrDie(kPaperProgram);
+  // A directory that does not exist: every write fails, the chase goes on.
+  Checkpointer checkpointer(TempPath("no/such/dir/ck.tdxckpt"),
+                            &program->schema, &program->universe);
+  checkpointer.set_cadence(1);
+  CChaseOptions options;
+  options.checkpointer = &checkpointer;
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
+  EXPECT_FALSE(checkpointer.last_error().ok());
+  EXPECT_EQ(checkpointer.writes(), 0u);
+}
+
+TEST(CheckpointResumeValidationTest, RejectsWrongEngine) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  ck.engine = ChaseCheckpoint::Engine::kSnapshot;
+  CChaseOptions options;
+  options.resume_from = &ck;
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointResumeValidationTest, RejectsDifferentExecutionOptions) {
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  CChaseOptions options;
+  options.semi_naive = false;  // checkpoint was taken under semi-naive
+  options.resume_from = &ck;
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointResumeValidationTest, RejectsUnknownPhase) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  ck.phase = "pieces";  // an abstract-engine phase
+  CChaseOptions options;
+  options.resume_from = &ck;
+  auto outcome =
+      CChase(program->source, program->lifted, &program->universe, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tdx

@@ -5,13 +5,21 @@
 
 #include "src/common/resource.h"
 
+#include <atomic>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.h"
 #include "src/core/cchase.h"
 #include "src/core/naive_eval.h"
 #include "src/core/normalize.h"
 #include "src/core/query.h"
 #include "src/parser/parser.h"
+#include "src/temporal/abstract_chase.h"
+#include "src/temporal/abstract_instance.h"
 #include "src/temporal/snapshot.h"
 #include "tests/test_util.h"
 
@@ -215,6 +223,61 @@ TEST_F(FaultInjectionTest, ParserSiteWithSkipCountFailsMidProgram) {
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status(), Injected());
   EXPECT_GE(FaultRegistry::HitCount("parser/statement"), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure sites: pool dispatch drops and merge-seam kills
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, DispatchSiteDropsExactlyOneTaskInline) {
+  ScopedFault fault("thread-pool/dispatch", Injected());
+  std::vector<char> ran(8, 0);
+  ParallelFor(1, ran.size(), [&](std::size_t i) { ran[i] = 1; });
+  std::size_t executed = 0;
+  for (const char r : ran) executed += static_cast<std::size_t>(r);
+  // One task was "killed" between dequeue and execution; the rest ran.
+  EXPECT_EQ(executed, ran.size() - 1);
+}
+
+TEST_F(FaultInjectionTest, DispatchSiteDropsExactlyOneTaskPooled) {
+  ScopedFault fault("thread-pool/dispatch", Injected());
+  std::vector<std::atomic<char>> ran(16);
+  for (auto& r : ran) r.store(0);
+  ParallelFor(4, ran.size(), [&](std::size_t i) { ran[i].store(1); });
+  std::size_t executed = 0;
+  for (const auto& r : ran) executed += static_cast<std::size_t>(r.load());
+  EXPECT_EQ(executed, ran.size() - 1);
+}
+
+TEST_F(FaultInjectionTest, AbstractMergeSiteAbortsWithPieceSpan) {
+  auto program = ParseOrDie(kPaperProgram);
+  auto ia = AbstractInstance::FromConcrete(program->source);
+  ASSERT_TRUE(ia.ok()) << ia.status();
+
+  ScopedFault fault("abstract-chase/merge", Injected());
+  auto outcome =
+      AbstractChase(*ia, program->mapping, &program->universe);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->kind, ChaseResultKind::kAborted);
+  EXPECT_EQ(outcome->abort_dimension, ResourceDimension::kInjectedFault);
+  EXPECT_TRUE(outcome->failure_span.has_value());
+}
+
+TEST_F(FaultInjectionTest, RegisteredSiteListStaysReachable) {
+  // Every site in kRegisteredFaultSites must still exist in the codebase;
+  // the chaos harness (tests/chaos_resume_test.cc, CI chaos-resume) sweeps
+  // this list. A site renamed without updating the registry would silently
+  // drop out of the sweep — pin the count and spot-check membership.
+  std::size_t n = 0;
+  bool has_dispatch = false, has_merge = false;
+  for (const std::string_view site : kRegisteredFaultSites) {
+    ++n;
+    if (site == "thread-pool/dispatch") has_dispatch = true;
+    if (site == "abstract-chase/merge") has_merge = true;
+  }
+  EXPECT_EQ(n, 12u);
+  EXPECT_TRUE(has_dispatch);
+  EXPECT_TRUE(has_merge);
 }
 
 }  // namespace

@@ -360,5 +360,72 @@ TEST(AbortSafetyTest, AbortedTargetIsSmallerThanSolution) {
   EXPECT_LT(partial.target.size(), full.target.size());
 }
 
+// ---------------------------------------------------------------------------
+// Ledger & resume: the guard's clock is steady and its budget transfers
+// ---------------------------------------------------------------------------
+
+TEST(ResourceLedgerTest, ConsumedIsMonotonic) {
+  ChaseLimits limits;
+  limits.max_tgd_fires = 1000;  // any finite limit enables count bookkeeping
+  ResourceGuard guard(limits);
+  // Deadlines and elapsed time ride std::chrono::steady_clock, which never
+  // goes backwards — a wall-clock adjustment mid-run must not inflate or
+  // refund budget. Consumed() asserts the invariant internally; here we pin
+  // the observable consequence across repeated samples.
+  std::chrono::milliseconds last{-1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(guard.ChargeTgdFire());
+    const ResourceLedger ledger = guard.Consumed();
+    EXPECT_GE(ledger.elapsed.count(), 0);
+    EXPECT_GE(ledger.elapsed, last);
+    EXPECT_EQ(ledger.tgd_fires, static_cast<std::size_t>(i + 1));
+    last = ledger.elapsed;
+  }
+}
+
+TEST(ResourceLedgerTest, ResumedGuardChargesRemainingCounts) {
+  ChaseLimits limits;
+  limits.max_tgd_fires = 10;
+
+  ResourceLedger consumed;
+  consumed.tgd_fires = 7;
+  ResourceGuard guard(limits, consumed);
+  // Only 3 of the 10 fires remain.
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.ChargeTgdFire());
+  EXPECT_FALSE(guard.ChargeTgdFire());
+  EXPECT_TRUE(guard.tripped());
+  EXPECT_EQ(guard.dimension(), ResourceDimension::kTgdFires);
+}
+
+TEST(ResourceLedgerTest, ResumedGuardShrinksDeadline) {
+  ChaseLimits limits;
+  limits.deadline = std::chrono::milliseconds(10000);
+
+  ResourceLedger consumed;
+  consumed.elapsed = std::chrono::milliseconds(9999);
+  ResourceGuard shrunk(limits, consumed);
+  // 1ms left: CheckDeadline may pass briefly, but the ledger carries the
+  // prior spend forward instead of restarting the clock.
+  EXPECT_GE(shrunk.Consumed().elapsed, consumed.elapsed);
+
+  consumed.elapsed = std::chrono::milliseconds(10001);
+  ResourceGuard exhausted(limits, consumed);
+  // The budget was already gone before the resume: tripped on construction.
+  EXPECT_TRUE(exhausted.tripped());
+  EXPECT_EQ(exhausted.dimension(), ResourceDimension::kWallClock);
+  EXPECT_FALSE(exhausted.CheckDeadline());
+}
+
+TEST(ResourceLedgerTest, ConsumedCarriesPriorElapsedForward) {
+  ResourceLedger consumed;
+  consumed.elapsed = std::chrono::milliseconds(5000);
+  ResourceGuard guard(ChaseLimits{}, consumed);
+  // Even an unlimited resumed guard reports cumulative elapsed time, so a
+  // chain of checkpoints never under-reports the run's true cost.
+  EXPECT_GE(guard.Consumed().elapsed, std::chrono::milliseconds(5000));
+}
+
 }  // namespace
 }  // namespace tdx

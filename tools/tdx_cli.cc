@@ -15,6 +15,7 @@
 //   tdx_cli possible <file> <q> <l> possible answers of query q at time l
 //   tdx_cli query-at <file> <q> <l..> per-snapshot certain answers of q,
 //                                  chasing the snapshots in parallel (--jobs)
+//   tdx_cli resume <file> <ckpt>   continue a checkpointed c-chase run
 //
 // Resource-governance flags (any command; default unlimited):
 //
@@ -24,8 +25,20 @@
 //
 // Execution flags: --jobs=N (0 = all cores), --stats, --naive-chase
 //
+// Checkpointing (chase/core/resume): --checkpoint=PATH writes a resumable
+// checkpoint at every phase boundary and every --checkpoint-every=N-th
+// target-tgd round seam (default 16). `tdx_cli resume <file> <ckpt>`
+// continues the run to the bit-identical result, charging any resource
+// limits against the remaining (not a reset) budget. --inject-fault=SITE
+// (optionally SITE@SKIP to let the first SKIP hits pass) arms a named
+// fault site — see kRegisteredFaultSites — for the chaos harness.
+//
 // A chase that exhausts its budget prints "ABORTED (<dimension>): <reason>"
 // and exits non-zero; the partial target is never printed as a solution.
+//
+// Exit codes: 0 success; 1 error (bad input, I/O, internal); 2 usage;
+// 3 no solution exists (chase failure is an answer, not an error);
+// 4 aborted (budget exhausted or injected fault; partial state only).
 
 #include <charconv>
 #include <chrono>
@@ -37,6 +50,7 @@
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/common/checkpoint.h"
 #include "src/common/resource.h"
 #include "src/common/thread_pool.h"
 #include "src/core/align.h"
@@ -54,6 +68,15 @@
 
 namespace {
 
+// Exit codes (documented in the file comment and README): distinguishing
+// "no solution exists" and "aborted under budget" from plain errors lets
+// the chaos harness and CI assert on the precise outcome.
+constexpr int kExitSuccess = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitNoSolution = 3;
+constexpr int kExitAborted = 4;
+
 int Usage() {
   std::cerr
       << "usage: tdx_cli <command> <program-file> [args] [flags]\n"
@@ -69,6 +92,8 @@ int Usage() {
          "  possible   possible answers: tdx_cli possible <file> <q> <l>\n"
          "  query-at   per-snapshot certain answers:\n"
          "             tdx_cli query-at <file> <query-name> <l>...\n"
+         "  resume     continue a checkpointed c-chase:\n"
+         "             tdx_cli resume <file> <checkpoint-file>\n"
          "flags (default unlimited):\n"
          "  --max-tgd-fires=N     abort the chase after N tgd firings\n"
          "  --max-egd-steps=N     abort after N egd applications\n"
@@ -83,8 +108,15 @@ int Usage() {
          "  --jobs=N              snapshot-parallel commands use N threads\n"
          "                        (0 = all hardware threads; default 1)\n"
          "  --stats               print chase statistics after chase/core\n"
-         "  --naive-chase         disable semi-naive target-tgd rounds\n";
-  return EXIT_FAILURE;
+         "  --naive-chase         disable semi-naive target-tgd rounds\n"
+         "  --checkpoint=PATH     chase/core/resume: write a resumable\n"
+         "                        checkpoint to PATH at every safe point\n"
+         "  --checkpoint-every=N  persist every N-th round-level safe point\n"
+         "                        (default 16; boundaries always persist)\n"
+         "  --inject-fault=SITE[@SKIP]  arm a named fault site (chaos\n"
+         "                        harness); SKIP hits pass before it fires\n"
+         "exit codes: 0 success, 1 error, 2 usage, 3 no solution, 4 aborted\n";
+  return kExitUsage;
 }
 
 struct CliOptions {
@@ -94,6 +126,13 @@ struct CliOptions {
   bool stats = false;
   bool semi_naive = true;
   unsigned jobs = 1;
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 16;
+  std::string inject_fault;  // "site" or "site@skip"
+  // Wired by main() after the program is parsed (the checkpointer needs the
+  // parsed schema/universe); consumed by RunCChase.
+  tdx::Checkpointer* checkpointer = nullptr;
+  const tdx::ChaseCheckpoint* resume_from = nullptr;
 };
 
 bool ParseSize(std::string_view text, std::size_t* out) {
@@ -132,6 +171,15 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     }
     const std::string_view name = arg.substr(0, eq);
     const std::string_view value = arg.substr(eq + 1);
+    // String-valued flags come before the numeric conversion.
+    if (name == "--checkpoint") {
+      options->checkpoint_path = std::string(value);
+      continue;
+    }
+    if (name == "--inject-fault") {
+      options->inject_fault = std::string(value);
+      continue;
+    }
     std::size_t n = 0;
     if (!ParseSize(value, &n)) {
       std::cerr << "flag '" << name << "' expects a non-negative integer, got '"
@@ -159,6 +207,8 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     } else if (name == "--jobs") {
       options->jobs =
           n == 0 ? tdx::ThreadPool::HardwareJobs() : static_cast<unsigned>(n);
+    } else if (name == "--checkpoint-every") {
+      options->checkpoint_every = n;
     } else {
       std::cerr << "unknown flag '" << name << "'\n";
       return false;
@@ -182,7 +232,7 @@ tdx::Result<std::string> ReadFile(const std::string& path) {
 int ReportAbort(tdx::ResourceDimension dimension, const std::string& reason) {
   std::cout << "ABORTED (" << tdx::ResourceDimensionToString(dimension)
             << "): " << reason << "\n";
-  return EXIT_FAILURE;
+  return kExitAborted;
 }
 
 tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
@@ -190,6 +240,8 @@ tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
   tdx::CChaseOptions chase_options;
   chase_options.limits = options.limits;
   chase_options.semi_naive = options.semi_naive;
+  chase_options.checkpointer = options.checkpointer;
+  chase_options.resume_from = options.resume_from;
   return tdx::CChase(program.source, program.lifted, &program.universe,
                      chase_options);
 }
@@ -206,14 +258,14 @@ int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
   auto chase = RunCChase(program, options);
   if (!chase.ok()) {
     std::cerr << chase.status() << "\n";
-    return EXIT_FAILURE;
+    return kExitError;
   }
   if (chase->kind == tdx::ChaseResultKind::kAborted) {
     return ReportAbort(chase->abort_dimension, chase->abort_reason);
   }
   if (chase->kind == tdx::ChaseResultKind::kFailure) {
     std::cout << "NO SOLUTION: " << chase->failure_reason << "\n";
-    return EXIT_FAILURE;
+    return kExitNoSolution;
   }
   if (with_core) {
     tdx::CoreStats stats;
@@ -256,7 +308,7 @@ int RunQueryAt(tdx::ParsedProgram& program, const CliOptions& options,
               << ") ---\n";
     if (result.chase_kind == tdx::ChaseResultKind::kAborted) {
       std::cout << "ABORTED: chase budget exhausted; answers are unknown\n";
-      return EXIT_FAILURE;
+      return kExitAborted;
     }
     if (result.chase_kind == tdx::ChaseResultKind::kFailure) {
       std::cout << "NO SOLUTION\n";
@@ -313,18 +365,18 @@ int RunQuery(tdx::ParsedProgram& program, const CliOptions& options,
     if (result.status().code() == tdx::StatusCode::kResourceExhausted ||
         result.status().code() == tdx::StatusCode::kDeadlineExceeded) {
       std::cout << "ABORTED: " << result.status().message() << "\n";
-      return EXIT_FAILURE;
+      return kExitAborted;
     }
     std::cerr << result.status() << "\n";
     return EXIT_FAILURE;
   }
   if (result->chase_kind == tdx::ChaseResultKind::kAborted) {
     std::cout << "ABORTED: chase budget exhausted; answers are unknown\n";
-    return EXIT_FAILURE;
+    return kExitAborted;
   }
   if (result->chase_kind == tdx::ChaseResultKind::kFailure) {
     std::cout << "NO SOLUTION\n";
-    return EXIT_FAILURE;
+    return kExitNoSolution;
   }
   std::cout << tdx::RenderAnswers(result->answers, program.universe);
   return EXIT_SUCCESS;
@@ -400,17 +452,44 @@ int main(int argc, char** argv) {
   if (positional.size() < 2) return Usage();
   const std::string& command = positional[0];
 
+  // Arm the chaos fault before anything that can hit a site (the parser
+  // has one). "site" fires on the first hit; "site@K" lets K hits pass.
+  if (!options.inject_fault.empty()) {
+    std::string site = options.inject_fault;
+    std::size_t skip = 0;
+    const std::size_t at = site.find('@');
+    if (at != std::string::npos) {
+      if (!ParseSize(site.substr(at + 1), &skip)) {
+        std::cerr << "--inject-fault expects SITE or SITE@SKIP, got '"
+                  << options.inject_fault << "'\n";
+        return Usage();
+      }
+      site.resize(at);
+    }
+    tdx::FaultRegistry::Arm(site, tdx::Status::Internal("injected fault"),
+                            skip);
+  }
+
   auto text = ReadFile(positional[1]);
   if (!text.ok()) {
     std::cerr << text.status() << "\n";
-    return EXIT_FAILURE;
+    return kExitError;
   }
   auto parsed = tdx::ParseProgram(*text, options.parse_limits);
   if (!parsed.ok()) {
     std::cerr << parsed.status() << "\n";
-    return EXIT_FAILURE;
+    return kExitError;
   }
   tdx::ParsedProgram& program = **parsed;
+
+  // Checkpointing wiring for the chase-family commands. The checkpointer
+  // lives here (not in CliOptions) because it borrows the parsed program's
+  // schema and universe.
+  tdx::Checkpointer checkpointer(options.checkpoint_path, &program.schema,
+                                 &program.universe);
+  checkpointer.set_cadence(options.checkpoint_every);
+  checkpointer.set_fingerprint(tdx::FingerprintText(*text));
+  if (!options.checkpoint_path.empty()) options.checkpointer = &checkpointer;
 
   // Advisory static-analysis pass: warnings and notes go to stderr so they
   // never corrupt command output; a parsed program cannot carry lint
@@ -425,6 +504,22 @@ int main(int argc, char** argv) {
 
   if (command == "chase") return RunChase(program, options, false);
   if (command == "core") return RunChase(program, options, true);
+  if (command == "resume") {
+    if (positional.size() < 3) return Usage();
+    auto checkpoint = tdx::LoadChaseCheckpoint(
+        positional[2], *text, &program.schema, &program.universe);
+    if (!checkpoint.ok()) {
+      std::cerr << checkpoint.status() << "\n";
+      return kExitError;
+    }
+    if (checkpoint->engine != tdx::ChaseCheckpoint::Engine::kCChase) {
+      std::cerr << "resume supports c-chase checkpoints only (run with "
+                   "'chase --checkpoint=...')\n";
+      return kExitError;
+    }
+    options.resume_from = &*checkpoint;
+    return RunChase(program, options, false);
+  }
   if (command == "normalize") return RunNormalize(program, options);
   if (command == "abstract") return RunAbstract(program);
   if (command == "verify") return RunVerify(program, options);
