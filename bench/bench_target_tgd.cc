@@ -79,4 +79,32 @@ void BM_TransitiveClosureAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitiveClosureAblation)->Arg(1)->Arg(0);
 
+void BM_StratifiedChaseAblation(benchmark::State& state) {
+  // Chase-planner ablation on the multi-stratum pipeline: the planner
+  // proves the Audit-status egd effect-free (its only writer pins the
+  // column to one constant), so the scheduled engine skips the Audit
+  // self-join fixpoint and its follow-up normalization pass; the flat
+  // engine re-runs both to a no-op over the O(hops^2) closure.
+  // Arg: 1 = scheduled, 0 = flat.
+  tdx::StratifiedConfig cfg;
+  cfg.hops = 48;
+  auto w = tdx::MakeStratifiedWorkload(cfg);
+  tdx::CChaseOptions opts;
+  opts.scheduled = (state.range(0) == 1);
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, opts);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  state.SetLabel(opts.scheduled ? "scheduled" : "flat");
+  state.counters["tgt_facts"] = static_cast<double>(last->target.size());
+  state.counters["egd_steps"] = static_cast<double>(last->stats.egd_steps);
+  state.counters["schedule_strata"] =
+      static_cast<double>(last->stats.schedule_strata);
+  state.counters["skipped_egd_passes"] =
+      static_cast<double>(last->stats.skipped_egd_passes);
+}
+BENCHMARK(BM_StratifiedChaseAblation)->Arg(1)->Arg(0);
+
 }  // namespace

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/analysis/planner.h"
 #include "src/analysis/position_graph.h"
 #include "src/analysis/termination.h"
 #include "src/parser/parser.h"
@@ -645,6 +646,161 @@ void AnalyzeBlowup(const AnalysisInput& in, const AnalyzerOptions& options,
       "reduce cross-relation interval cuts");
 }
 
+// ---------------------------------------------------------------------------
+// TDX018-TDX024: the chase planner's rule-dependency diagnostics. One
+// PlanChaseDetailed call powers all seven lints — the same graph the
+// engines consume as their schedule.
+
+void AnalyzePlanning(const AnalysisInput& in, AnalysisReport* report) {
+  const Mapping& m = *in.mapping;
+  if (m.st_tgds.empty() && m.target_tgds.empty() && m.egds.empty()) return;
+  const PlanDetails details = PlanChaseDetailed(m, *in.schema);
+  const ChaseSchedule& schedule = details.schedule;
+
+  const auto rule_span = [&](const ScheduleRule& rule) -> SourceSpan {
+    switch (rule.kind) {
+      case ScheduleRuleKind::kStTgd:
+        return m.st_tgds[rule.index].span;
+      case ScheduleRuleKind::kTargetTgd:
+        return m.target_tgds[rule.index].span;
+      case ScheduleRuleKind::kEgd:
+        return m.egds[rule.index].span;
+    }
+    return {};
+  };
+  const auto rule_name = [&](const ScheduleRule& rule) -> std::string {
+    switch (rule.kind) {
+      case ScheduleRuleKind::kStTgd:
+        return "tgd " + TgdName(m.st_tgds[rule.index], rule.index);
+      case ScheduleRuleKind::kTargetTgd:
+        return "target tgd " + TgdName(m.target_tgds[rule.index], rule.index);
+      case ScheduleRuleKind::kEgd:
+        return "egd " + EgdName(m.egds[rule.index], rule.index);
+    }
+    return "rule";
+  };
+
+  // TDX018/TDX019: rules the engines provably skip. st-tgds are always
+  // live, so only target tgds and egds can show up here.
+  for (const ScheduleRule& rule : schedule.rules) {
+    if (!rule.live) {
+      report->Add("TDX018", Severity::kWarning,
+                  rule_name(rule) + " can never fire: " + rule.skip_reason,
+                  rule_span(rule),
+                  "delete it, or fix the heads that should feed it");
+    } else if (rule.effect_free) {
+      report->Add("TDX019", Severity::kWarning,
+                  rule_name(rule) + " is effect-free: " + rule.skip_reason,
+                  rule_span(rule), "delete it; it can never merge or fail");
+    }
+  }
+
+  // TDX020: egd-tgd interference — the merges force the engines to re-seed
+  // their semi-naive frontiers after every merging fixpoint.
+  for (const auto& [egd_index, tgd_index] : details.interference) {
+    report->Add(
+        "TDX020", Severity::kNote,
+        "egd " + EgdName(m.egds[egd_index], egd_index) +
+            " may rewrite nulls in facts that target tgd " +
+            TgdName(m.target_tgds[tgd_index], tgd_index) +
+            " reads; every merging egd fixpoint re-seeds the chase frontier",
+        m.target_tgds[tgd_index].span);
+  }
+
+  // TDX021: multi-rule cycles — these rules share one stratum, so no
+  // declaration order can topologically sort them.
+  for (const std::vector<std::size_t>& cycle : details.cycles) {
+    std::string names;
+    SourceSpan span;
+    for (std::size_t id : cycle) {
+      if (!names.empty()) names += ", ";
+      names += rule_name(schedule.rules[id]);
+      if (!span.valid()) span = rule_span(schedule.rules[id]);
+    }
+    report->Add("TDX021", Severity::kNote,
+                names +
+                    " form a dependency cycle and share one chase stratum; "
+                    "their joint fixpoint needs repeated rounds",
+                span);
+  }
+
+  // TDX022: declaration order fights the stratum order.
+  for (std::size_t index : details.declaration_inversions) {
+    report->Add(
+        "TDX022", Severity::kNote,
+        "target tgd " + TgdName(m.target_tgds[index], index) +
+            " is declared before a rule of an earlier stratum that feeds "
+            "it; declaration-order rounds revisit it once per stratum",
+        m.target_tgds[index].span,
+        "declare rules in stratum order (run 'tdx_cli plan' to see it)");
+  }
+
+  // TDX023: written but never read — dead weight in the target. A query
+  // read keeps the relation alive; the planner only sees rule bodies.
+  std::vector<bool> query_read(in.schema->relation_count(), false);
+  if (in.queries != nullptr) {
+    for (const UnionQuery& uq : *in.queries) {
+      for (const ConjunctiveQuery& q : uq.disjuncts) {
+        for (const Atom& atom : q.body.atoms) {
+          if (atom.rel < query_read.size()) query_read[atom.rel] = true;
+          const Result<RelationId> twin = in.schema->TwinOf(atom.rel);
+          if (twin.ok() && *twin < query_read.size()) {
+            query_read[*twin] = true;
+          }
+        }
+      }
+    }
+  }
+  const bool has_queries = in.queries != nullptr && !in.queries->empty();
+  for (const RelationId rel : details.written_never_read) {
+    // Without queries, every terminal target relation is "write-only";
+    // the lint is only meaningful when the program says what it reads.
+    if (!has_queries) break;
+    if (rel < query_read.size() && query_read[rel]) continue;
+    // The snapshot twin of a queried concrete relation is read through the
+    // lifted program; don't flag it.
+    const RelationSchema& relation = in.schema->relation(rel);
+    if (relation.twin.has_value() && *relation.twin < query_read.size() &&
+        query_read[*relation.twin]) {
+      continue;
+    }
+    SourceSpan span;
+    if (in.relation_spans != nullptr && rel < in.relation_spans->size()) {
+      span = (*in.relation_spans)[rel];
+    }
+    report->Add("TDX023", Severity::kNote,
+                "relation '" + relation.name +
+                    "' is written by the chase but never read by any rule "
+                    "body or query",
+                span, "query it, feed it into a rule, or drop its writers");
+  }
+
+  // TDX024: a target tgd whose entire downstream contribution (its own
+  // heads plus everything reachable through feeds edges) is never queried.
+  // Meaningful only when the program declares queries at all.
+  if (has_queries) {
+    const std::size_t st = m.st_tgds.size();
+    for (std::size_t index = 0; index < m.target_tgds.size(); ++index) {
+      const ScheduleRule& rule = schedule.rules[st + index];
+      if (!rule.live) continue;  // already TDX018
+      bool queried = false;
+      for (const RelationId rel : details.downstream_relations[st + index]) {
+        if (rel < query_read.size() && query_read[rel]) {
+          queried = true;
+          break;
+        }
+      }
+      if (queried) continue;
+      report->Add("TDX024", Severity::kNote,
+                  "target tgd " + TgdName(m.target_tgds[index], index) +
+                      " contributes to no query: nothing it derives, "
+                      "directly or downstream, is ever queried",
+                  m.target_tgds[index].span,
+                  "delete it or add a query over its output");
+    }
+  }
+}
+
 }  // namespace
 
 AnalysisReport Analyze(const AnalysisInput& input,
@@ -668,6 +824,7 @@ AnalysisReport Analyze(const AnalysisInput& input,
   AnalyzeSingleUseVars(input, &report);
   AnalyzeDeadRelations(input, &report);
   AnalyzeSatisfiability(input, &report);
+  AnalyzePlanning(input, &report);
   AnalyzeBlowup(input, options, &report);
   report.Sort();
   return report;

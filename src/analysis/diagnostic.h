@@ -23,6 +23,19 @@
 //   TDX016  warning  normalization blowup: Phi+ fragments the source
 //                    heavily (Theorem 13's O(n^2) bound)
 //   TDX017  warning  mapping has no s-t tgds; target is always empty
+//   TDX018  warning  dead rule: a body atom can never be derived, the rule
+//                    never fires on any source (chase planner liveness)
+//   TDX019  warning  effect-free egd: both equality sides are pinned to
+//                    the same constant; firings never merge or fail
+//   TDX020  note     egd may rewrite nulls a target tgd's body reads
+//                    (forces frontier re-seeding after merging fixpoints)
+//   TDX021  note     rules form a dependency cycle (share one stratum)
+//   TDX022  note     declaration order inverts stratum order (a rule is
+//                    declared before a feeder from an earlier stratum)
+//   TDX023  note     relation is written by the chase but never read by
+//                    any rule body or query
+//   TDX024  note     target tgd contributes (even transitively) to no
+//                    query; only reported when the program has queries
 
 #ifndef TDX_ANALYSIS_DIAGNOSTIC_H_
 #define TDX_ANALYSIS_DIAGNOSTIC_H_

@@ -5,13 +5,6 @@
 
 namespace tdx {
 
-namespace {
-
-/// Could a fact produced from `head` match `body`? False only on a
-/// guaranteed mismatch: different relations, or some position where both
-/// atoms carry distinct constants. (A constant argument of a fact survives
-/// every chase step — egds merge nulls, never constants — so a clash is a
-/// permanent obstruction, not just a first-round one.)
 bool AtomsCompatible(const Atom& head, const Atom& body) {
   if (head.rel != body.rel) return false;
   const std::size_t n = std::min(head.terms.size(), body.terms.size());
@@ -22,8 +15,6 @@ bool AtomsCompatible(const Atom& head, const Atom& body) {
   }
   return true;
 }
-
-}  // namespace
 
 bool MayActivate(const Tgd& a, const Tgd& b) {
   for (const Atom& head : a.head.atoms) {

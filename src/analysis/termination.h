@@ -46,6 +46,14 @@ namespace tdx {
 TerminationCertificate CertifyTermination(const std::vector<Tgd>& target_tgds,
                                           const Schema& schema);
 
+/// Could a fact produced from `head` match `body`? False only on a
+/// guaranteed mismatch: different relations, or some position where both
+/// atoms carry distinct constants. (A constant argument of a fact survives
+/// every chase step — egds merge nulls, never constants — so a clash is a
+/// permanent obstruction, not just a first-round one.) Shared with the
+/// chase planner (analysis/planner.h), whose whole graph is built from it.
+bool AtomsCompatible(const Atom& head, const Atom& body);
+
 /// The conservative firing-precedence test behind stratification: true iff
 /// some head atom of `a` could produce a fact matching some body atom of
 /// `b` — same relation, and no argument position where both atoms carry

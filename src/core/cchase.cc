@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/analysis/planner.h"
 #include "src/analysis/termination.h"
 #include "src/common/checkpoint.h"
 
@@ -139,6 +140,36 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     return outcome;
   };
 
+  // The schedule steers only provably-no-op skips and parallel trigger
+  // collection — the fire order (and every fresh-null id and annotation) is
+  // the unscheduled one, so the config fingerprint carries no scheduling
+  // fields and checkpoints interchange between scheduled and flat runs.
+  std::optional<ChaseSchedule> derived_schedule;
+  const ChaseSchedule* schedule = nullptr;
+  if (options.scheduled) {
+    if (lifted.schedule.has_value()) {
+      schedule = &*lifted.schedule;
+    } else {
+      derived_schedule = PlanChase(lifted, source.schema());
+      schedule = &*derived_schedule;
+    }
+  }
+  // Derived state like the certificate: recomputed even on resume.
+  outcome.stats.schedule_strata =
+      schedule != nullptr ? schedule->stratum_count() : 0;
+  TgdRunPlan st_plan;
+  TgdRunPlan target_plan;
+  std::vector<Egd> live_egds;
+  if (schedule != nullptr) {
+    st_plan = BuildStTgdRunPlan(lifted.st_tgds, options.jobs);
+    target_plan =
+        BuildTargetTgdRunPlan(lifted.target_tgds, *schedule, options.jobs);
+    live_egds.reserve(schedule->live_egds.size());
+    for (std::size_t index : schedule->live_egds) {
+      live_egds.push_back(lifted.egds[index]);
+    }
+  }
+
   std::size_t rounds = 0;
   DeltaFrontier frontier;
   // Offers a safe point to the checkpointer: everything captured is the
@@ -201,8 +232,13 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   Instance target(&source.schema());
   if (start_phase == "init" || start_phase == "st-tgd") {
     if (!guard.PokeFault("cchase/tgd-phase")) return aborted();
-    TgdPhase(outcome.normalized_source.facts(), &target, lifted.st_tgds, fresh,
-             &outcome.stats, &guard);
+    if (schedule != nullptr) {
+      TgdPhasePlanned(outcome.normalized_source.facts(), &target,
+                      lifted.st_tgds, st_plan, fresh, &outcome.stats, &guard);
+    } else {
+      TgdPhase(outcome.normalized_source.facts(), &target, lifted.st_tgds,
+               fresh, &outcome.stats, &guard);
+    }
     if (guard.tripped()) return aborted();
   } else {
     target = *resume->target;
@@ -259,26 +295,55 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   // finder is derived state: on resume it is rebuilt over the restored
   // target.
   HomomorphismFinder round_finder(concrete_target.facts());
-  while (true) {
-    if (!mid_rounds) {
-      if (!guard.PokeFault("cchase/normalize-target") ||
-          !guard.CheckDeadline()) {
-        return aborted_with_target();
-      }
-      normalize_target();
-      frontier.Reset();
-      if (guard.tripped()) return aborted_with_target();
+  const auto run_round = [&]() {
+    if (schedule != nullptr) {
+      return options.semi_naive
+                 ? TargetTgdRoundDeltaPlanned(&concrete_target.mutable_facts(),
+                                              lifted.target_tgds, target_plan,
+                                              fresh, &outcome.stats, &guard,
+                                              &frontier, &round_finder)
+                 : TargetTgdRoundPlanned(&concrete_target.mutable_facts(),
+                                         lifted.target_tgds, target_plan,
+                                         fresh, &outcome.stats, &guard);
     }
-    bool fired = mid_rounds;
-    mid_rounds = false;
-    while (options.semi_naive
+    return options.semi_naive
                ? TargetTgdRoundDelta(&concrete_target.mutable_facts(),
                                      lifted.target_tgds, fresh, &outcome.stats,
                                      &guard, &frontier, &round_finder)
                : TargetTgdRound(&concrete_target.mutable_facts(),
                                 lifted.target_tgds, fresh, &outcome.stats,
-                                &guard)) {
+                                &guard);
+  };
+  // Normalization is idempotent, so the loop-top pass is a provable no-op
+  // whenever the target is untouched since the last pass: nothing fired and
+  // no egd step rewrote a value. The scheduled engine skips exactly those
+  // passes (keeping the frontier reset the flat engine performs); the first
+  // pass over the freshly materialized target always runs, as does every
+  // pass on resume (the clean flag is not checkpointed — re-running the
+  // pass is the identity on a clean target, so resumed runs still produce
+  // bit-identical results).
+  bool normalized_clean = false;
+  while (true) {
+    if (!mid_rounds) {
+      if (schedule != nullptr && normalized_clean) {
+        ++outcome.stats.skipped_normalize_passes;
+        frontier.Reset();
+      } else {
+        if (!guard.PokeFault("cchase/normalize-target") ||
+            !guard.CheckDeadline()) {
+          return aborted_with_target();
+        }
+        normalize_target();
+        normalized_clean = true;
+        frontier.Reset();
+        if (guard.tripped()) return aborted_with_target();
+      }
+    }
+    bool fired = mid_rounds;
+    mid_rounds = false;
+    while (run_round()) {
       fired = true;
+      normalized_clean = false;
       if (guard.tripped()) return aborted_with_target();
       if (++rounds > 100000) {
         return Status::Internal(
@@ -290,15 +355,28 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     if (fired) {
       // New facts may need fragmenting before the egds can see them.
       normalize_target();
+      normalized_clean = true;
       if (guard.tripped()) return aborted_with_target();
     }
-    if (!guard.PokeFault("cchase/egd-fixpoint")) return aborted_with_target();
     const std::size_t egd_before = outcome.stats.egd_steps;
-    outcome.kind = EgdFixpoint(&concrete_target.mutable_facts(), lifted.egds,
-                               &outcome.stats, &outcome.failure_reason,
-                               &guard);
+    if (schedule != nullptr && !schedule->egd_fixpoint_live()) {
+      // Every egd is dead or effect-free: the pass would collect nothing
+      // and return success without touching the target. Count the skip
+      // only when there was a pass to skip at all.
+      outcome.kind = ChaseResultKind::kSuccess;
+      if (!lifted.egds.empty()) ++outcome.stats.skipped_egd_passes;
+    } else {
+      if (!guard.PokeFault("cchase/egd-fixpoint")) {
+        return aborted_with_target();
+      }
+      outcome.kind = EgdFixpoint(
+          &concrete_target.mutable_facts(),
+          schedule != nullptr ? live_egds : lifted.egds, &outcome.stats,
+          &outcome.failure_reason, &guard);
+    }
     if (outcome.kind == ChaseResultKind::kFailure) break;
     if (outcome.kind == ChaseResultKind::kAborted) return aborted_with_target();
+    if (outcome.stats.egd_steps != egd_before) normalized_clean = false;
     if (!fired && outcome.stats.egd_steps == egd_before) break;
     if (++rounds > 100000) {
       return Status::Internal("c-chase exceeded its iteration budget");

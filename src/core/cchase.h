@@ -59,6 +59,14 @@ struct CChaseOptions {
   /// identically on resume.
   Checkpointer* checkpointer = nullptr;
   const ChaseCheckpoint* resume_from = nullptr;
+  /// Consult the chase planner's schedule (see ChaseOptions::scheduled):
+  /// skip dead rules, provably no-op egd fixpoints and provably no-op
+  /// re-normalization passes, and collect triggers of non-interfering tgds
+  /// concurrently. Never changes the result; off = the flat engine.
+  bool scheduled = true;
+  /// Worker threads for parallel trigger collection (see
+  /// ChaseOptions::jobs). 1 = fully sequential.
+  unsigned jobs = 1;
 };
 
 struct CChaseOutcome {

@@ -498,4 +498,80 @@ std::unique_ptr<Workload> MakeChainWorkload(const ChainConfig& cfg) {
   return w;
 }
 
+std::unique_ptr<Workload> MakeStratifiedWorkload(const StratifiedConfig& cfg) {
+  auto w = std::make_unique<Workload>();
+  const RelationId src_plus = Unwrap(
+      w->schema.AddRelationPair("Src", {"from", "to"}, SchemaRole::kSource));
+  const RelationId edge_plus = Unwrap(
+      w->schema.AddRelationPair("Edge", {"from", "to"}, SchemaRole::kTarget));
+  const RelationId reach_plus = Unwrap(
+      w->schema.AddRelationPair("Reach", {"from", "to"}, SchemaRole::kTarget));
+  const RelationId audit_plus = Unwrap(w->schema.AddRelationPair(
+      "Audit", {"from", "to", "status"}, SchemaRole::kTarget));
+  const RelationId src = Unwrap(w->schema.TwinOf(src_plus));
+  const RelationId edge = Unwrap(w->schema.TwinOf(edge_plus));
+  const RelationId reach = Unwrap(w->schema.TwinOf(reach_plus));
+  const RelationId audit = Unwrap(w->schema.TwinOf(audit_plus));
+
+  Tgd copy_edge;
+  copy_edge.label = "s1";
+  copy_edge.body.atoms = {MakeAtom(src, {Term::Var(0), Term::Var(1)})};
+  copy_edge.head.atoms = {MakeAtom(edge, {Term::Var(0), Term::Var(1)})};
+  copy_edge.body.num_vars = copy_edge.head.num_vars = 2;
+  copy_edge.body.var_names = {"x", "y"};
+  if (!copy_edge.Finalize().ok()) abort();
+
+  Tgd copy_reach;
+  copy_reach.label = "s2";
+  copy_reach.body.atoms = {MakeAtom(src, {Term::Var(0), Term::Var(1)})};
+  copy_reach.head.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(1)})};
+  copy_reach.body.num_vars = copy_reach.head.num_vars = 2;
+  copy_reach.body.var_names = {"x", "y"};
+  if (!copy_reach.Finalize().ok()) abort();
+
+  Tgd extend;
+  extend.label = "t1";
+  extend.body.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(1)}),
+                       MakeAtom(edge, {Term::Var(1), Term::Var(2)})};
+  extend.head.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(2)})};
+  extend.body.num_vars = extend.head.num_vars = 3;
+  extend.body.var_names = {"x", "y", "z"};
+  if (!extend.Finalize().ok()) abort();
+
+  const Value ok = w->universe.Constant("ok");
+  Tgd tag;
+  tag.label = "t2";
+  tag.body.atoms = {MakeAtom(reach, {Term::Var(0), Term::Var(1)})};
+  tag.head.atoms = {
+      MakeAtom(audit, {Term::Var(0), Term::Var(1), Term::Val(ok)})};
+  tag.body.num_vars = tag.head.num_vars = 2;
+  tag.body.var_names = {"x", "y"};
+  if (!tag.Finalize().ok()) abort();
+
+  Egd status_agrees;
+  status_agrees.label = "e1";
+  status_agrees.body.atoms = {
+      MakeAtom(audit, {Term::Var(0), Term::Var(1), Term::Var(2)}),
+      MakeAtom(audit, {Term::Var(0), Term::Var(1), Term::Var(3)})};
+  status_agrees.body.num_vars = 4;
+  status_agrees.body.var_names = {"x", "y", "s", "s2"};
+  status_agrees.x1 = 2;
+  status_agrees.x2 = 3;
+  if (!status_agrees.Finalize().ok()) abort();
+
+  w->mapping.st_tgds = {std::move(copy_edge), std::move(copy_reach)};
+  w->mapping.target_tgds = {std::move(extend), std::move(tag)};
+  w->mapping.egds = {std::move(status_agrees)};
+  if (!ValidateMapping(w->mapping, w->schema).ok()) abort();
+  w->lifted = Unwrap(LiftMapping(w->mapping, w->schema));
+
+  const Interval span(0, std::max<TimePoint>(cfg.horizon, 1));
+  for (std::size_t i = 0; i < cfg.hops; ++i) {
+    const Value a = w->universe.Constant("n" + std::to_string(i));
+    const Value b = w->universe.Constant("n" + std::to_string(i + 1));
+    MustAdd(&w->source, src_plus, {a, b}, span);
+  }
+  return w;
+}
+
 }  // namespace tdx

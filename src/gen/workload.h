@@ -140,6 +140,24 @@ struct ChainConfig {
 /// re-enumeration (O(hops^3) triggers) from semi-naive (O(hops^2)).
 std::unique_ptr<Workload> MakeChainWorkload(const ChainConfig& cfg);
 
+struct StratifiedConfig {
+  std::size_t hops = 48;   ///< edges in the chain (hops+1 nodes)
+  TimePoint horizon = 10;  ///< every fact is valid over [0, horizon)
+};
+
+/// The chain closure extended into a multi-stratum pipeline for the chase
+/// planner's ablation:
+///   tgd  s1: Src(x, y) -> Edge(x, y)
+///   tgd  s2: Src(x, y) -> Reach(x, y)
+///   ttgd t1: Reach(x, y) & Edge(y, z) -> Reach(x, z)
+///   ttgd t2: Reach(x, y) -> Audit(x, y, "ok")
+///   egd  e1: Audit(x, y, s) & Audit(x, y, s2) -> s = s2
+/// The only head writing Audit's status column pins it to the constant
+/// "ok", so the planner proves e1 effect-free: the scheduled engine skips
+/// the Audit self-join fixpoint (and the follow-up normalization pass)
+/// that the flat engine re-runs to a no-op over the O(hops^2) closure.
+std::unique_ptr<Workload> MakeStratifiedWorkload(const StratifiedConfig& cfg);
+
 }  // namespace tdx
 
 #endif  // TDX_GEN_WORKLOAD_H_

@@ -472,7 +472,9 @@ Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
          std::to_string(checkpoint.stats.tgd_fires) + " " +
          std::to_string(checkpoint.stats.egd_steps) + " " +
          std::to_string(checkpoint.stats.fresh_nulls) + " " +
-         std::to_string(checkpoint.stats.values_rewritten) + "\n";
+         std::to_string(checkpoint.stats.values_rewritten) + " " +
+         std::to_string(checkpoint.stats.skipped_egd_passes) + " " +
+         std::to_string(checkpoint.stats.skipped_normalize_passes) + "\n";
   const auto norm_line = [](const char* head, const NormalizeStats& ns) {
     return std::string(head) + " " + std::to_string(ns.input_facts) + " " +
            std::to_string(ns.output_facts) + " " +
@@ -586,6 +588,17 @@ Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
     ck.stats.egd_steps = static_cast<std::size_t>(v[2]);
     ck.stats.fresh_nulls = static_cast<std::size_t>(v[3]);
     ck.stats.values_rewritten = static_cast<std::size_t>(v[4]);
+    // Scheduler counters, appended in a later format revision: absent from
+    // older checkpoints, which decode with both counters at zero.
+    std::uint64_t skip = 0;
+    if (c.Uint(&skip)) {
+      ck.stats.skipped_egd_passes = static_cast<std::size_t>(skip);
+      if (c.Uint(&skip)) {
+        ck.stats.skipped_normalize_passes = static_cast<std::size_t>(skip);
+      } else {
+        return Malformed("malformed stats line");
+      }
+    }
   }
   const auto parse_norm = [&reader](const char* head, NormalizeStats* ns)
       -> Status {

@@ -9,8 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/planner.h"
 #include "src/analysis/termination.h"
 #include "src/common/checkpoint.h"
+#include "src/common/thread_pool.h"
 
 namespace tdx {
 
@@ -211,6 +213,163 @@ bool TargetTgdRoundDelta(Instance* target, const std::vector<Tgd>& tgds,
     }
   }
   frontier->AdvanceTo(std::move(start_sizes));
+  return inserted;
+}
+
+TgdRunPlan BuildStTgdRunPlan(const std::vector<Tgd>& tgds, unsigned jobs) {
+  TgdRunPlan plan;
+  plan.jobs = jobs;
+  plan.key_vars.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) plan.key_vars.push_back(HeadUniversalVars(tgd));
+  if (!tgds.empty()) {
+    // Collections read only the immutable source: one all-inclusive group.
+    std::vector<std::size_t> all(tgds.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    plan.groups.push_back(std::move(all));
+  }
+  return plan;
+}
+
+TgdRunPlan BuildTargetTgdRunPlan(const std::vector<Tgd>& tgds,
+                                 const ChaseSchedule& schedule,
+                                 unsigned jobs) {
+  TgdRunPlan plan;
+  plan.jobs = jobs;
+  plan.key_vars.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) plan.key_vars.push_back(HeadUniversalVars(tgd));
+  plan.groups = schedule.parallel_groups;
+  return plan;
+}
+
+namespace {
+
+/// Collects the triggers of every group member, concurrently when the plan
+/// allows, then fires the members in declaration order through the shared
+/// `fire_finder`. `collect` runs against per-task scratch finders (each
+/// task owns one over `collect_instance`); it must only READ the instance.
+/// Trigger counts accrue per member right before its firing — exactly when
+/// the flat engine would have counted them — so stats sequences match the
+/// unplanned path even across guard trips.
+bool RunGroup(
+    const std::vector<std::size_t>& group, Instance* target,
+    const std::vector<Tgd>& tgds, const TgdRunPlan& plan,
+    const Instance& collect_instance, const FreshNullFactory& fresh,
+    ChaseStats* stats, ResourceGuard* guard, HomomorphismFinder* fire_finder,
+    const std::function<void(HomomorphismFinder*, std::size_t, ChaseStats*,
+                             TriggerSet*)>& collect) {
+  std::vector<TriggerSet> sets(group.size());
+  std::vector<ChaseStats> local(group.size());
+  if (plan.jobs > 1 && group.size() > 1) {
+    ParallelFor(plan.jobs, group.size(), [&](std::size_t k) {
+      HomomorphismFinder scratch(collect_instance);
+      collect(&scratch, group[k], &local[k], &sets[k]);
+    });
+  } else {
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      collect(fire_finder, group[k], &local[k], &sets[k]);
+    }
+  }
+  bool inserted = false;
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    if (guard->tripped()) break;
+    stats->tgd_triggers += local[k].tgd_triggers;
+    if (FireTriggers(target, tgds[group[k]], sets[k], fresh, stats, guard,
+                     fire_finder)) {
+      inserted = true;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace
+
+void TgdPhasePlanned(const Instance& source, Instance* target,
+                     const std::vector<Tgd>& tgds, const TgdRunPlan& plan,
+                     const FreshNullFactory& fresh, ChaseStats* stats,
+                     ResourceGuard* guard) {
+  HomomorphismFinder body_finder(source);
+  HomomorphismFinder head_finder(*target);
+  for (const std::vector<std::size_t>& group : plan.groups) {
+    if (guard->tripped()) return;
+    // The st phase never aliases source and target, so collection always
+    // goes through `body_finder` (or scratch copies of it) while witness
+    // checks and fires go through `head_finder`.
+    std::vector<TriggerSet> sets(group.size());
+    std::vector<ChaseStats> local(group.size());
+    const auto collect = [&](HomomorphismFinder* finder, std::size_t k) {
+      CollectTriggers(finder, tgds[group[k]], plan.key_vars[group[k]],
+                      &local[k], &sets[k]);
+    };
+    if (plan.jobs > 1 && group.size() > 1) {
+      ParallelFor(plan.jobs, group.size(), [&](std::size_t k) {
+        HomomorphismFinder scratch(source);
+        collect(&scratch, k);
+      });
+    } else {
+      for (std::size_t k = 0; k < group.size(); ++k) collect(&body_finder, k);
+    }
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      if (guard->tripped()) return;
+      stats->tgd_triggers += local[k].tgd_triggers;
+      FireTriggers(target, tgds[group[k]], sets[k], fresh, stats, guard,
+                   &head_finder);
+    }
+  }
+}
+
+bool TargetTgdRoundDeltaPlanned(Instance* target, const std::vector<Tgd>& tgds,
+                                const TgdRunPlan& plan,
+                                const FreshNullFactory& fresh,
+                                ChaseStats* stats, ResourceGuard* guard,
+                                DeltaFrontier* frontier,
+                                HomomorphismFinder* finder) {
+  const std::size_t relation_count = target->schema().relation_count();
+  std::vector<std::uint32_t> start_sizes(relation_count);
+  for (RelationId rel = 0; rel < relation_count; ++rel) {
+    start_sizes[rel] = static_cast<std::uint32_t>(target->facts(rel).size());
+  }
+  // Frontier ranges are pinned to the round-start sizes for the parallel
+  // path: an earlier group member's inserts land past these sizes, and
+  // non-interference guarantees they could not match a later member's body
+  // anyway — the flat engine enumerates them as candidates and matches
+  // nothing, so the trigger sets (and counts) come out identical.
+  const DeltaFrontier frontier_now = *frontier;
+  const auto collect = [&](HomomorphismFinder* f, std::size_t index,
+                           ChaseStats* local, TriggerSet* triggers) {
+    if (frontier_now.full()) {
+      CollectTriggers(f, tgds[index], plan.key_vars[index], local, triggers);
+    } else {
+      CollectTriggersDelta(f, *target, tgds[index], plan.key_vars[index],
+                           frontier_now, local, triggers);
+    }
+  };
+  bool inserted = false;
+  for (const std::vector<std::size_t>& group : plan.groups) {
+    if (guard->tripped()) break;
+    if (RunGroup(group, target, tgds, plan, *target, fresh, stats, guard,
+                 finder, collect)) {
+      inserted = true;
+    }
+  }
+  frontier->AdvanceTo(std::move(start_sizes));
+  return inserted;
+}
+
+bool TargetTgdRoundPlanned(Instance* target, const std::vector<Tgd>& tgds,
+                           const TgdRunPlan& plan,
+                           const FreshNullFactory& fresh, ChaseStats* stats,
+                           ResourceGuard* guard) {
+  bool inserted = false;
+  for (const std::vector<std::size_t>& group : plan.groups) {
+    for (std::size_t index : group) {
+      if (guard->tripped()) return inserted;
+      HomomorphismFinder finder(*target);
+      if (FireTgd(*target, target, tgds[index], fresh, stats, guard, &finder,
+                  &finder)) {
+        inserted = true;
+      }
+    }
+  }
   return inserted;
 }
 
@@ -457,6 +616,37 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
     return universe->FreshNull();
   };
 
+  // The schedule steers only provably-no-op skips and parallel trigger
+  // collection; the fire order (and with it every fresh-null id) is the
+  // unscheduled one, so the config string needs no scheduling fields —
+  // checkpoints interchange freely between scheduled and flat runs.
+  std::optional<ChaseSchedule> derived_schedule;
+  const ChaseSchedule* schedule = nullptr;
+  if (options.scheduled) {
+    if (mapping.schedule.has_value()) {
+      schedule = &*mapping.schedule;
+    } else {
+      derived_schedule = PlanChase(mapping, source.schema());
+      schedule = &*derived_schedule;
+    }
+  }
+  // schedule_strata is derived state like the certificate: recomputed even
+  // on resume rather than trusted from the checkpoint.
+  outcome.stats.schedule_strata =
+      schedule != nullptr ? schedule->stratum_count() : 0;
+  TgdRunPlan st_plan;
+  TgdRunPlan target_plan;
+  std::vector<Egd> live_egds;
+  if (schedule != nullptr) {
+    st_plan = BuildStTgdRunPlan(mapping.st_tgds, options.jobs);
+    target_plan =
+        BuildTargetTgdRunPlan(mapping.target_tgds, *schedule, options.jobs);
+    live_egds.reserve(schedule->live_egds.size());
+    for (std::size_t index : schedule->live_egds) {
+      live_egds.push_back(mapping.egds[index]);
+    }
+  }
+
   DeltaFrontier frontier;
   std::size_t rounds = 0;
   bool mid_rounds = false;
@@ -486,8 +676,13 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   if (start_phase == "init") {
     if (resume == nullptr) offer_checkpoint(true, "init");
     if (!guard.PokeFault("chase/tgd-phase")) return aborted();
-    TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
-             &guard);
+    if (schedule != nullptr) {
+      TgdPhasePlanned(source, &outcome.target, mapping.st_tgds, st_plan, fresh,
+                      &outcome.stats, &guard);
+    } else {
+      TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
+               &guard);
+    }
     if (guard.tripped()) return aborted();
     offer_checkpoint(true, "loop-top");
   } else if (start_phase == "loop-top" || start_phase == "rounds") {
@@ -516,15 +711,28 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   // would otherwise never revisit. The finder is derived state: on resume
   // it is rebuilt fresh over the restored target.
   HomomorphismFinder finder(outcome.target);
-  while (true) {
-    bool fired = mid_rounds;
-    mid_rounds = false;
-    while (options.semi_naive
+  const auto run_round = [&]() {
+    if (schedule != nullptr) {
+      return options.semi_naive
+                 ? TargetTgdRoundDeltaPlanned(&outcome.target,
+                                              mapping.target_tgds, target_plan,
+                                              fresh, &outcome.stats, &guard,
+                                              &frontier, &finder)
+                 : TargetTgdRoundPlanned(&outcome.target, mapping.target_tgds,
+                                         target_plan, fresh, &outcome.stats,
+                                         &guard);
+    }
+    return options.semi_naive
                ? TargetTgdRoundDelta(&outcome.target, mapping.target_tgds,
                                      fresh, &outcome.stats, &guard, &frontier,
                                      &finder)
                : TargetTgdRound(&outcome.target, mapping.target_tgds, fresh,
-                                &outcome.stats, &guard)) {
+                                &outcome.stats, &guard);
+  };
+  while (true) {
+    bool fired = mid_rounds;
+    mid_rounds = false;
+    while (run_round()) {
       fired = true;
       if (guard.tripped()) return aborted();
       if (++rounds > 100000) {
@@ -536,8 +744,18 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
     }
     if (guard.tripped()) return aborted();
     const std::size_t egd_before = outcome.stats.egd_steps;
-    outcome.kind = EgdFixpoint(&outcome.target, mapping.egds, &outcome.stats,
-                               &outcome.failure_reason, &guard);
+    if (schedule != nullptr && !schedule->egd_fixpoint_live()) {
+      // Every egd is dead or effect-free: the pass would collect nothing
+      // and return success without touching the target. Count the skip only
+      // when there was a pass to skip at all.
+      outcome.kind = ChaseResultKind::kSuccess;
+      if (!mapping.egds.empty()) ++outcome.stats.skipped_egd_passes;
+    } else {
+      outcome.kind = EgdFixpoint(
+          &outcome.target,
+          schedule != nullptr ? live_egds : mapping.egds, &outcome.stats,
+          &outcome.failure_reason, &guard);
+    }
     if (outcome.kind == ChaseResultKind::kFailure) return outcome;
     if (outcome.kind == ChaseResultKind::kAborted) return aborted();
     if (!fired && outcome.stats.egd_steps == egd_before) break;

@@ -54,6 +54,16 @@ struct ChaseStats {
   /// Definition 16) — a measure of how much substitution work the egd
   /// fixpoint did beyond the merge decisions themselves.
   std::size_t values_rewritten = 0;
+  /// Egd-fixpoint invocations skipped because the schedule proved every
+  /// pass a no-op (every egd dead or effect-free). Counted only when the
+  /// mapping has egds at all.
+  std::size_t skipped_egd_passes = 0;
+  /// C-chase only: loop-top re-normalization passes skipped because
+  /// nothing changed since the last normalization.
+  std::size_t skipped_normalize_passes = 0;
+  /// Stratum count of the schedule the run consulted; 0 when the run was
+  /// unscheduled (ChaseOptions::scheduled == false).
+  std::size_t schedule_strata = 0;
   /// The termination certificate the run consulted: taken from
   /// Mapping::certificate when the parser filled it in, otherwise derived
   /// on entry. Runs whose certificate is kUnknown are refused upfront.
@@ -72,6 +82,18 @@ struct ChaseOptions {
   /// found witnessed then — so the naive mode survives purely as the
   /// correctness oracle (tests/seminaive_chase_test.cc pins the equivalence).
   bool semi_naive = true;
+  /// Consume the mapping's ChaseSchedule (deriving one when absent): skip
+  /// dead rules, skip provably no-op egd-fixpoint passes, and enable
+  /// parallel trigger collection under `jobs`. Scheduled and unscheduled
+  /// runs produce bit-identical outcomes — the schedule only removes work
+  /// the graph proves is a no-op; rule firing order never changes. Off =
+  /// the exact legacy engine, kept as the oracle.
+  bool scheduled = true;
+  /// Worker threads for trigger collection within a provably
+  /// non-interfering parallel group (ChaseSchedule::parallel_groups); 1 =
+  /// fully sequential. Firing stays sequential in declaration order
+  /// regardless, so results are deterministic and jobs-independent.
+  unsigned jobs = 1;
   /// When set, the engine offers a checkpoint at every safe point (phase
   /// boundaries and fired target-tgd rounds); the checkpointer decides which
   /// to persist. Not owned; may be null.
@@ -216,6 +238,65 @@ bool TargetTgdRoundDelta(Instance* target, const std::vector<Tgd>& tgds,
                          const FreshNullFactory& fresh, ChaseStats* stats,
                          ResourceGuard* guard, DeltaFrontier* frontier,
                          HomomorphismFinder* finder);
+
+// ---------------------------------------------------------------------------
+// Scheduled execution (analysis/planner.h). A TgdRunPlan is the runtime
+// form of a ChaseSchedule for one tgd vector: dead rules dropped, the rest
+// partitioned into consecutive groups whose trigger collections commute
+// (so they may fan out onto the thread pool), head-universal key variables
+// precomputed. Firing is ALWAYS sequential in declaration order — parallel
+// collection over the immutable round-start state is the only concurrency,
+// which keeps fresh-null identities and therefore the whole outcome
+// bit-identical to the flat engine at any job count.
+// ---------------------------------------------------------------------------
+
+struct TgdRunPlan {
+  /// Indices into the tgd vector: live rules in declaration order,
+  /// partitioned into runs where no earlier member's head may feed a later
+  /// member's body (singleton groups collect sequentially).
+  std::vector<std::vector<std::size_t>> groups;
+  /// Per tgd (all indices, dead included): its head-visible universal
+  /// variables, precomputed once per run instead of once per round.
+  std::vector<std::vector<VarId>> key_vars;
+  /// Worker threads for group collection; <= 1 disables concurrency.
+  unsigned jobs = 1;
+};
+
+/// Plan for the s-t tgd phase: every collection reads only the immutable
+/// source, so all tgds form one group regardless of the schedule.
+TgdRunPlan BuildStTgdRunPlan(const std::vector<Tgd>& tgds, unsigned jobs);
+
+/// Plan for target-tgd rounds, from the mapping's schedule: dead rules
+/// dropped, ChaseSchedule::parallel_groups as the groups.
+TgdRunPlan BuildTargetTgdRunPlan(const std::vector<Tgd>& tgds,
+                                 const ChaseSchedule& schedule, unsigned jobs);
+
+/// TgdPhase consuming a plan. Bit-identical to TgdPhase for every plan and
+/// job count; with jobs > 1 the per-tgd trigger collections run
+/// concurrently (each task owns a scratch finder over the source).
+void TgdPhasePlanned(const Instance& source, Instance* target,
+                     const std::vector<Tgd>& tgds, const TgdRunPlan& plan,
+                     const FreshNullFactory& fresh, ChaseStats* stats,
+                     ResourceGuard* guard);
+
+/// TargetTgdRoundDelta consuming a plan: skips dead rules and collects
+/// each multi-member group concurrently over the round-start instance
+/// before firing its members in declaration order. Bit-identical to
+/// TargetTgdRoundDelta for every plan and job count.
+bool TargetTgdRoundDeltaPlanned(Instance* target, const std::vector<Tgd>& tgds,
+                                const TgdRunPlan& plan,
+                                const FreshNullFactory& fresh,
+                                ChaseStats* stats, ResourceGuard* guard,
+                                DeltaFrontier* frontier,
+                                HomomorphismFinder* finder);
+
+/// TargetTgdRound (the naive oracle) consuming a plan: dead rules are
+/// skipped; collection stays sequential (the naive path exists for oracle
+/// clarity, not speed).
+bool TargetTgdRoundPlanned(Instance* target, const std::vector<Tgd>& tgds,
+                           const TgdRunPlan& plan,
+                           const FreshNullFactory& fresh, ChaseStats* stats,
+                           ResourceGuard* guard);
 
 }  // namespace tdx
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/analysis/planner.h"
 #include "src/analysis/termination.h"
 
 namespace tdx {
@@ -233,8 +234,10 @@ Status ValidateMapping(const Mapping& mapping, const Schema& schema) {
 
 Status ValidateAndCertifyMapping(Mapping* mapping, const Schema& schema) {
   mapping->certificate.reset();
+  mapping->schedule.reset();
   TDX_RETURN_IF_ERROR(ValidateMapping(*mapping, schema));
   mapping->certificate = CertifyTermination(mapping->target_tgds, schema);
+  mapping->schedule = PlanChase(*mapping, schema);
   return Status::OK();
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/analysis/certificate.h"
+#include "src/analysis/schedule.h"
 #include "src/common/source.h"
 #include "src/common/status.h"
 #include "src/relational/homomorphism.h"
@@ -89,6 +90,11 @@ struct Mapping {
   /// Engines consult it to skip re-deriving the termination check; absent
   /// on hand-built mappings, in which case engines derive it on entry.
   std::optional<TerminationCertificate> certificate;
+  /// Chase schedule from the planner (analysis/planner.h): strata, dead
+  /// rules, skippable egd passes, and parallel trigger-collection groups.
+  /// Filled alongside the certificate by ValidateAndCertifyMapping; the
+  /// engines derive it on entry when absent (unless scheduling is off).
+  std::optional<ChaseSchedule> schedule;
 
   /// Left-hand sides of all s-t tgds (the Phi+ that the source instance is
   /// normalized against, Section 4.3).

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/planner.h"
 #include "src/common/checkpoint.h"
 #include "src/common/thread_pool.h"
 
@@ -76,6 +77,12 @@ bool MergePiece(const AbstractPiece& piece, ChaseOutcome piece_outcome,
   outcome->stats.egd_steps += piece_outcome.stats.egd_steps;
   outcome->stats.fresh_nulls += piece_outcome.stats.fresh_nulls;
   outcome->stats.values_rewritten += piece_outcome.stats.values_rewritten;
+  outcome->stats.skipped_egd_passes += piece_outcome.stats.skipped_egd_passes;
+  outcome->stats.skipped_normalize_passes +=
+      piece_outcome.stats.skipped_normalize_passes;
+  // Every piece chases the same mapping, so the stratum count is shared,
+  // not additive.
+  outcome->stats.schedule_strata = piece_outcome.stats.schedule_strata;
   if (piece_outcome.kind != ChaseResultKind::kSuccess) {
     outcome->kind = piece_outcome.kind;
     outcome->failure_span = piece.span;
@@ -109,6 +116,16 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
   ChaseOptions piece_options = options.chase;
   piece_options.checkpointer = nullptr;
   piece_options.resume_from = nullptr;
+
+  // Plan once, up front: every piece chases the same mapping, and a
+  // schedule-less mapping would make each per-piece chase re-derive the
+  // schedule from scratch.
+  std::optional<Mapping> planned;
+  if (piece_options.scheduled && !mapping.schedule.has_value()) {
+    planned = mapping;
+    planned->schedule = PlanChase(mapping, source.schema());
+  }
+  const Mapping& piece_mapping = planned.has_value() ? *planned : mapping;
 
   const ChaseCheckpoint* resume = options.resume_from;
   std::size_t start = 0;
@@ -186,7 +203,8 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
       }
       TDX_ASSIGN_OR_RETURN(
           ChaseOutcome piece_outcome,
-          ChaseSnapshot(piece.snapshot, mapping, universe, piece_options));
+          ChaseSnapshot(piece.snapshot, piece_mapping, universe,
+                        piece_options));
       if (!merge_fault(i)) return outcome;
       if (!MergePiece(piece, std::move(piece_outcome), universe, &outcome)) {
         return outcome;
@@ -212,8 +230,8 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
       return;
     }
     Universe scratch;
-    results[i] =
-        ChaseSnapshot(pieces[i].snapshot, mapping, &scratch, piece_options);
+    results[i] = ChaseSnapshot(pieces[i].snapshot, piece_mapping, &scratch,
+                               piece_options);
   });
   for (std::size_t i = start; i < pieces.size(); ++i) {
     if (incomplete[i] != 0) {

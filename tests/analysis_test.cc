@@ -470,7 +470,10 @@ TEST(AnalyzerTest, Tdx002StratifiedOnlyMapping) {
       << found[0]->message;
   EXPECT_TRUE(found[0]->span.valid());
   EXPECT_EQ(report.certificate.criterion, TerminationCriterion::kStratified);
-  EXPECT_EQ(report.diagnostics.size(), 1u) << RenderText(report, "t");
+  // The planner also notices that s2 can never fire: the only head writing
+  // B carries "new" where s2's body demands "old".
+  EXPECT_TRUE(Has(report, "TDX018")) << RenderText(report, "t");
+  EXPECT_EQ(report.diagnostics.size(), 2u) << RenderText(report, "t");
 }
 
 TEST(AnalyzerTest, Tdx002AbsentOnWeaklyAcyclicMapping) {
@@ -743,6 +746,232 @@ TEST(AnalyzerTest, Tdx017EmptyMapping) {
 
 TEST(AnalyzerTest, Tdx017AbsentWhenTgdsExist) {
   EXPECT_FALSE(Has(LintText(kPaperProgram), "TDX017"));
+}
+
+// ---------------------------------------------------------------------------
+// TDX018 / TDX019: rules the chase planner proves can never do anything.
+
+TEST(AnalyzerTest, Tdx018DeadRuleOnUnwrittenRelation) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x);
+    target U(x);
+    target V(x);
+    tgd t1: A(x) -> T(x);
+    ttgd dead: U(x) -> V(x);
+  )");
+  const auto found = FindAll(report, "TDX018");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_NE(found[0]->message.find("'dead'"), std::string::npos);
+  EXPECT_NE(found[0]->message.find("no live rule head ever writes"),
+            std::string::npos);
+  EXPECT_EQ(found[0]->span.line, 7u);
+}
+
+TEST(AnalyzerTest, Tdx018DeadRuleOnConstantClash) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x, tag);
+    target U(x);
+    tgd t1: A(x) -> T(x, "ok");
+    ttgd dead: T(x, "bad") -> U(x);
+  )");
+  const auto found = FindAll(report, "TDX018");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_NE(found[0]->message.find("clashes"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Tdx018AbsentWhenEveryRuleCanFire) {
+  EXPECT_FALSE(Has(LintText(kAcyclicTtgdProgram), "TDX018"));
+}
+
+TEST(AnalyzerTest, Tdx019EffectFreeEgd) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x, tag);
+    tgd t1: A(x) -> T(x, "ok");
+    egd e1: T(x, s) & T(x, s2) -> s = s2;
+  )");
+  const auto found = FindAll(report, "TDX019");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_NE(found[0]->message.find("'e1'"), std::string::npos);
+  EXPECT_EQ(found[0]->span.line, 5u);
+}
+
+TEST(AnalyzerTest, Tdx019AbsentWhenEgdCanFail) {
+  // Pinned to two *different* constants: every firing fails the chase, so
+  // the egd is anything but effect-free (TDX011 covers this case instead).
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x, tag);
+    tgd t1: A(x) -> T(x, "a");
+    tgd t2: A(x) -> T(x, "b");
+    egd e1: T(x, s) & T(x, s2) -> s = s2;
+  )");
+  EXPECT_FALSE(Has(report, "TDX019")) << RenderText(report, "t");
+}
+
+TEST(AnalyzerTest, Tdx019AbsentWhenEgdMergesNulls) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x, v);
+    tgd t1: A(x) -> exists v: T(x, v);
+    egd e1: T(x, v) & T(x, v2) -> v = v2;
+  )");
+  EXPECT_FALSE(Has(report, "TDX019")) << RenderText(report, "t");
+}
+
+// ---------------------------------------------------------------------------
+// TDX020: egd-tgd interference.
+
+TEST(AnalyzerTest, Tdx020EgdInterferesWithTgdBody) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x, v);
+    target U(x, v);
+    tgd t1: A(x) -> exists v: T(x, v);
+    egd e1: T(x, v) & T(x, v2) -> v = v2;
+    ttgd t2: T(x, v) -> U(x, v);
+  )");
+  const auto found = FindAll(report, "TDX020");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("'e1'"), std::string::npos);
+  EXPECT_NE(found[0]->message.find("'t2'"), std::string::npos);
+  // Points at the tgd whose frontier the merges invalidate.
+  EXPECT_EQ(found[0]->span.line, 7u);
+}
+
+TEST(AnalyzerTest, Tdx020AbsentWithoutNulls) {
+  // Same shape, but the head value is copied from the source instead of
+  // invented: the egd can fail yet never merges, so no interference.
+  const AnalysisReport report = LintText(R"(
+    source A(x, v);
+    target T(x, v);
+    target U(x, v);
+    tgd t1: A(x, v) -> T(x, v);
+    egd e1: T(x, v) & T(x, v2) -> v = v2;
+    ttgd t2: T(x, v) -> U(x, v);
+  )");
+  EXPECT_FALSE(Has(report, "TDX020")) << RenderText(report, "t");
+}
+
+// ---------------------------------------------------------------------------
+// TDX021 / TDX022: stratum shape diagnostics.
+
+TEST(AnalyzerTest, Tdx021MutualRecursionSharesAStratum) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target E(x);
+    target O(x);
+    tgd s: A(x) -> E(x);
+    ttgd o1: E(x) -> O(x);
+    ttgd o2: O(x) -> E(x);
+  )");
+  const auto found = FindAll(report, "TDX021");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("'o1'"), std::string::npos);
+  EXPECT_NE(found[0]->message.find("'o2'"), std::string::npos);
+}
+
+TEST(AnalyzerTest, Tdx021AbsentOnSelfRecursion) {
+  // A rule feeding itself is a singleton component; only genuine
+  // multi-rule cycles are worth a note.
+  EXPECT_FALSE(Has(LintText(kAcyclicTtgdProgram), "TDX021"));
+}
+
+TEST(AnalyzerTest, Tdx022DeclarationInvertsStratumOrder) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target R(x);
+    target T(x);
+    target U(x);
+    tgd s: A(x) -> R(x);
+    ttgd late: T(x) -> U(x);
+    ttgd mk: R(x) -> T(x);
+  )");
+  const auto found = FindAll(report, "TDX022");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("'late'"), std::string::npos);
+  EXPECT_EQ(found[0]->span.line, 7u);
+}
+
+TEST(AnalyzerTest, Tdx022AbsentInStratumOrder) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target R(x);
+    target T(x);
+    target U(x);
+    tgd s: A(x) -> R(x);
+    ttgd mk: R(x) -> T(x);
+    ttgd late: T(x) -> U(x);
+  )");
+  EXPECT_FALSE(Has(report, "TDX022")) << RenderText(report, "t");
+}
+
+// ---------------------------------------------------------------------------
+// TDX023 / TDX024: dataflow that never reaches a query.
+
+TEST(AnalyzerTest, Tdx023WrittenNeverReadRelation) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x);
+    target L(x);
+    tgd t1: A(x) -> T(x);
+    tgd t2: A(x) -> L(x);
+    query q(x): T(x);
+  )");
+  const auto found = FindAll(report, "TDX023");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("'L'"), std::string::npos);
+  // Points at the relation declaration.
+  EXPECT_EQ(found[0]->span.line, 4u);
+}
+
+TEST(AnalyzerTest, Tdx023GatedOnQueries) {
+  // Without queries every terminal relation would be "write-only"; the
+  // lint stays silent so query-less mappings do not drown in notes.
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x);
+    target L(x);
+    tgd t1: A(x) -> T(x);
+    tgd t2: A(x) -> L(x);
+  )");
+  EXPECT_FALSE(Has(report, "TDX023")) << RenderText(report, "t");
+}
+
+TEST(AnalyzerTest, Tdx024TargetTgdFeedsNoQuery) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x);
+    target U(x);
+    tgd s: A(x) -> T(x);
+    ttgd t2: T(x) -> U(x);
+    query q(x): T(x);
+  )");
+  const auto found = FindAll(report, "TDX024");
+  ASSERT_EQ(found.size(), 1u) << RenderText(report, "t");
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("'t2'"), std::string::npos);
+  EXPECT_EQ(found[0]->span.line, 6u);
+}
+
+TEST(AnalyzerTest, Tdx024AbsentWhenDownstreamIsQueried) {
+  const AnalysisReport report = LintText(R"(
+    source A(x);
+    target T(x);
+    target U(x);
+    tgd s: A(x) -> T(x);
+    ttgd t2: T(x) -> U(x);
+    query q(x): U(x);
+  )");
+  EXPECT_FALSE(Has(report, "TDX024")) << RenderText(report, "t");
 }
 
 // ---------------------------------------------------------------------------

@@ -124,6 +124,72 @@ TEST(CheckpointRoundTripTest, ConsumedLedgerRoundTrips) {
   EXPECT_EQ(parsed->consumed.elapsed, std::chrono::milliseconds(1234));
 }
 
+TEST(CheckpointRoundTripTest, ScheduleSkipCountersRoundTrip) {
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  ck.stats.skipped_egd_passes = 4;
+  ck.stats.skipped_normalize_passes = 9;
+
+  auto text = SerializeCheckpoint(ck, program->schema, program->universe);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = ParseCheckpoint(*text, &program->schema, &program->universe);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->stats.skipped_egd_passes, 4u);
+  EXPECT_EQ(parsed->stats.skipped_normalize_passes, 9u);
+}
+
+// Rewrites the checkpoint's stats line to its first `keep` fields and
+// re-signs the checksum, imitating a file written by an older build.
+std::string TruncateStatsLine(const std::string& text, int keep) {
+  const std::size_t end_pos = text.rfind("\nend ");
+  EXPECT_NE(end_pos, std::string::npos);
+  std::string body = text.substr(0, end_pos + 1);
+  const std::size_t line_start = body.find("\nstats ") + 1;
+  EXPECT_NE(line_start, std::string::npos + 1);
+  const std::size_t line_end = body.find('\n', line_start);
+  std::istringstream fields(body.substr(line_start, line_end - line_start));
+  std::string token, rebuilt;
+  fields >> rebuilt;  // "stats"
+  for (int i = 0; i < keep && (fields >> token); ++i) rebuilt += " " + token;
+  body.replace(line_start, line_end - line_start, rebuilt);
+  char checksum[17];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(FingerprintText(body)));
+  return body + "end " + checksum + "\n";
+}
+
+TEST(CheckpointRoundTripTest, LegacyFiveFieldStatsLineDecodes) {
+  // Checkpoints written before the chase planner carry a 5-field stats
+  // line; they must load with both skip counters at zero.
+  auto program = ParseOrDie(kPaperProgram);
+  ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  ck.stats.skipped_egd_passes = 4;
+  ck.stats.skipped_normalize_passes = 9;
+  auto text = SerializeCheckpoint(ck, program->schema, program->universe);
+  ASSERT_TRUE(text.ok()) << text.status();
+
+  auto parsed = ParseCheckpoint(TruncateStatsLine(*text, 5), &program->schema,
+                                &program->universe);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->stats.tgd_fires, ck.stats.tgd_fires);
+  EXPECT_EQ(parsed->stats.skipped_egd_passes, 0u);
+  EXPECT_EQ(parsed->stats.skipped_normalize_passes, 0u);
+}
+
+TEST(CheckpointRoundTripTest, SixFieldStatsLineIsMalformed) {
+  // Six fields is no version this code ever wrote: the skip counters come
+  // as a pair, so a line with only one of them is a torn write.
+  auto program = ParseOrDie(kPaperProgram);
+  const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());
+  auto text = SerializeCheckpoint(ck, program->schema, program->universe);
+  ASSERT_TRUE(text.ok()) << text.status();
+
+  auto parsed = ParseCheckpoint(TruncateStatsLine(*text, 6), &program->schema,
+                                &program->universe);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("stats"), std::string::npos);
+}
+
 TEST(CheckpointFileTest, SaveLoadRoundTrips) {
   auto program = ParseOrDie(kPaperProgram);
   const ChaseCheckpoint ck = CaptureFromPaperRun(program.get());

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/planner.h"
 #include "src/core/align.h"
+#include "src/core/cchase.h"
 #include "src/core/naive_eval.h"
 #include "src/core/normalize.h"
 #include "src/core/solution_core.h"
 #include "src/gen/workload.h"
+#include "src/parser/printer.h"
 #include "src/relational/universal.h"
 #include "src/temporal/abstract_chase.h"
 #include "src/temporal/snapshot.h"
@@ -123,6 +126,64 @@ TEST_P(FuzzMappingSweep, AnalyzerAcceptsGeneratedMappings) {
   EXPECT_TRUE(report.certificate.guarantees_termination())
       << "seed=" << GetParam() << " certificate="
       << report.certificate.ToString();
+}
+
+TEST_P(FuzzMappingSweep, PlannerScheduleIsSoundOnRandomMappings) {
+  // The planner must never crash on a generated mapping, its strata must
+  // partition the rule set, and every justification edge must respect the
+  // topological stratum order.
+  auto w = MakeWorkload();
+  const PlanDetails details = PlanChaseDetailed(w->mapping, w->schema);
+  const ChaseSchedule& schedule = details.schedule;
+  std::vector<std::size_t> seen(schedule.rules.size(), 0);
+  for (const auto& stratum : schedule.strata) {
+    for (std::size_t id : stratum) {
+      ASSERT_LT(id, schedule.rules.size()) << "seed=" << GetParam();
+      ++seen[id];
+    }
+  }
+  for (std::size_t count : seen) EXPECT_EQ(count, 1u) << "seed=" << GetParam();
+  for (const ScheduleEdge& edge : schedule.edges) {
+    EXPECT_LE(schedule.rules[edge.from].stratum,
+              schedule.rules[edge.to].stratum)
+        << "seed=" << GetParam() << "\n"
+        << schedule.ToText();
+  }
+  // Parallel groups hold live target tgds in declaration order.
+  for (const auto& group : schedule.parallel_groups) {
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      if (k > 0) {
+        EXPECT_LT(group[k - 1], group[k]) << "seed=" << GetParam();
+      }
+      EXPECT_LT(group[k], w->mapping.target_tgds.size());
+    }
+  }
+}
+
+TEST_P(FuzzMappingSweep, ScheduledCChaseMatchesUnscheduled) {
+  // The schedule only removes provably no-op work: scheduled and flat runs
+  // must agree bit-for-bit on outcome, target, and chase statistics.
+  auto w_flat = MakeWorkload();
+  auto w_sched = MakeWorkload();
+  CChaseOptions flat_options;
+  flat_options.scheduled = false;
+  CChaseOptions sched_options;
+  sched_options.jobs = 4;
+  auto flat = CChase(w_flat->source, w_flat->lifted, &w_flat->universe,
+                     flat_options);
+  auto sched = CChase(w_sched->source, w_sched->lifted, &w_sched->universe,
+                      sched_options);
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  ASSERT_TRUE(sched.ok()) << sched.status();
+  ASSERT_EQ(flat->kind, sched->kind) << "seed=" << GetParam();
+  EXPECT_EQ(RenderConcreteInstance(flat->target, w_flat->universe),
+            RenderConcreteInstance(sched->target, w_sched->universe))
+      << "seed=" << GetParam();
+  EXPECT_EQ(flat->stats.tgd_triggers, sched->stats.tgd_triggers);
+  EXPECT_EQ(flat->stats.tgd_fires, sched->stats.tgd_fires);
+  EXPECT_EQ(flat->stats.egd_steps, sched->stats.egd_steps);
+  EXPECT_EQ(flat->stats.fresh_nulls, sched->stats.fresh_nulls);
+  EXPECT_EQ(flat->stats.values_rewritten, sched->stats.values_rewritten);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMappingSweep,

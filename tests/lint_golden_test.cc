@@ -65,7 +65,8 @@ TEST_P(LintGoldenTest, JsonOutputMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Examples, LintGoldenTest,
-                         ::testing::Values("paper", "flights", "medical"));
+                         ::testing::Values("paper", "flights", "medical",
+                                           "strata"));
 
 }  // namespace
 }  // namespace tdx

@@ -8,9 +8,11 @@
 
 #include <memory>
 
+#include "src/core/cchase.h"
 #include "src/core/certain.h"
 #include "src/core/naive_eval.h"
 #include "src/gen/workload.h"
+#include "src/parser/printer.h"
 #include "src/temporal/abstract_chase.h"
 #include "src/temporal/abstract_hom.h"
 
@@ -166,6 +168,32 @@ TEST_P(ParallelSweep, NaiveEvalAtManyMatchesPerPoint) {
                                                   points[i], &w->universe))
         << "l=" << points[i];
   }
+}
+
+TEST_P(ParallelSweep, ScheduledTriggerCollectionIsJobsInvariant) {
+  // The chase planner's parallel groups collect triggers concurrently but
+  // fire sequentially in declaration order, so any jobs count must yield
+  // the EXACT same target (same null ids) and the exact same statistics.
+  // This test runs under TSan in CI.
+  RandomMappingConfig cfg;
+  cfg.seed = GetParam();
+  auto w1 = MakeRandomMappingWorkload(cfg);
+  auto w8 = MakeRandomMappingWorkload(cfg);
+  CChaseOptions one, eight;
+  one.jobs = 1;
+  eight.jobs = 8;
+  auto a = CChase(w1->source, w1->lifted, &w1->universe, one);
+  auto b = CChase(w8->source, w8->lifted, &w8->universe, eight);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->kind, b->kind) << "seed=" << GetParam();
+  EXPECT_EQ(RenderConcreteInstance(a->target, w1->universe),
+            RenderConcreteInstance(b->target, w8->universe))
+      << "seed=" << GetParam();
+  EXPECT_EQ(a->stats.tgd_triggers, b->stats.tgd_triggers);
+  EXPECT_EQ(a->stats.tgd_fires, b->stats.tgd_fires);
+  EXPECT_EQ(a->stats.egd_steps, b->stats.egd_steps);
+  EXPECT_EQ(a->stats.fresh_nulls, b->stats.fresh_nulls);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSweep,

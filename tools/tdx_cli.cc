@@ -16,6 +16,8 @@
 //   tdx_cli query-at <file> <q> <l..> per-snapshot certain answers of q,
 //                                  chasing the snapshots in parallel (--jobs)
 //   tdx_cli resume <file> <ckpt>   continue a checkpointed c-chase run
+//   tdx_cli plan <file>            print the chase schedule (strata, skipped
+//                                  rules, parallel groups, graph edges)
 //
 // Resource-governance flags (any command; default unlimited):
 //
@@ -23,7 +25,10 @@
 //   --max-fragments=N --deadline-ms=N
 //   --max-input-bytes=N --max-tokens=N --max-nesting-depth=N
 //
-// Execution flags: --jobs=N (0 = all cores), --stats, --naive-chase
+// Execution flags: --jobs=N (0 = all cores), --stats, --naive-chase,
+// --no-schedule (ignore the chase planner's schedule: run every rule and
+// every egd/normalization pass, as if the planner did not exist), and
+// --format=text|json (plan command only)
 //
 // Checkpointing (chase/core/resume): --checkpoint=PATH writes a resumable
 // checkpoint at every phase boundary and every --checkpoint-every=N-th
@@ -45,11 +50,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/planner.h"
 #include "src/common/checkpoint.h"
 #include "src/common/resource.h"
 #include "src/common/thread_pool.h"
@@ -94,6 +101,8 @@ int Usage() {
          "             tdx_cli query-at <file> <query-name> <l>...\n"
          "  resume     continue a checkpointed c-chase:\n"
          "             tdx_cli resume <file> <checkpoint-file>\n"
+         "  plan       print the chase schedule: strata, skipped rules,\n"
+         "             parallel groups, and the dependency-graph edges\n"
          "flags (default unlimited):\n"
          "  --max-tgd-fires=N     abort the chase after N tgd firings\n"
          "  --max-egd-steps=N     abort after N egd applications\n"
@@ -109,6 +118,9 @@ int Usage() {
          "                        (0 = all hardware threads; default 1)\n"
          "  --stats               print chase statistics after chase/core\n"
          "  --naive-chase         disable semi-naive target-tgd rounds\n"
+         "  --no-schedule         ignore the chase planner's schedule: run\n"
+         "                        every rule and every egd pass unconditionally\n"
+         "  --format=FMT          plan output format: text (default) or json\n"
          "  --checkpoint=PATH     chase/core/resume: write a resumable\n"
          "                        checkpoint to PATH at every safe point\n"
          "  --checkpoint-every=N  persist every N-th round-level safe point\n"
@@ -125,6 +137,8 @@ struct CliOptions {
   bool lint = true;
   bool stats = false;
   bool semi_naive = true;
+  bool scheduled = true;
+  std::string format = "text";
   unsigned jobs = 1;
   std::string checkpoint_path;
   std::size_t checkpoint_every = 16;
@@ -164,6 +178,10 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
       options->semi_naive = false;
       continue;
     }
+    if (arg == "--no-schedule") {
+      options->scheduled = false;
+      continue;
+    }
     const std::size_t eq = arg.find('=');
     if (eq == std::string_view::npos) {
       std::cerr << "flag '" << arg << "' expects --flag=N\n";
@@ -178,6 +196,15 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     }
     if (name == "--inject-fault") {
       options->inject_fault = std::string(value);
+      continue;
+    }
+    if (name == "--format") {
+      if (value != "text" && value != "json") {
+        std::cerr << "--format expects 'text' or 'json', got '" << value
+                  << "'\n";
+        return false;
+      }
+      options->format = std::string(value);
       continue;
     }
     std::size_t n = 0;
@@ -240,6 +267,8 @@ tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
   tdx::CChaseOptions chase_options;
   chase_options.limits = options.limits;
   chase_options.semi_naive = options.semi_naive;
+  chase_options.scheduled = options.scheduled;
+  chase_options.jobs = options.jobs;
   chase_options.checkpointer = options.checkpointer;
   chase_options.resume_from = options.resume_from;
   return tdx::CChase(program.source, program.lifted, &program.universe,
@@ -250,7 +279,11 @@ void PrintChaseStats(const tdx::ChaseStats& stats) {
   std::cout << "(stats: triggers=" << stats.tgd_triggers
             << " fires=" << stats.tgd_fires << " egd_steps=" << stats.egd_steps
             << " fresh_nulls=" << stats.fresh_nulls
-            << " values_rewritten=" << stats.values_rewritten << ")\n";
+            << " values_rewritten=" << stats.values_rewritten
+            << " schedule_strata=" << stats.schedule_strata
+            << " skipped_egd_passes=" << stats.skipped_egd_passes
+            << " skipped_normalize_passes=" << stats.skipped_normalize_passes
+            << ")\n";
 }
 
 int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
@@ -443,6 +476,26 @@ int RunSnapshots(tdx::ParsedProgram& program, const CliOptions& options,
   return EXIT_SUCCESS;
 }
 
+// Renders the chase planner's schedule for the program's mapping. The
+// parser attaches a schedule during certification; re-plan only if it is
+// absent (hand-built mappings).
+int RunPlan(tdx::ParsedProgram& program, const CliOptions& options) {
+  std::optional<tdx::ChaseSchedule> derived;
+  const tdx::ChaseSchedule* schedule;
+  if (program.mapping.schedule.has_value()) {
+    schedule = &*program.mapping.schedule;
+  } else {
+    derived = tdx::PlanChase(program.mapping, program.schema);
+    schedule = &*derived;
+  }
+  if (options.format == "json") {
+    std::cout << schedule->ToJson() << "\n";
+  } else {
+    std::cout << schedule->ToText();
+  }
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -520,6 +573,7 @@ int main(int argc, char** argv) {
     options.resume_from = &*checkpoint;
     return RunChase(program, options, false);
   }
+  if (command == "plan") return RunPlan(program, options);
   if (command == "normalize") return RunNormalize(program, options);
   if (command == "abstract") return RunAbstract(program);
   if (command == "verify") return RunVerify(program, options);

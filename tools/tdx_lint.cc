@@ -11,6 +11,9 @@
 //   --format=text   clang-style lines plus a summary (default)
 //   --format=json   one JSON object per file, wrapped in a JSON array
 //   --Werror        treat warnings as errors
+//   --explain-plan  also render the chase planner's schedule per file
+//                   (text: appended after the report; json: a "plan" key
+//                   added to the file's object)
 //
 // Exit status: 0 when no file produced an error-severity diagnostic,
 // 1 when at least one did, 2 on usage or I/O problems.
@@ -18,17 +21,20 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/planner.h"
 #include "src/parser/parser.h"
 
 namespace {
 
 int Usage() {
-  std::cerr << "usage: tdx_lint [--format=text|json] [--Werror] <file>...\n";
+  std::cerr << "usage: tdx_lint [--format=text|json] [--Werror] "
+               "[--explain-plan] <file>...\n";
   return 2;
 }
 
@@ -42,8 +48,11 @@ bool ReadFile(const std::string& path, std::string* out) {
 }
 
 /// Lints one file; parse failures become a TDX000 report with an unknown
-/// certificate (nothing was proven about an unparsed program).
-tdx::AnalysisReport LintFile(const std::string& text) {
+/// certificate (nothing was proven about an unparsed program). When `plan`
+/// is non-null and the file parses, *plan receives the mapping's chase
+/// schedule (for --explain-plan).
+tdx::AnalysisReport LintFile(const std::string& text,
+                             std::optional<tdx::ChaseSchedule>* plan) {
   auto parsed = tdx::ParseProgram(text);
   if (!parsed.ok()) {
     tdx::AnalysisReport report;
@@ -51,6 +60,13 @@ tdx::AnalysisReport LintFile(const std::string& text) {
     report.Add("TDX000", tdx::Severity::kError,
                "program does not parse: " + parsed.status().message());
     return report;
+  }
+  if (plan != nullptr) {
+    if ((*parsed)->mapping.schedule.has_value()) {
+      *plan = *(*parsed)->mapping.schedule;
+    } else {
+      *plan = tdx::PlanChase((*parsed)->mapping, (*parsed)->schema);
+    }
   }
   return tdx::AnalyzeProgram(**parsed);
 }
@@ -60,6 +76,7 @@ tdx::AnalysisReport LintFile(const std::string& text) {
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  bool explain_plan = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +86,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--Werror") {
       werror = true;
+    } else if (arg == "--explain-plan") {
+      explain_plan = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << arg << "'\n";
       return Usage();
@@ -86,14 +105,22 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open '" << files[i] << "'\n";
       return 2;
     }
-    tdx::AnalysisReport report = LintFile(text);
+    std::optional<tdx::ChaseSchedule> plan;
+    tdx::AnalysisReport report =
+        LintFile(text, explain_plan ? &plan : nullptr);
     if (werror) report.PromoteWarnings();
     any_errors = any_errors || report.HasErrors();
     if (json) {
       if (i > 0) json_out += ',';
-      json_out += tdx::RenderJson(report, files[i]);
+      std::string object = tdx::RenderJson(report, files[i]);
+      if (plan.has_value()) {
+        // Splice the schedule into the file's object, before the final '}'.
+        object.insert(object.size() - 1, ", \"plan\": " + plan->ToJson());
+      }
+      json_out += object;
     } else {
       std::cout << tdx::RenderText(report, files[i]);
+      if (plan.has_value()) std::cout << plan->ToText();
     }
   }
   if (json) std::cout << json_out << "]\n";
