@@ -16,8 +16,8 @@ namespace {
 /// intervals (maximum fragmentation), yielding a heavily redundant input.
 tdx::ConcreteInstance Fragmentize(const tdx::Workload& w) {
   tdx::ConcreteInstance out(&w.schema);
-  w.source.facts().ForEach([&](const tdx::Fact& fact) {
-    const tdx::Interval& iv = fact.interval();
+  w.source.facts().ForEach([&](tdx::FactView fact) {
+    const tdx::Interval iv = fact.interval();
     if (iv.unbounded() || *iv.length() <= 1) {
       out.mutable_facts().Insert(fact);
       return;

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   // How much of the exchanged history is complete?
   std::size_t known = 0, unknown = 0;
-  outcome->target.facts().ForEach([&](const tdx::Fact& fact) {
+  outcome->target.facts().ForEach([&](tdx::FactView fact) {
     bool has_null = false;
     for (const tdx::Value& v : fact.args()) {
       if (v.is_any_null()) has_null = true;

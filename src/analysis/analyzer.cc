@@ -186,7 +186,7 @@ void AnalyzeSatisfiability(const AnalysisInput& in, AnalysisReport* report) {
     const Result<RelationId> twin = schema.TwinOf(rel);
     if (!twin.ok()) return nullptr;
     std::vector<Interval> ivs;
-    for (const Fact& f : in.source->facts().facts(*twin)) {
+    for (const FactView f : in.source->facts().facts(*twin)) {
       if (f.has_interval()) ivs.push_back(f.interval());
     }
     return &coverage.emplace(rel, MergeCover(std::move(ivs))).first->second;
@@ -617,12 +617,12 @@ void AnalyzeBlowup(const AnalysisInput& in, const AnalyzerOptions& options,
     for (RelationId p : partners) {
       const Result<RelationId> ptwin = schema.TwinOf(p);
       if (!ptwin.ok()) continue;
-      for (const Fact& f : in.source->facts().facts(*ptwin)) {
+      for (const FactView f : in.source->facts().facts(*ptwin)) {
         if (f.has_interval()) partner_ivs.push_back(f.interval());
       }
     }
     const std::vector<TimePoint> cuts = DistinctFiniteEndpoints(partner_ivs);
-    for (const Fact& f : in.source->facts().facts(*twin)) {
+    for (const FactView f : in.source->facts().facts(*twin)) {
       if (!f.has_interval()) continue;
       const Interval iv = f.interval();
       const auto lo = std::upper_bound(cuts.begin(), cuts.end(), iv.start());

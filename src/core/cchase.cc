@@ -294,7 +294,8 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   // every normalization, since fragmentation rewrites existing facts. The
   // finder is derived state: on resume it is rebuilt over the restored
   // target.
-  HomomorphismFinder round_finder(concrete_target.facts());
+  HomomorphismFinder round_finder(concrete_target.facts(),
+                                  &outcome.stats.search);
   const auto run_round = [&]() {
     if (schedule != nullptr) {
       return options.semi_naive

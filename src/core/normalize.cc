@@ -4,18 +4,17 @@
 #include <map>
 #include <numeric>
 #include <optional>
-#include <unordered_map>
 
 namespace tdx {
 
 namespace {
 
-/// Intersection of the time intervals of a set of facts, or nullopt when
-/// empty. `facts` must be non-empty.
-std::optional<Interval> IntersectIntervals(const std::vector<Fact>& facts) {
-  std::optional<Interval> acc = facts.front().interval();
-  for (std::size_t i = 1; i < facts.size() && acc.has_value(); ++i) {
-    acc = acc->Intersect(facts[i].interval());
+/// Intersection of the time intervals of an atom image, or nullopt when
+/// empty. `image` must be non-empty.
+std::optional<Interval> IntersectIntervals(const AtomImage& image) {
+  std::optional<Interval> acc = image.front().interval();
+  for (std::size_t i = 1; i < image.size() && acc.has_value(); ++i) {
+    acc = acc->Intersect(image[i].interval());
   }
   return acc;
 }
@@ -23,7 +22,7 @@ std::optional<Interval> IntersectIntervals(const std::vector<Fact>& facts) {
 /// Fragments `fact` at the interior cut points in `cuts` (sorted) and
 /// inserts the fragments into `out`, charging `guard` per fragment. Returns
 /// false when the guard tripped (the fact may be partially fragmented).
-bool FragmentFactInto(const Fact& fact, const std::vector<TimePoint>& cuts,
+bool FragmentFactInto(FactView fact, const std::vector<TimePoint>& cuts,
                       Instance* out, ResourceGuard* guard) {
   for (const Interval& sub : FragmentInterval(fact.interval(), cuts)) {
     if (guard != nullptr && !guard->ChargeFragment()) return false;
@@ -76,7 +75,7 @@ ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
     guard->ResetFragmentCount();
     guard->PokeFault("normalize/naive");
   }
-  instance.facts().ForEach([&](const Fact& fact) {
+  instance.facts().ForEach([&](FactView fact) {
     if (guard != nullptr && (guard->tripped() || !guard->CheckDeadline())) {
       return;
     }
@@ -98,22 +97,30 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
     guard->ResetFragmentCount();
     guard->PokeFault("normalize/algorithm1");
   }
-  // Dense ids for the instance's facts, for union-find grouping.
-  std::vector<Fact> all_facts;
-  std::unordered_map<Fact, std::size_t, FactHash> fact_index;
-  instance.facts().ForEach([&](const Fact& fact) {
-    fact_index.emplace(fact, all_facts.size());
-    all_facts.push_back(fact);
-  });
+  // Dense ids for the instance's facts: each relation column gets a base
+  // offset, and a fact's id is base + its position in the column. No
+  // hashing, no fact copies — the instance is immutable for the duration,
+  // so views stay valid throughout.
+  const Instance& facts = instance.facts();
+  const std::size_t num_rels = instance.schema().relation_count();
+  std::vector<std::size_t> base(num_rels, 0);
+  std::size_t total = 0;
+  for (RelationId r = 0; r < num_rels; ++r) {
+    base[r] = total;
+    total += facts.facts(r).size();
+  }
+  const auto dense_id = [&](FactView f) {
+    return base[f.relation()] + f.pos();
+  };
 
   // Build S (Algorithm 1, line 3): for each phi* in N(Phi+), every
   // homomorphic image whose fact intervals intersect forms a group; then
   // merge groups sharing a fact (lines 4-10) — i.e., take connected
   // components of the overlap graph, implemented with union-find.
-  UnionFind uf(all_facts.size());
-  std::vector<bool> grouped(all_facts.size(), false);
+  UnionFind uf(total);
+  std::vector<bool> grouped(total, false);
   std::size_t hom_count = 0;
-  HomomorphismFinder finder(instance.facts());
+  HomomorphismFinder finder(facts);
   for (const Conjunction& phi : phis) {
     if (guard != nullptr && guard->tripped()) break;
     const Conjunction star = RenameTemporalApart(phi);
@@ -126,9 +133,9 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
                      }
                      ++hom_count;
                      if (!IntersectIntervals(image).has_value()) return true;
-                     const std::size_t first = fact_index.at(image.front());
-                     for (const Fact& f : image) {
-                       const std::size_t idx = fact_index.at(f);
+                     const std::size_t first = dense_id(image.front());
+                     for (FactView f : image) {
+                       const std::size_t idx = dense_id(f);
                        grouped[idx] = true;
                        uf.Union(first, idx);
                      }
@@ -137,11 +144,16 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   }
 
   // Distinct start/end points per component (TP_Delta, lines 11-13).
+  const auto fact_at = [&](std::size_t id) {
+    RelationId r = 0;
+    while (r + 1 < num_rels && base[r + 1] <= id) ++r;
+    return facts.facts(r)[static_cast<std::uint32_t>(id - base[r])];
+  };
   std::map<std::size_t, std::vector<TimePoint>> component_points;
-  for (std::size_t i = 0; i < all_facts.size(); ++i) {
+  for (std::size_t i = 0; i < total; ++i) {
     if (!grouped[i]) continue;
     std::vector<TimePoint>& pts = component_points[uf.Find(i)];
-    const Interval& iv = all_facts[i].interval();
+    const Interval iv = fact_at(i).interval();
     pts.push_back(iv.start());
     if (!iv.unbounded()) pts.push_back(iv.end());
   }
@@ -153,14 +165,15 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   // Fragment grouped facts at their component's points (lines 14-18);
   // ungrouped facts pass through unchanged.
   ConcreteInstance out(&instance.schema());
-  for (std::size_t i = 0; i < all_facts.size(); ++i) {
+  for (std::size_t i = 0; i < total; ++i) {
     if (guard != nullptr && guard->tripped()) break;
+    const FactView fact = fact_at(i);
     if (grouped[i]) {
-      FragmentFactInto(all_facts[i], component_points.at(uf.Find(i)),
+      FragmentFactInto(fact, component_points.at(uf.Find(i)),
                        &out.mutable_facts(), guard);
     } else {
       if (guard != nullptr && !guard->ChargeFragment()) break;
-      out.mutable_facts().Insert(all_facts[i]);
+      out.mutable_facts().Insert(fact);
     }
   }
   if (stats != nullptr) {
@@ -185,7 +198,7 @@ bool HasEmptyIntersectionProperty(const ConcreteInstance& instance,
                      if (!inter.has_value()) return true;  // condition 1
                      // Condition 2: intersection == union, i.e. all image
                      // facts carry one identical interval.
-                     for (const Fact& f : image) {
+                     for (FactView f : image) {
                        if (f.interval() != *inter) {
                          ok = false;
                          return false;

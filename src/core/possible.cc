@@ -88,7 +88,7 @@ class PossibleSearch {
       return;
     }
     const Atom& atom = query_->body.atoms[index];
-    for (const Fact& fact : snapshot_->facts(atom.rel)) {
+    for (const FactView fact : snapshot_->facts(atom.rel)) {
       std::vector<Value> trail;
       std::vector<VarId> bound_vars;
       bool ok = true;

@@ -15,7 +15,7 @@ Instance ApplyEndomorphism(
     const std::unordered_map<Value, VarId, ValueHash>& null_vars,
     const Binding& binding) {
   Instance image(&instance.schema());
-  instance.ForEach([&](const Fact& fact) {
+  instance.ForEach([&](FactView fact) {
     std::vector<Value> args;
     args.reserve(fact.arity());
     for (const Value& v : fact.args()) {

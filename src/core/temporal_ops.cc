@@ -93,7 +93,7 @@ Status MaterializeClosure(const ConcreteInstance& source, RelationId rel,
 
   // Group the base facts by data tuple.
   std::map<std::vector<Value>, std::vector<Interval>> groups;
-  for (const Fact& fact : source.facts().facts(rel)) {
+  for (const FactView fact : source.facts().facts(rel)) {
     for (const Value& v : fact.args()) {
       if (v.is_any_null()) {
         return Status::InvalidArgument(

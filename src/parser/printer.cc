@@ -17,7 +17,7 @@ std::string Pad(const std::string& text, std::size_t width) {
 
 std::string RenderRelationTable(const Instance& instance, RelationId rel,
                                 const Universe& u) {
-  std::vector<Fact> facts = instance.facts(rel);
+  std::vector<Fact> facts = instance.CopyFacts(rel);
   if (facts.empty()) return "";
   std::sort(facts.begin(), facts.end());
   const RelationSchema& schema = instance.schema().relation(rel);
@@ -79,7 +79,7 @@ std::string RenderAbstractInstance(const AbstractInstance& instance,
   for (const AbstractPiece& piece : instance.pieces()) {
     out += piece.span.ToString() + ":\n";
     std::vector<Fact> facts;
-    piece.snapshot.ForEach([&](const Fact& f) { facts.push_back(f); });
+    piece.snapshot.ForEach([&](FactView f) { facts.push_back(f.ToFact()); });
     std::sort(facts.begin(), facts.end());
     if (facts.empty()) out += "  (empty)\n";
     for (const Fact& f : facts) {
@@ -107,7 +107,7 @@ std::string RenderRelationCsv(const Instance& instance, RelationId rel,
     out += quote(schema.attributes[c]);
   }
   out += "\n";
-  std::vector<Fact> facts = instance.facts(rel);
+  std::vector<Fact> facts = instance.CopyFacts(rel);
   std::sort(facts.begin(), facts.end());
   for (const Fact& fact : facts) {
     for (std::size_t c = 0; c < fact.arity(); ++c) {

@@ -136,7 +136,7 @@ Result<std::string> SerializeInstanceFacts(const ConcreteInstance& instance,
   std::string out;
   Status status = Status::OK();
   const Schema& schema = instance.schema();
-  instance.facts().ForEach([&](const Fact& fact) {
+  instance.facts().ForEach([&](FactView fact) {
     if (!status.ok()) return;
     const RelationSchema& rel = schema.relation(fact.relation());
     if (SplitClosureName(rel.name).has_value()) return;  // re-derived
@@ -265,7 +265,7 @@ void AppendFactLines(std::string* out, const Instance& instance,
                      const Universe& u) {
   const Schema& schema = instance.schema();
   for (RelationId rel = 0; rel < schema.relation_count(); ++rel) {
-    for (const Fact& fact : instance.facts(rel)) {
+    for (const FactView fact : instance.facts(rel)) {
       *out += "fact " + schema.relation(rel).name;
       for (std::size_t i = 0; i < fact.arity(); ++i) {
         *out += " ";
@@ -474,7 +474,10 @@ Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
          std::to_string(checkpoint.stats.fresh_nulls) + " " +
          std::to_string(checkpoint.stats.values_rewritten) + " " +
          std::to_string(checkpoint.stats.skipped_egd_passes) + " " +
-         std::to_string(checkpoint.stats.skipped_normalize_passes) + "\n";
+         std::to_string(checkpoint.stats.skipped_normalize_passes) + " " +
+         std::to_string(checkpoint.stats.search.index_probes) + " " +
+         std::to_string(checkpoint.stats.search.index_candidates) + " " +
+         std::to_string(checkpoint.stats.search.full_scans) + "\n";
   const auto norm_line = [](const char* head, const NormalizeStats& ns) {
     return std::string(head) + " " + std::to_string(ns.input_facts) + " " +
            std::to_string(ns.output_facts) + " " +
@@ -597,6 +600,19 @@ Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
         ck.stats.skipped_normalize_passes = static_cast<std::size_t>(skip);
       } else {
         return Malformed("malformed stats line");
+      }
+      // Search counters, appended in a yet later revision: 5- and 7-field
+      // stats lines decode with all three at zero.
+      std::uint64_t probes = 0;
+      if (c.Uint(&probes)) {
+        std::uint64_t cands = 0;
+        std::uint64_t scans = 0;
+        if (!c.Uint(&cands) || !c.Uint(&scans)) {
+          return Malformed("malformed stats line");
+        }
+        ck.stats.search.index_probes = probes;
+        ck.stats.search.index_candidates = cands;
+        ck.stats.search.full_scans = scans;
       }
     }
   }

@@ -37,16 +37,6 @@ std::vector<VarId> HeadUniversalVars(const Tgd& tgd) {
   return out;
 }
 
-/// Substitutes `binding` into `atom`; every variable must be bound.
-Fact Instantiate(const Atom& atom, const Binding& binding) {
-  std::vector<Value> args;
-  args.reserve(atom.terms.size());
-  for (const Term& t : atom.terms) {
-    args.push_back(t.is_var() ? binding.Get(t.var()) : t.value());
-  }
-  return Fact(atom.rel, std::move(args));
-}
-
 /// Triggers of one tgd, deduplicated and canonically ordered by the
 /// head-visible universal values: triggers agreeing there would fire
 /// indistinguishable head images (the fresh-null factories only consult
@@ -106,9 +96,12 @@ bool FireTriggers(Instance* target, const Tgd& tgd, TriggerSet& triggers,
                   const FreshNullFactory& fresh, ChaseStats* stats,
                   ResourceGuard* guard, HomomorphismFinder* head_finder) {
   bool inserted_any = false;
+  std::vector<Value> row;  // reused head-instantiation scratch
   for (auto& [key, binding] : triggers) {
     if (!guard->CheckDeadline()) break;
-    if (head_finder->Exists(tgd.head, binding)) continue;
+    // In-place witness check: the binding is extended during the search and
+    // fully restored before Exists returns.
+    if (head_finder->Exists(tgd.head, &binding)) continue;
     // Budget checks come before the corresponding work, so an aborted
     // firing never half-materializes: no nulls are minted and no facts
     // inserted once the guard trips.
@@ -122,7 +115,11 @@ bool FireTriggers(Instance* target, const Tgd& tgd, TriggerSet& triggers,
     if (guard->tripped()) break;
     bool fact_budget_ok = true;
     for (const Atom& atom : tgd.head.atoms) {
-      if (target->Insert(Instantiate(atom, extended))) {
+      row.clear();
+      for (const Term& t : atom.terms) {
+        row.push_back(t.is_var() ? extended.Get(t.var()) : t.value());
+      }
+      if (target->InsertSpan(atom.rel, row.data(), row.size())) {
         inserted_any = true;
         // Duplicates are free: only facts that grew the instance count.
         if (!guard->ChargeFact()) {
@@ -158,8 +155,8 @@ void TgdPhase(const Instance& source, Instance* target,
               ChaseStats* stats, ResourceGuard* guard) {
   // One finder per side for the whole phase: the source is immutable here,
   // and the target finder's indexes absorb the phase's own inserts.
-  HomomorphismFinder body_finder(source);
-  HomomorphismFinder head_finder(*target);
+  HomomorphismFinder body_finder(source, &stats->search);
+  HomomorphismFinder head_finder(*target, &stats->search);
   for (const Tgd& tgd : tgds) {
     if (guard->tripped()) return;
     FireTgd(source, target, tgd, fresh, stats, guard, &body_finder,
@@ -175,7 +172,7 @@ bool TargetTgdRound(Instance* target, const std::vector<Tgd>& tgds,
     if (guard->tripped()) break;
     // A fresh finder per tgd, as the naive engine always did: this path is
     // the oracle, kept deliberately simple.
-    HomomorphismFinder finder(*target);
+    HomomorphismFinder finder(*target, &stats->search);
     if (FireTgd(*target, target, tgd, fresh, stats, guard, &finder, &finder)) {
       inserted = true;
     }
@@ -261,7 +258,7 @@ bool RunGroup(
   std::vector<ChaseStats> local(group.size());
   if (plan.jobs > 1 && group.size() > 1) {
     ParallelFor(plan.jobs, group.size(), [&](std::size_t k) {
-      HomomorphismFinder scratch(collect_instance);
+      HomomorphismFinder scratch(collect_instance, &local[k].search);
       collect(&scratch, group[k], &local[k], &sets[k]);
     });
   } else {
@@ -273,6 +270,7 @@ bool RunGroup(
   for (std::size_t k = 0; k < group.size(); ++k) {
     if (guard->tripped()) break;
     stats->tgd_triggers += local[k].tgd_triggers;
+    stats->search += local[k].search;
     if (FireTriggers(target, tgds[group[k]], sets[k], fresh, stats, guard,
                      fire_finder)) {
       inserted = true;
@@ -287,8 +285,8 @@ void TgdPhasePlanned(const Instance& source, Instance* target,
                      const std::vector<Tgd>& tgds, const TgdRunPlan& plan,
                      const FreshNullFactory& fresh, ChaseStats* stats,
                      ResourceGuard* guard) {
-  HomomorphismFinder body_finder(source);
-  HomomorphismFinder head_finder(*target);
+  HomomorphismFinder body_finder(source, &stats->search);
+  HomomorphismFinder head_finder(*target, &stats->search);
   for (const std::vector<std::size_t>& group : plan.groups) {
     if (guard->tripped()) return;
     // The st phase never aliases source and target, so collection always
@@ -302,7 +300,7 @@ void TgdPhasePlanned(const Instance& source, Instance* target,
     };
     if (plan.jobs > 1 && group.size() > 1) {
       ParallelFor(plan.jobs, group.size(), [&](std::size_t k) {
-        HomomorphismFinder scratch(source);
+        HomomorphismFinder scratch(source, &local[k].search);
         collect(&scratch, k);
       });
     } else {
@@ -311,6 +309,7 @@ void TgdPhasePlanned(const Instance& source, Instance* target,
     for (std::size_t k = 0; k < group.size(); ++k) {
       if (guard->tripped()) return;
       stats->tgd_triggers += local[k].tgd_triggers;
+      stats->search += local[k].search;
       FireTriggers(target, tgds[group[k]], sets[k], fresh, stats, guard,
                    &head_finder);
     }
@@ -363,7 +362,7 @@ bool TargetTgdRoundPlanned(Instance* target, const std::vector<Tgd>& tgds,
   for (const std::vector<std::size_t>& group : plan.groups) {
     for (std::size_t index : group) {
       if (guard->tripped()) return inserted;
-      HomomorphismFinder finder(*target);
+      HomomorphismFinder finder(*target, &stats->search);
       if (FireTgd(*target, target, tgds[index], fresh, stats, guard, &finder,
                   &finder)) {
         inserted = true;
@@ -398,7 +397,7 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
     std::vector<std::pair<Value, Value>> pairs;
     std::string violated_label;
     {
-      HomomorphismFinder finder(*target);
+      HomomorphismFinder finder(*target, &stats->search);
       for (const Egd& egd : egds) {
         finder.ForEach(egd.body, Binding(egd.num_vars()),
                        [&](const Binding& binding, const AtomImage&) {
@@ -484,7 +483,7 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
       reverse.clear();
       const std::size_t relation_count = target->schema().relation_count();
       for (RelationId rel = 0; rel < relation_count; ++rel) {
-        const std::vector<Fact>& facts = target->facts(rel);
+        const FactColumn facts = target->facts(rel);
         for (std::uint32_t pos = 0; pos < facts.size(); ++pos) {
           for (const Value& v : facts[pos].args()) {
             if (v.is_any_null()) reverse[v].push_back({rel, pos});
@@ -513,9 +512,9 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
     if (affected.size() > target->size() / 2) {
       // ---- heavy merge: rebuild the instance wholesale -------------------
       Instance next(&target->schema());
-      target->ForEach([&](const Fact& fact) {
-        std::vector<Value> args;
-        args.reserve(fact.arity());
+      std::vector<Value> args;
+      target->ForEach([&](FactView fact) {
+        args.clear();
         for (const Value& v : fact.args()) {
           auto it = subst.find(v);
           if (it == subst.end()) {
@@ -525,7 +524,7 @@ ChaseResultKind EgdFixpoint(Instance* target, const std::vector<Egd>& egds,
           ++stats->values_rewritten;
           args.push_back(it->second);
         }
-        next.Insert(Fact(fact.relation(), std::move(args)));
+        next.InsertSpan(fact.relation(), args.data(), args.size());
       });
       *target = std::move(next);
       reverse_valid = false;
@@ -710,7 +709,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   // rewrote anything, since rewritten facts can seed triggers the frontier
   // would otherwise never revisit. The finder is derived state: on resume
   // it is rebuilt fresh over the restored target.
-  HomomorphismFinder finder(outcome.target);
+  HomomorphismFinder finder(outcome.target, &outcome.stats.search);
   const auto run_round = [&]() {
     if (schedule != nullptr) {
       return options.semi_naive

@@ -64,6 +64,11 @@ struct ChaseStats {
   /// Stratum count of the schedule the run consulted; 0 when the run was
   /// unscheduled (ChaseOptions::scheduled == false).
   std::size_t schedule_strata = 0;
+  /// Homomorphism-engine index counters (probes answered by a mask index,
+  /// candidates those probes returned, full relation scans). Deterministic
+  /// for a given program and engine configuration — independent of job
+  /// count, since parallel collection probes the same round-start state.
+  IndexStats search;
   /// The termination certificate the run consulted: taken from
   /// Mapping::certificate when the parser filled it in, otherwise derived
   /// on entry. Runs whose certificate is kUnknown are refused upfront.

@@ -4,11 +4,23 @@
 // fact's time interval (Value of kind kInterval). The paper's notation
 // f[T] (the time interval of a concrete fact) and f[D] (its data attribute
 // values) is mirrored by interval() and DataEquals().
+//
+// Two representations share one identity:
+//
+//  * Fact owns its arguments (std::vector<Value>) — the materialized form
+//    used for serialization, sorting, and set containers.
+//  * FactView is a non-owning (relation, position, argument-run) handle into
+//    an Instance's columnar arena (instance.h) — the form the hot matching
+//    paths traffic in, so enumerating candidates copies nothing.
+//
+// Both hash and compare by (relation, argument values), so a view and its
+// materialization are interchangeable as keys.
 
 #ifndef TDX_RELATIONAL_FACT_H_
 #define TDX_RELATIONAL_FACT_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,8 +29,115 @@
 
 namespace tdx {
 
-/// One tuple of one relation. Equality/hash/order are structural and include
-/// the relation id, so facts from different relations never collide.
+/// Structural hash of a fact spelled as (relation, argument run). The single
+/// definition shared by Fact, FactView, and the Instance membership table —
+/// all three must bucket identically.
+inline std::size_t HashFactSpan(RelationId rel, const Value* args,
+                                std::size_t n) {
+  std::size_t h = std::hash<RelationId>()(rel);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= args[i].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Non-owning run of contiguous values: one fact's arguments inside an
+/// Instance arena. Iterable like a container; valid until the owning arena
+/// mutates.
+class ValueSpan {
+ public:
+  ValueSpan() = default;
+  ValueSpan(const Value* data, std::size_t size) : data_(data), size_(size) {}
+
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+  const Value* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  const Value& front() const { return (*this)[0]; }
+  const Value& back() const { return (*this)[size_ - 1]; }
+
+ private:
+  const Value* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class Fact;
+
+/// Non-owning handle to one fact stored in an Instance arena: the relation,
+/// the fact's position within facts(relation), and a pointer to its
+/// contiguous argument run. Trivially copyable — the homomorphism engine
+/// passes these around instead of copying Facts. Invalidated by any
+/// instance mutation (appends can reallocate the arena; see
+/// Instance::generation for moves/rewrites).
+class FactView {
+ public:
+  FactView() = default;
+  FactView(RelationId rel, std::uint32_t pos, const Value* args,
+           std::uint32_t arity)
+      : args_(args), arity_(arity), pos_(pos), rel_(rel) {}
+
+  RelationId relation() const { return rel_; }
+  /// Index of this fact within Instance::facts(relation()).
+  std::uint32_t pos() const { return pos_; }
+  std::size_t arity() const { return arity_; }
+  ValueSpan args() const { return ValueSpan(args_, arity_); }
+  const Value& arg(std::size_t i) const {
+    assert(i < arity_);
+    return args_[i];
+  }
+
+  /// f[T]: the time interval of a concrete fact — its last argument.
+  const Interval& interval() const {
+    assert(arity_ > 0 && args_[arity_ - 1].is_interval());
+    return args_[arity_ - 1].interval();
+  }
+  bool has_interval() const {
+    return arity_ > 0 && args_[arity_ - 1].is_interval();
+  }
+
+  /// f[D] = g[D]: same data attribute values (all but the last argument).
+  bool DataEquals(FactView other) const {
+    if (rel_ != other.rel_ || arity_ != other.arity_) return false;
+    for (std::size_t i = 0; i + 1 < arity_; ++i) {
+      if (args_[i] != other.args_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Materializes an owning Fact with the same content.
+  Fact ToFact() const;
+
+  /// Materialized copy restamped with `iv` (see Fact::WithInterval).
+  Fact WithInterval(const Interval& iv) const;
+
+  std::size_t Hash() const { return HashFactSpan(rel_, args_, arity_); }
+
+  std::string ToString(const Schema& schema, const Universe& u) const;
+
+  friend bool operator==(FactView a, FactView b) {
+    if (a.rel_ != b.rel_ || a.arity_ != b.arity_) return false;
+    for (std::size_t i = 0; i < a.arity_; ++i) {
+      if (a.args_[i] != b.args_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(FactView a, FactView b) { return !(a == b); }
+
+ private:
+  const Value* args_ = nullptr;
+  std::uint32_t arity_ = 0;
+  std::uint32_t pos_ = 0;
+  RelationId rel_ = 0;
+};
+
+/// One tuple of one relation, owning its arguments. Equality/hash/order are
+/// structural and include the relation id, so facts from different relations
+/// never collide.
 class Fact {
  public:
   Fact(RelationId rel, std::vector<Value> args)
@@ -30,6 +149,13 @@ class Fact {
   const Value& arg(std::size_t i) const {
     assert(i < args_.size());
     return args_[i];
+  }
+
+  /// Non-owning view of this fact's content (position 0: an owning Fact has
+  /// no arena position).
+  FactView View() const {
+    return FactView(rel_, 0, args_.data(),
+                    static_cast<std::uint32_t>(args_.size()));
   }
 
   /// f[T]: the time interval of a concrete fact — its last argument, which
@@ -59,11 +185,7 @@ class Fact {
   Fact WithInterval(const Interval& iv) const;
 
   std::size_t Hash() const {
-    std::size_t h = std::hash<RelationId>()(rel_);
-    for (const Value& v : args_) {
-      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
+    return HashFactSpan(rel_, args_.data(), args_.size());
   }
 
   /// Renders as "R(v1, ..., vn)" resolving names through `u` and `schema`.
@@ -82,6 +204,10 @@ class Fact {
   RelationId rel_;
   std::vector<Value> args_;
 };
+
+inline Fact FactView::ToFact() const {
+  return Fact(rel_, std::vector<Value>(args_, args_ + arity_));
+}
 
 struct FactHash {
   std::size_t operator()(const Fact& f) const { return f.Hash(); }

@@ -27,7 +27,7 @@ std::string Conjunction::ToString(const Schema& schema,
   return out;
 }
 
-bool HomomorphismFinder::MatchAtom(const Atom& atom, const Fact& fact,
+bool HomomorphismFinder::MatchAtom(const Atom& atom, FactView fact,
                                    Binding& binding,
                                    std::vector<VarId>& newly_bound) {
   if (fact.relation() != atom.rel || fact.arity() != atom.terms.size()) {
@@ -57,123 +57,145 @@ fail:
   return false;
 }
 
-bool HomomorphismFinder::Search(const Conjunction& conj,
-                                std::vector<bool>& done,
-                                std::size_t remaining, Binding& binding,
-                                AtomImage& image, const HomCallback& cb) {
-  if (remaining == 0) return cb(binding, image);
+bool HomomorphismFinder::Search(const Conjunction& conj, Scratch& scratch,
+                                std::size_t depth, std::size_t remaining,
+                                Binding& binding, const HomCallback& cb) {
+  if (remaining == 0) return cb(binding, scratch.image);
 
-  // Pick the undone atom with the most bound terms (most selective first).
+  // Pick the undone atom with the most bound terms (most selective first);
+  // among equally-bound atoms prefer the one whose relation has fewer facts
+  // (cheap selectivity estimate).
   std::size_t best = conj.atoms.size();
   std::size_t best_bound = 0;
+  std::size_t best_size = 0;
   for (std::size_t i = 0; i < conj.atoms.size(); ++i) {
-    if (done[i]) continue;
+    if (scratch.done[i] != 0) continue;
     std::size_t bound = 0;
     for (const Term& t : conj.atoms[i].terms) {
       if (!t.is_var() || binding.IsBound(t.var())) ++bound;
     }
-    if (best == conj.atoms.size() || bound > best_bound) {
+    const std::size_t rel_size = instance_->facts(conj.atoms[i].rel).size();
+    if (best == conj.atoms.size() || bound > best_bound ||
+        (bound == best_bound && rel_size < best_size)) {
       best = i;
       best_bound = bound;
+      best_size = rel_size;
     }
   }
   assert(best < conj.atoms.size());
   const Atom& atom = conj.atoms[best];
 
-  // Candidate facts: index probe on bound positions, else full relation.
-  std::vector<std::uint32_t> positions;
-  std::vector<Value> values;
+  // Probe key: the atom's bound positions and their values, into this
+  // depth's reusable frame (frames are pre-sized to the atom count, so the
+  // reference stays valid across the recursion below).
+  assert(depth < scratch.frames.size());
+  Frame& frame = scratch.frames[depth];
+  frame.positions.clear();
+  frame.values.clear();
   for (std::uint32_t i = 0; i < atom.terms.size(); ++i) {
     const Term& t = atom.terms[i];
     if (!t.is_var()) {
-      positions.push_back(i);
-      values.push_back(t.value());
+      frame.positions.push_back(i);
+      frame.values.push_back(t.value());
     } else if (binding.IsBound(t.var())) {
-      positions.push_back(i);
-      values.push_back(binding.Get(t.var()));
+      frame.positions.push_back(i);
+      frame.values.push_back(binding.Get(t.var()));
     }
   }
 
-  const std::vector<Fact>& rel_facts = instance_->facts(atom.rel);
-  done[best] = true;
+  const FactColumn rel_facts = instance_->facts(atom.rel);
+  scratch.done[best] = 1;
   bool keep_going = true;
-  std::vector<VarId> newly_bound;
 
-  auto try_fact = [&](const Fact& fact) {
-    newly_bound.clear();
-    if (!MatchAtom(atom, fact, binding, newly_bound)) return true;
-    image[best] = fact;
+  auto try_fact = [&](FactView fact) {
+    frame.newly_bound.clear();
+    if (!MatchAtom(atom, fact, binding, frame.newly_bound)) return true;
+    scratch.image[best] = fact;
     const bool cont =
-        Search(conj, done, remaining - 1, binding, image, cb);
-    for (VarId v : newly_bound) binding.Unbind(v);
+        Search(conj, scratch, depth + 1, remaining - 1, binding, cb);
+    for (VarId v : frame.newly_bound) binding.Unbind(v);
     return cont;
   };
 
-  // Index probe on bound positions; nullptr (nothing bound, or a wide
-  // relation beyond the mask width) falls back to a full scan.
-  const std::vector<std::uint32_t>* candidates =
-      positions.empty() ? nullptr : cache_.Probe(atom.rel, positions, values);
-  if (candidates == nullptr) {
-    for (const Fact& fact : rel_facts) {
-      if (!try_fact(fact)) {
-        keep_going = false;
-        break;
-      }
-    }
-  } else {
-    for (std::uint32_t idx : *candidates) {
+  // Index probe on bound positions; an uncovered probe (nothing bound, or a
+  // wide relation beyond the mask width) falls back to a full scan.
+  CandidateRange candidates;
+  if (!frame.positions.empty()) {
+    candidates = cache_.Probe(atom.rel, frame.positions.data(),
+                              frame.values.data(), frame.positions.size());
+  }
+  if (candidates.covered) {
+    ++stats_->index_probes;
+    stats_->index_candidates += candidates.size();
+    for (std::uint32_t idx : candidates) {
       if (!try_fact(rel_facts[idx])) {
         keep_going = false;
         break;
       }
     }
+  } else {
+    ++stats_->full_scans;
+    for (std::size_t i = 0; i < rel_facts.size(); ++i) {
+      if (!try_fact(rel_facts[i])) {
+        keep_going = false;
+        break;
+      }
+    }
   }
-  done[best] = false;
+  scratch.done[best] = 0;
   return keep_going;
 }
 
-bool HomomorphismFinder::ForEach(const Conjunction& conj, Binding initial,
+bool HomomorphismFinder::ForEach(const Conjunction& conj, Binding* initial,
                                  const HomCallback& cb) {
-  assert(initial.size() >= conj.num_vars);
+  assert(initial->size() >= conj.num_vars);
   if (conj.atoms.empty()) {
-    AtomImage empty_image;
-    return cb(initial, empty_image);
+    const AtomImage empty_image;
+    return cb(*initial, empty_image);
   }
-  std::vector<bool> done(conj.atoms.size(), false);
-  // Placeholder facts; every slot is overwritten before the callback runs.
-  AtomImage image(conj.atoms.size(), Fact(0, {}));
-  return Search(conj, done, conj.atoms.size(), initial, image, cb);
+  ScratchLease scratch(this);
+  scratch->done.assign(conj.atoms.size(), 0);
+  scratch->image.assign(conj.atoms.size(), FactView());
+  if (scratch->frames.size() < conj.atoms.size()) {
+    scratch->frames.resize(conj.atoms.size());
+  }
+  return Search(conj, *scratch, 0, conj.atoms.size(), *initial, cb);
 }
 
 bool HomomorphismFinder::ForEachSeeded(const Conjunction& conj,
                                        std::size_t seed_atom,
                                        std::uint32_t seed_begin,
-                                       std::uint32_t seed_end, Binding initial,
-                                       const HomCallback& cb) {
-  assert(initial.size() >= conj.num_vars);
+                                       std::uint32_t seed_end,
+                                       Binding* initial, const HomCallback& cb) {
+  assert(initial->size() >= conj.num_vars);
   assert(seed_atom < conj.atoms.size());
   const Atom& atom = conj.atoms[seed_atom];
-  const std::vector<Fact>& rel_facts = instance_->facts(atom.rel);
+  const FactColumn rel_facts = instance_->facts(atom.rel);
   assert(seed_end <= rel_facts.size());
-  std::vector<bool> done(conj.atoms.size(), false);
-  AtomImage image(conj.atoms.size(), Fact(0, {}));
-  done[seed_atom] = true;
-  std::vector<VarId> newly_bound;
+  ScratchLease scratch(this);
+  scratch->done.assign(conj.atoms.size(), 0);
+  scratch->image.assign(conj.atoms.size(), FactView());
+  // Frame slot 0 serves the seed loop; recursion starts at depth 1.
+  if (scratch->frames.size() < conj.atoms.size() + 1) {
+    scratch->frames.resize(conj.atoms.size() + 1);
+  }
+  scratch->done[seed_atom] = 1;
+  std::vector<VarId>& newly_bound = scratch->frames[0].newly_bound;
   for (std::uint32_t i = seed_begin; i < seed_end; ++i) {
     newly_bound.clear();
-    if (!MatchAtom(atom, rel_facts[i], initial, newly_bound)) continue;
-    image[seed_atom] = rel_facts[i];
+    if (!MatchAtom(atom, rel_facts[i], *initial, newly_bound)) continue;
+    scratch->image[seed_atom] = rel_facts[i];
     const bool cont =
-        Search(conj, done, conj.atoms.size() - 1, initial, image, cb);
-    for (VarId v : newly_bound) initial.Unbind(v);
+        Search(conj, *scratch, 1, conj.atoms.size() - 1, *initial, cb);
+    for (VarId v : newly_bound) initial->Unbind(v);
     if (!cont) return false;
   }
   return true;
 }
 
-bool HomomorphismFinder::Exists(const Conjunction& conj, Binding initial) {
+bool HomomorphismFinder::Exists(const Conjunction& conj, Binding* initial) {
   bool found = false;
-  ForEach(conj, std::move(initial), [&](const Binding&, const AtomImage&) {
+  ForEach(conj, initial, [&](const Binding&, const AtomImage&) {
     found = true;
     return false;  // stop at the first one
   });
@@ -183,11 +205,10 @@ bool HomomorphismFinder::Exists(const Conjunction& conj, Binding initial) {
 std::optional<Binding> HomomorphismFinder::FindFirst(const Conjunction& conj,
                                                      Binding initial) {
   std::optional<Binding> result;
-  ForEach(conj, std::move(initial),
-          [&](const Binding& binding, const AtomImage&) {
-            result = binding;
-            return false;
-          });
+  ForEach(conj, &initial, [&](const Binding& binding, const AtomImage&) {
+    result = binding;
+    return false;
+  });
   return result;
 }
 

@@ -11,16 +11,23 @@
 //  * conjunctive query evaluation and naive evaluation (Section 5),
 //  * instance-level homomorphism checks (universality, Definition 3).
 //
-// Search is backtracking over atoms, dynamically ordered most-bound-first,
+// Search is backtracking over atoms, dynamically ordered most-bound-first
+// (ties broken toward the smaller relation — a cheap selectivity estimate),
 // with hash-index probes (index.h) for candidate facts. Because the paper
 // treats intervals as values ("intervals behave as constants" after
 // normalization), temporal variables need no special handling here.
+//
+// The search is allocation-free in steady state: probe keys, the
+// newly-bound stack, and the atom image live in per-finder scratch buffers
+// reused across calls, and the image holds FactView handles into the
+// instance arena instead of copied Facts.
 
 #ifndef TDX_RELATIONAL_HOMOMORPHISM_H_
 #define TDX_RELATIONAL_HOMOMORPHISM_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -103,8 +110,9 @@ class Binding {
 };
 
 /// The image of a conjunction under a homomorphism: for each atom (by
-/// position), the fact it was mapped to.
-using AtomImage = std::vector<Fact>;
+/// position), a view of the fact it was mapped to. Views are into the
+/// instance's arena and only valid during the callback.
+using AtomImage = std::vector<FactView>;
 
 /// Callback invoked per homomorphism found. Return true to continue
 /// enumeration, false to stop early.
@@ -118,15 +126,29 @@ using HomCallback =
 /// the chase keep ONE finder alive across rounds. Do not mutate the
 /// instance from inside an enumeration callback, though: candidate lists
 /// for the in-flight probe would dangle.
+///
+/// When `stats` is given, the finder accumulates index probe / candidate /
+/// full-scan counters there (the chase engines point it at their
+/// ChaseStats).
 class HomomorphismFinder {
  public:
-  explicit HomomorphismFinder(const Instance& instance)
-      : instance_(&instance), cache_(&instance) {}
+  explicit HomomorphismFinder(const Instance& instance,
+                              IndexStats* stats = nullptr)
+      : instance_(&instance),
+        cache_(&instance),
+        stats_(stats != nullptr ? stats : &own_stats_) {}
 
   /// Enumerates every homomorphism from `conj` to the instance extending
   /// `initial` (pass a fresh Binding(conj.num_vars) for no constraints).
   /// Returns false iff the callback stopped enumeration early.
   bool ForEach(const Conjunction& conj, Binding initial,
+               const HomCallback& cb) {
+    return ForEach(conj, &initial, cb);
+  }
+
+  /// In-place variant: extends `*initial` during the search and fully
+  /// restores it before returning (even on early stop) — no Binding copy.
+  bool ForEach(const Conjunction& conj, Binding* initial,
                const HomCallback& cb);
 
   /// Semi-naive building block: enumerates every homomorphism extending
@@ -138,26 +160,75 @@ class HomomorphismFinder {
   /// time, never correctness). Returns false iff the callback stopped early.
   bool ForEachSeeded(const Conjunction& conj, std::size_t seed_atom,
                      std::uint32_t seed_begin, std::uint32_t seed_end,
-                     Binding initial, const HomCallback& cb);
+                     Binding initial, const HomCallback& cb) {
+    return ForEachSeeded(conj, seed_atom, seed_begin, seed_end, &initial, cb);
+  }
+
+  /// In-place variant of ForEachSeeded (restores `*initial` on return).
+  bool ForEachSeeded(const Conjunction& conj, std::size_t seed_atom,
+                     std::uint32_t seed_begin, std::uint32_t seed_end,
+                     Binding* initial, const HomCallback& cb);
 
   /// Does any homomorphism extending `initial` exist?
-  bool Exists(const Conjunction& conj, Binding initial);
+  bool Exists(const Conjunction& conj, Binding initial) {
+    return Exists(conj, &initial);
+  }
+
+  /// In-place variant of Exists (restores `*initial` on return).
+  bool Exists(const Conjunction& conj, Binding* initial);
 
   /// First homomorphism extending `initial`, if any.
   std::optional<Binding> FindFirst(const Conjunction& conj, Binding initial);
 
  private:
-  bool Search(const Conjunction& conj, std::vector<bool>& done,
-              std::size_t remaining, Binding& binding, AtomImage& image,
-              const HomCallback& cb);
+  /// Reusable per-depth search state. One Frame per recursion level; the
+  /// frames vector is sized once per enumeration (to the atom count), so
+  /// recursion never reallocates it under a live reference.
+  struct Frame {
+    std::vector<std::uint32_t> positions;  // bound positions (probe key)
+    std::vector<Value> values;             // bound values (probe key)
+    std::vector<VarId> newly_bound;        // vars bound at this level
+  };
+  struct Scratch {
+    std::vector<Frame> frames;
+    std::vector<char> done;
+    AtomImage image;
+  };
+  /// RAII lease of one Scratch from the finder's pool. Nested enumerations
+  /// (a callback calling back into the same finder) get distinct scratch.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(HomomorphismFinder* f) : f_(f) {
+      if (f_->active_scratch_ == f_->scratch_pool_.size()) {
+        f_->scratch_pool_.push_back(std::make_unique<Scratch>());
+      }
+      s_ = f_->scratch_pool_[f_->active_scratch_++].get();
+    }
+    ~ScratchLease() { --f_->active_scratch_; }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    Scratch& operator*() const { return *s_; }
+    Scratch* operator->() const { return s_; }
+
+   private:
+    HomomorphismFinder* f_;
+    Scratch* s_;
+  };
+
+  bool Search(const Conjunction& conj, Scratch& scratch, std::size_t depth,
+              std::size_t remaining, Binding& binding, const HomCallback& cb);
 
   /// Attempts to match `fact` against `atom` under `binding`; on success
   /// appends newly bound vars to `newly_bound` and returns true.
-  static bool MatchAtom(const Atom& atom, const Fact& fact, Binding& binding,
+  static bool MatchAtom(const Atom& atom, FactView fact, Binding& binding,
                         std::vector<VarId>& newly_bound);
 
   const Instance* instance_;
   IndexCache cache_;
+  IndexStats own_stats_;
+  IndexStats* stats_;
+  std::vector<std::unique_ptr<Scratch>> scratch_pool_;
+  std::size_t active_scratch_ = 0;
 };
 
 }  // namespace tdx

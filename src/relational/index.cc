@@ -1,9 +1,11 @@
 #include "src/relational/index.h"
 
+#include <algorithm>
+
 namespace tdx {
 
 std::size_t IndexCache::HashValuesAt(
-    const Fact& fact, const std::vector<std::uint32_t>& positions) {
+    FactView fact, const std::vector<std::uint32_t>& positions) {
   std::size_t h = 0;
   for (std::uint32_t pos : positions) {
     h ^= fact.arg(pos).Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -11,27 +13,109 @@ std::size_t IndexCache::HashValuesAt(
   return h;
 }
 
-std::size_t IndexCache::HashValues(const std::vector<Value>& values) {
+std::size_t IndexCache::HashValues(const Value* values, std::size_t n) {
   std::size_t h = 0;
-  for (const Value& v : values) {
-    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= values[i].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
   return h;
 }
 
+void IndexCache::GrowTable(MaskIndex* index) {
+  std::vector<Bucket> old = std::move(index->table);
+  index->table.assign(old.size() * 2, Bucket{});
+  const std::size_t mask = index->table.size() - 1;
+  for (const Bucket& b : old) {
+    if (b.cap == 0) continue;
+    std::size_t i = b.hash & mask;
+    while (index->table[i].cap != 0) i = (i + 1) & mask;
+    index->table[i] = b;
+  }
+}
+
+void IndexCache::CompactSlots(MaskIndex* index) {
+  // Rewrite every run back-to-back; runs keep their internal (ascending
+  // position) order, so probe results are unchanged. Round capacities up to
+  // a power of two so the next few appends don't immediately relocate.
+  std::vector<std::uint32_t> fresh;
+  fresh.reserve(index->slots.size() - index->waste);
+  for (Bucket& b : index->table) {
+    if (b.cap == 0) continue;
+    std::uint32_t cap = 4;
+    while (cap < b.len) cap <<= 1;
+    const std::uint32_t begin = static_cast<std::uint32_t>(fresh.size());
+    fresh.resize(fresh.size() + cap);
+    std::copy(index->slots.begin() + b.begin,
+              index->slots.begin() + b.begin + b.len, fresh.begin() + begin);
+    b.begin = begin;
+    b.cap = cap;
+  }
+  index->slots = std::move(fresh);
+  index->waste = 0;
+}
+
+void IndexCache::Add(MaskIndex* index, std::size_t hash, std::uint32_t pos) {
+  if (index->table.empty()) {
+    index->table.assign(16, Bucket{});
+  } else if ((std::size_t{index->used} + 1) * 4 > index->table.size() * 3) {
+    GrowTable(index);
+  }
+  const std::size_t mask = index->table.size() - 1;
+  std::size_t i = hash & mask;
+  while (index->table[i].cap != 0 && index->table[i].hash != hash) {
+    i = (i + 1) & mask;
+  }
+  Bucket& b = index->table[i];
+  if (b.cap == 0) {
+    b.hash = hash;
+    b.begin = static_cast<std::uint32_t>(index->slots.size());
+    b.len = 0;
+    b.cap = 4;
+    index->slots.resize(index->slots.size() + b.cap);
+    ++index->used;
+  } else if (b.len == b.cap) {
+    // Run full: relocate to the end of the slots array with doubled
+    // capacity; the old run becomes tracked waste.
+    const std::uint32_t begin = static_cast<std::uint32_t>(index->slots.size());
+    index->slots.resize(index->slots.size() + std::size_t{b.cap} * 2);
+    std::copy(index->slots.begin() + b.begin,
+              index->slots.begin() + b.begin + b.len,
+              index->slots.begin() + begin);
+    index->waste += b.cap;
+    b.begin = begin;
+    b.cap *= 2;
+  }
+  index->slots[b.begin + b.len] = pos;
+  ++b.len;
+  if (index->waste > index->slots.size() / 2 && index->slots.size() > 1024) {
+    CompactSlots(index);
+  }
+}
+
+const IndexCache::Bucket* IndexCache::FindBucket(const MaskIndex& index,
+                                                 std::size_t hash) {
+  if (index.table.empty()) return nullptr;
+  const std::size_t mask = index.table.size() - 1;
+  std::size_t i = hash & mask;
+  while (index.table[i].cap != 0) {
+    if (index.table[i].hash == hash) return &index.table[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
 void IndexCache::AppendNewFacts(RelationId rel, MaskIndex* index) {
-  const std::vector<Fact>& facts = instance_->facts(rel);
+  const FactColumn facts = instance_->facts(rel);
   for (std::uint32_t i = index->indexed_count; i < facts.size(); ++i) {
-    index->buckets[HashValuesAt(facts[i], index->positions)].push_back(i);
+    Add(index, HashValuesAt(facts[i], index->positions), i);
   }
   index->indexed_count = static_cast<std::uint32_t>(facts.size());
 }
 
-const std::vector<std::uint32_t>* IndexCache::Probe(
-    RelationId rel, const std::vector<std::uint32_t>& positions,
-    const std::vector<Value>& values) {
-  assert(!positions.empty());
-  assert(positions.size() == values.size());
+CandidateRange IndexCache::Probe(RelationId rel,
+                                 const std::uint32_t* positions,
+                                 const Value* values, std::size_t n) {
+  assert(n > 0);
   // A generation change means facts moved or were rewritten in place; every
   // cached bucket may now point at the wrong fact, so start over. Appends
   // do not change the generation and are handled incrementally below.
@@ -40,21 +124,17 @@ const std::vector<std::uint32_t>* IndexCache::Probe(
     generation_ = instance_->generation();
   }
   std::uint64_t mask = 0;
-  for (std::uint32_t pos : positions) {
-    if (pos >= 64) return nullptr;  // wide relation: caller scans instead
-    mask |= (std::uint64_t{1} << pos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (positions[i] >= 64) return CandidateRange{};  // wide relation: scan
+    mask |= (std::uint64_t{1} << positions[i]);
   }
-  const MaskKey key{rel, mask};
-  auto it = indexes_.find(key);
-  if (it == indexes_.end()) {
-    MaskIndex index;
-    index.positions = positions;
-    it = indexes_.emplace(key, std::move(index)).first;
-  }
-  AppendNewFacts(rel, &it->second);
-  auto bucket = it->second.buckets.find(HashValues(values));
-  if (bucket == it->second.buckets.end()) return &empty_;
-  return &bucket->second;
+  auto [it, fresh] = indexes_.try_emplace(MaskKey{rel, mask});
+  MaskIndex& index = it->second;
+  if (fresh) index.positions.assign(positions, positions + n);
+  AppendNewFacts(rel, &index);
+  const Bucket* bucket = FindBucket(index, HashValues(values, n));
+  if (bucket == nullptr) return CandidateRange{nullptr, 0, true};
+  return CandidateRange{index.slots.data() + bucket->begin, bucket->len, true};
 }
 
 }  // namespace tdx

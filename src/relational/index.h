@@ -17,9 +17,18 @@
 // This is what lets a HomomorphismFinder persist across chase rounds instead
 // of being rebuilt per round (see chase.cc's semi-naive trigger enumeration).
 //
+// Layout: one MaskIndex is a flat open-addressing table of buckets (probed
+// by the hash of the bound values) whose candidate runs live back-to-back in
+// one contiguous slots array — no per-bucket heap nodes, no rehash of
+// candidate lists. A run that outgrows its capacity relocates to the end of
+// the slots array (classic doubling); the dead space left behind is tracked
+// and compacted away when it dominates.
+//
 // Probing is approximate: candidates are bucketed by a hash of the bound
 // values, and the engine re-verifies every candidate during matching, so
-// hash collisions cost time but never correctness.
+// hash collisions cost time but never correctness. Candidate runs preserve
+// ascending fact-position order, which keeps enumeration order — and thus
+// chase output — identical to a full scan filtered by the predicate.
 
 #ifndef TDX_RELATIONAL_INDEX_H_
 #define TDX_RELATIONAL_INDEX_H_
@@ -32,6 +41,37 @@
 
 namespace tdx {
 
+/// Counters for index effectiveness, accumulated by the homomorphism engine
+/// (and surfaced through ChaseStats / tdx_cli --stats).
+struct IndexStats {
+  std::uint64_t index_probes = 0;      ///< probes answered by a mask index
+  std::uint64_t index_candidates = 0;  ///< candidate facts those probes returned
+  std::uint64_t full_scans = 0;        ///< relation scans (nothing bound, or
+                                       ///< wide-relation mask fallback)
+
+  IndexStats& operator+=(const IndexStats& o) {
+    index_probes += o.index_probes;
+    index_candidates += o.index_candidates;
+    full_scans += o.full_scans;
+    return *this;
+  }
+};
+
+/// Result of IndexCache::Probe: a run of candidate fact positions (indexes
+/// into instance.facts(rel)), in ascending position order. When `covered` is
+/// false the index could not answer (a bound position >= 64 does not fit the
+/// mask key) and the caller must scan the full relation. The run points into
+/// the cache and is valid until the next Probe.
+struct CandidateRange {
+  const std::uint32_t* data = nullptr;
+  std::uint32_t count = 0;
+  bool covered = false;
+
+  const std::uint32_t* begin() const { return data; }
+  const std::uint32_t* end() const { return data + count; }
+  std::uint32_t size() const { return count; }
+};
+
 class IndexCache {
  public:
   explicit IndexCache(const Instance* instance)
@@ -40,22 +80,35 @@ class IndexCache {
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
 
-  /// Candidate positions (indexes into instance.facts(rel)) of facts whose
-  /// arguments at `positions` hash-match `values`. `positions` must be
-  /// sorted ascending and non-empty; `values[i]` corresponds to
-  /// `positions[i]`. The returned pointer is valid until the next Probe.
-  ///
-  /// Returns nullptr when the index cannot cover the probe — an attribute
-  /// position >= 64 does not fit the mask key (wide relations) — in which
-  /// case the caller scans the full relation instead. Never UB.
-  const std::vector<std::uint32_t>* Probe(
-      RelationId rel, const std::vector<std::uint32_t>& positions,
-      const std::vector<Value>& values);
+  /// Candidate positions of facts whose arguments at `positions` hash-match
+  /// `values`. `positions` must be sorted ascending and non-empty;
+  /// `values[i]` corresponds to `positions[i]`.
+  CandidateRange Probe(RelationId rel, const std::uint32_t* positions,
+                       const Value* values, std::size_t n);
+
+  /// Convenience overload (tests).
+  CandidateRange Probe(RelationId rel,
+                       const std::vector<std::uint32_t>& positions,
+                       const std::vector<Value>& values) {
+    assert(positions.size() == values.size());
+    return Probe(rel, positions.data(), values.data(), positions.size());
+  }
 
  private:
+  /// One bucket: the candidate run for one bound-value hash, stored at
+  /// slots[begin, begin+len) with capacity cap. cap == 0 marks an empty
+  /// table entry (a real bucket always has capacity).
+  struct Bucket {
+    std::size_t hash = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
   struct MaskIndex {
-    // bucket hash -> fact positions
-    std::unordered_map<std::size_t, std::vector<std::uint32_t>> buckets;
+    std::vector<Bucket> table;  // open addressing, power-of-two size
+    std::vector<std::uint32_t> slots;
+    std::uint32_t used = 0;   // occupied buckets
+    std::uint32_t waste = 0;  // dead slots left behind by run relocation
     // The probed positions (the expansion of the mask key), kept so the
     // catch-up path can hash new facts without re-deriving them.
     std::vector<std::uint32_t> positions;
@@ -76,9 +129,16 @@ class IndexCache {
     }
   };
 
-  static std::size_t HashValuesAt(const Fact& fact,
+  static std::size_t HashValuesAt(FactView fact,
                                   const std::vector<std::uint32_t>& positions);
-  static std::size_t HashValues(const std::vector<Value>& values);
+  static std::size_t HashValues(const Value* values, std::size_t n);
+
+  /// Appends fact position `pos` to the run for `hash`, claiming a bucket /
+  /// relocating the run as needed.
+  static void Add(MaskIndex* index, std::size_t hash, std::uint32_t pos);
+  static void GrowTable(MaskIndex* index);
+  static void CompactSlots(MaskIndex* index);
+  static const Bucket* FindBucket(const MaskIndex& index, std::size_t hash);
 
   /// Hashes the facts appended since `index` was last caught up.
   void AppendNewFacts(RelationId rel, MaskIndex* index);
@@ -86,7 +146,6 @@ class IndexCache {
   const Instance* instance_;
   std::uint64_t generation_;
   std::unordered_map<MaskKey, MaskIndex, MaskKeyHash> indexes_;
-  std::vector<std::uint32_t> empty_;
 };
 
 }  // namespace tdx

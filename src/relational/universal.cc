@@ -6,7 +6,7 @@ Conjunction InstanceToConjunction(
     const Instance& instance,
     std::unordered_map<Value, VarId, ValueHash>* null_vars) {
   Conjunction conj;
-  instance.ForEach([&](const Fact& fact) {
+  instance.ForEach([&](FactView fact) {
     Atom atom;
     atom.rel = fact.relation();
     atom.terms.reserve(fact.arity());

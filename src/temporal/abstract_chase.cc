@@ -18,7 +18,7 @@ namespace {
 
 bool PieceIsComplete(const AbstractPiece& piece) {
   bool complete = true;
-  piece.snapshot.ForEach([&](const Fact& fact) {
+  piece.snapshot.ForEach([&](FactView fact) {
     for (const Value& v : fact.args()) {
       if (v.is_any_null()) complete = false;
     }
@@ -31,7 +31,7 @@ bool PieceIsComplete(const AbstractPiece& piece) {
 std::vector<Value> CollectNulls(const Instance& target) {
   std::unordered_set<NullId> seen;
   std::vector<Value> out;
-  target.ForEach([&](const Fact& fact) {
+  target.ForEach([&](FactView fact) {
     for (const Value& v : fact.args()) {
       if (v.is_null() && seen.insert(v.null_id()).second) out.push_back(v);
     }
@@ -54,14 +54,15 @@ Instance RelabelNulls(Instance target, const std::vector<Value>& nulls,
     subst.emplace(old_null, universe->FreshAnnotatedNull(span));
   }
   Instance relabeled(&target.schema());
-  target.ForEach([&](const Fact& fact) {
-    std::vector<Value> args;
+  std::vector<Value> args;
+  target.ForEach([&](FactView fact) {
+    args.clear();
     args.reserve(fact.arity());
     for (const Value& v : fact.args()) {
       auto it = subst.find(v);
       args.push_back(it == subst.end() ? v : it->second);
     }
-    relabeled.Insert(Fact(fact.relation(), std::move(args)));
+    relabeled.InsertSpan(fact.relation(), args.data(), args.size());
   });
   return relabeled;
 }
@@ -80,6 +81,7 @@ bool MergePiece(const AbstractPiece& piece, ChaseOutcome piece_outcome,
   outcome->stats.skipped_egd_passes += piece_outcome.stats.skipped_egd_passes;
   outcome->stats.skipped_normalize_passes +=
       piece_outcome.stats.skipped_normalize_passes;
+  outcome->stats.search += piece_outcome.stats.search;
   // Every piece chases the same mapping, so the stratum count is shared,
   // not additive.
   outcome->stats.schedule_strata = piece_outcome.stats.schedule_strata;

@@ -20,7 +20,7 @@ struct PieceProblem {
 PieceProblem BuildPieceProblem(const Instance& snapshot) {
   PieceProblem problem;
   std::unordered_map<Value, VarId, ValueHash> var_of;
-  snapshot.ForEach([&](const Fact& fact) {
+  snapshot.ForEach([&](FactView fact) {
     Atom atom;
     atom.rel = fact.relation();
     for (const Value& v : fact.args()) {
@@ -51,7 +51,7 @@ class AbstractHomSearch {
         occurrence;  // null -> (#pieces it occurs in, index of last one)
     for (std::size_t i = 0; i < from.pieces().size(); ++i) {
       std::unordered_set<NullId> here;
-      from.pieces()[i].snapshot.ForEach([&](const Fact& fact) {
+      from.pieces()[i].snapshot.ForEach([&](FactView fact) {
         for (const Value& v : fact.args()) {
           if (v.is_null()) here.insert(v.null_id());
         }

@@ -22,7 +22,7 @@ Status AbstractInstance::ValidateCover() const {
   }
   for (const AbstractPiece& piece : pieces_) {
     Status status = Status::OK();
-    piece.snapshot.ForEach([&](const Fact& fact) {
+    piece.snapshot.ForEach([&](FactView fact) {
       if (!status.ok()) return;
       for (const Value& v : fact.args()) {
         if (v.is_annotated_null() && !v.interval().Contains(piece.span)) {
@@ -52,7 +52,7 @@ Result<AbstractInstance> AbstractInstance::FromConcrete(
                               : Interval::FromStart(boundaries[i]);
     Instance snapshot(&schema);
     Status status = Status::OK();
-    ic.facts().ForEach([&](const Fact& fact) {
+    ic.facts().ForEach([&](FactView fact) {
       if (!status.ok()) return;
       // Spans are cut at every fact endpoint, so a fact interval either
       // contains the span or is disjoint from it.
@@ -75,7 +75,7 @@ Instance AbstractInstance::At(TimePoint l, Universe* universe) const {
   for (const AbstractPiece& piece : pieces_) {
     if (!piece.span.Contains(l)) continue;
     Instance out(schema_);
-    piece.snapshot.ForEach([&](const Fact& fact) {
+    piece.snapshot.ForEach([&](FactView fact) {
       std::vector<Value> args;
       args.reserve(fact.arity());
       for (const Value& v : fact.args()) {

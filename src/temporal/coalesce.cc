@@ -19,7 +19,7 @@ ConcreteInstance Coalesce(const ConcreteInstance& instance) {
     }
   };
   std::map<Key, std::pair<Fact, std::vector<Interval>>> groups;
-  instance.facts().ForEach([&](const Fact& fact) {
+  instance.facts().ForEach([&](FactView fact) {
     Key key{fact.relation(), {}};
     for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
       const Value& v = fact.arg(i);
@@ -28,7 +28,8 @@ ConcreteInstance Coalesce(const ConcreteInstance& instance) {
     auto it = groups.find(key);
     if (it == groups.end()) {
       groups.emplace(std::move(key),
-                     std::make_pair(fact, std::vector<Interval>{fact.interval()}));
+                     std::make_pair(fact.ToFact(),
+                                    std::vector<Interval>{fact.interval()}));
     } else {
       it->second.second.push_back(fact.interval());
     }

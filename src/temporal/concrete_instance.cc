@@ -7,7 +7,7 @@ namespace tdx {
 
 namespace {
 
-Status CheckFact(const Schema& schema, const Fact& fact) {
+Status CheckFact(const Schema& schema, FactView fact) {
   const RelationSchema& rel = schema.relation(fact.relation());
   if (!rel.temporal) {
     return Status::InvalidArgument("relation '" + rel.name +
@@ -50,14 +50,14 @@ Status ConcreteInstance::Add(RelationId rel, std::vector<Value> data,
                              const Interval& iv) {
   data.push_back(Value::OfInterval(iv));
   Fact fact(rel, std::move(data));
-  TDX_RETURN_IF_ERROR(CheckFact(schema(), fact));
+  TDX_RETURN_IF_ERROR(CheckFact(schema(), fact.View()));
   facts_.Insert(std::move(fact));
   return Status::OK();
 }
 
 Status ConcreteInstance::Validate() const {
   Status status = Status::OK();
-  facts_.ForEach([&](const Fact& fact) {
+  facts_.ForEach([&](FactView fact) {
     if (!status.ok()) return;
     status = CheckFact(schema(), fact);
   });
@@ -66,7 +66,7 @@ Status ConcreteInstance::Validate() const {
 
 bool ConcreteInstance::IsComplete() const {
   bool complete = true;
-  facts_.ForEach([&](const Fact& fact) {
+  facts_.ForEach([&](FactView fact) {
     for (const Value& v : fact.args()) {
       if (v.is_any_null()) complete = false;
     }
@@ -77,7 +77,7 @@ bool ConcreteInstance::IsComplete() const {
 std::vector<TimePoint> ConcreteInstance::Endpoints() const {
   std::vector<Interval> ivs;
   ivs.reserve(facts_.size());
-  facts_.ForEach([&](const Fact& fact) { ivs.push_back(fact.interval()); });
+  facts_.ForEach([&](FactView fact) { ivs.push_back(fact.interval()); });
   return DistinctFiniteEndpoints(ivs);
 }
 
@@ -98,7 +98,7 @@ bool ConcreteInstance::IsCoalesced() const {
     }
   };
   std::map<Key, std::vector<Interval>> groups;
-  facts_.ForEach([&](const Fact& fact) {
+  facts_.ForEach([&](FactView fact) {
     Key key{fact.relation(), {}};
     for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
       const Value& v = fact.arg(i);

@@ -11,7 +11,7 @@ std::vector<std::string> MissingFrom(const Instance& x, const Instance& y,
                                      const Schema& schema,
                                      const Universe& u) {
   std::vector<std::string> out;
-  x.ForEach([&](const Fact& f) {
+  x.ForEach([&](FactView f) {
     if (!y.Contains(f)) out.push_back(f.ToString(schema, u));
   });
   std::sort(out.begin(), out.end());

@@ -7,7 +7,7 @@ Result<Instance> SnapshotAt(const ConcreteInstance& instance, TimePoint l,
   const Schema& schema = instance.schema();
   Instance out(&schema);
   Status status = Status::OK();
-  instance.facts().ForEach([&](const Fact& fact) {
+  instance.facts().ForEach([&](FactView fact) {
     if (!status.ok()) return;
     if (!fact.interval().Contains(l)) return;
     Result<RelationId> twin = schema.TwinOf(fact.relation());

@@ -45,7 +45,7 @@ TEST(AbstractChaseTest, PaperExample5PerSnapshotResults) {
   {
     const Instance db = outcome->target.At(2012, &u);
     ASSERT_EQ(db.facts(emp).size(), 1u);
-    const Fact& f = db.facts(emp)[0];
+    const FactView f = db.facts(emp)[0];
     EXPECT_EQ(f.arg(0), u.Constant("Ada"));
     EXPECT_EQ(f.arg(1), u.Constant("IBM"));
     EXPECT_TRUE(f.arg(2).is_null());
@@ -88,7 +88,7 @@ TEST(AbstractChaseTest, NullsDifferAcrossSnapshots) {
   Universe& u = w->universe;
   auto bob_salary = [&](TimePoint l) {
     const Instance db = outcome->target.At(l, &u);
-    for (const Fact& f : db.facts(emp)) {
+    for (const FactView f : db.facts(emp)) {
       if (f.arg(0) == u.Constant("Bob")) return f.arg(2);
     }
     return Value();

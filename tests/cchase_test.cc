@@ -46,7 +46,7 @@ TEST_F(PaperCChaseTest, Figure9AnnotatedNullRows) {
   const RelationId emp_plus = *program_->schema.Find("Emp+");
 
   std::size_t null_rows = 0;
-  for (const Fact& fact : jc.facts().facts(emp_plus)) {
+  for (const FactView fact : jc.facts().facts(emp_plus)) {
     const Value& salary = fact.arg(2);
     if (!salary.is_annotated_null()) continue;
     ++null_rows;

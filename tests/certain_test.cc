@@ -71,7 +71,7 @@ TEST_F(CertainTest, CertainAnswersAreSoundForRandomSolutions) {
   // Substitute every annotated null with a made-up constant; add noise.
   Instance solution = chase->target.facts();
   std::vector<Value> nulls;
-  solution.ForEach([&](const Fact& f) {
+  solution.ForEach([&](FactView f) {
     for (const Value& v : f.args()) {
       if (v.is_annotated_null()) nulls.push_back(v);
     }

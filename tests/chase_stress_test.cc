@@ -53,10 +53,10 @@ TEST(ChaseStressTest, SharedExistentialAcrossHeadAtoms) {
 
   // Within a firing: same null. Across firings: different nulls.
   std::map<Value, Value> null_of;  // Src constant -> its null
-  for (const Fact& f : outcome->target.facts(p)) {
+  for (const FactView f : outcome->target.facts(p)) {
     null_of[f.arg(0)] = f.arg(1);
   }
-  for (const Fact& f : outcome->target.facts(q)) {
+  for (const FactView f : outcome->target.facts(q)) {
     EXPECT_EQ(f.arg(0), null_of.at(f.arg(1)));
   }
   EXPECT_NE(null_of.at(u.Constant("a")), null_of.at(u.Constant("b")));
@@ -243,7 +243,7 @@ TEST(ChaseStressTest, TargetContainsOnlyTargetRelations) {
   auto program = ParseOrDie(testing::kPaperProgram);
   auto chase = CChase(program->source, program->lifted, &program->universe);
   ASSERT_TRUE(chase.ok());
-  chase->target.facts().ForEach([&](const Fact& f) {
+  chase->target.facts().ForEach([&](FactView f) {
     EXPECT_EQ(program->schema.relation(f.relation()).role,
               SchemaRole::kTarget);
   });

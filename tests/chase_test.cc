@@ -87,7 +87,7 @@ TEST_F(ChaseTest, UnknownSalaryProducesNull) {
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->kind, ChaseResultKind::kSuccess);
   ASSERT_EQ(outcome->target.facts(emp_).size(), 1u);
-  const Fact& fact = outcome->target.facts(emp_)[0];
+  const FactView fact = outcome->target.facts(emp_)[0];
   EXPECT_EQ(fact.arg(0), u_.Constant("Bob"));
   EXPECT_EQ(fact.arg(1), u_.Constant("IBM"));
   EXPECT_TRUE(fact.arg(2).is_null());

@@ -101,7 +101,7 @@ TEST_F(CoalesceTest, AnnotatedNullFragmentsReunite) {
                   .ok());
   const ConcreteInstance out = Coalesce(ic);
   ASSERT_EQ(out.size(), 1u);
-  const Fact& fact = out.facts().facts(e_plus_)[0];
+  const FactView fact = out.facts().facts(e_plus_)[0];
   EXPECT_EQ(fact.interval(), Interval(1, 9));
   ASSERT_TRUE(fact.arg(1).is_annotated_null());
   EXPECT_EQ(fact.arg(1).null_id(), n.null_id());

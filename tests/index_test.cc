@@ -21,29 +21,28 @@ class IndexTest : public ::testing::Test {
   }
 
   /// Verified candidates: probe, then filter by actual equality (the
-  /// engine always re-verifies, so the index may over-approximate). A
-  /// nullptr probe (scan fallback) counts over the whole relation, like
+  /// engine always re-verifies, so the index may over-approximate). An
+  /// uncovered probe (scan fallback) counts over the whole relation, like
   /// the engine does.
   std::size_t VerifiedCount(IndexCache* cache,
                             const std::vector<std::uint32_t>& positions,
                             const std::vector<Value>& values) {
-    const std::vector<std::uint32_t>* candidates =
-        cache->Probe(e_, positions, values);
-    const auto& facts = instance_->facts(e_);
-    auto matches = [&](const Fact& f) {
+    const CandidateRange candidates = cache->Probe(e_, positions, values);
+    const FactColumn facts = instance_->facts(e_);
+    auto matches = [&](FactView f) {
       for (std::size_t i = 0; i < positions.size(); ++i) {
         if (f.arg(positions[i]) != values[i]) return false;
       }
       return true;
     };
     std::size_t count = 0;
-    if (candidates == nullptr) {
-      for (const Fact& f : facts) {
+    if (!candidates.covered) {
+      for (const FactView f : facts) {
         if (matches(f)) ++count;
       }
       return count;
     }
-    for (std::uint32_t idx : *candidates) {
+    for (std::uint32_t idx : candidates) {
       if (matches(facts[idx])) ++count;
     }
     return count;
@@ -93,20 +92,22 @@ TEST_F(IndexTest, DifferentMasksAreIndependent) {
 }
 
 TEST_F(IndexTest, CandidatesContainAllTrueMatches) {
-  // Soundness of the approximation: every real match is among candidates.
+  // Soundness of the approximation: every real match is among candidates,
+  // and candidate runs are in ascending fact-position order (this is what
+  // keeps chase enumeration order identical to a filtered scan).
   IndexCache cache(instance_.get());
   const std::vector<std::uint32_t> positions{1};
   const std::vector<Value> values{u_.Constant("y0")};
-  const std::vector<std::uint32_t>* candidates =
-      cache.Probe(e_, positions, values);
-  ASSERT_NE(candidates, nullptr);
+  const CandidateRange candidates = cache.Probe(e_, positions, values);
+  ASSERT_TRUE(candidates.covered);
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
   std::size_t real = 0;
-  const auto& facts = instance_->facts(e_);
+  const FactColumn facts = instance_->facts(e_);
   for (std::uint32_t i = 0; i < facts.size(); ++i) {
     if (facts[i].arg(1) == values[0]) {
       ++real;
-      EXPECT_NE(std::find(candidates->begin(), candidates->end(), i),
-                candidates->end());
+      EXPECT_NE(std::find(candidates.begin(), candidates.end(), i),
+                candidates.end());
     }
   }
   EXPECT_EQ(real, 20u);
@@ -125,14 +126,30 @@ TEST_F(IndexTest, AppendedFactsBecomeVisibleWithoutRebuild) {
 }
 
 TEST_F(IndexTest, GenerationChangeInvalidatesIndexes) {
-  // Erase bumps the instance generation; positions shifted, so the cache
-  // must rebuild rather than serve stale candidate lists.
+  // Erase bumps the instance generation; arena rows shifted down, so the
+  // cache must rebuild rather than serve stale candidate positions.
   IndexCache cache(instance_.get());
   EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z99")}), 1u);
-  const Fact victim = instance_->facts(e_)[0];
+  const Fact victim = instance_->facts(e_)[0].ToFact();
   ASSERT_TRUE(instance_->Erase(victim));
   EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z99")}), 1u);
   EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z0")}), 0u);
+}
+
+TEST_F(IndexTest, RewriteFactsInvalidatesIndexes) {
+  // In-place rewrites keep positions but change argument values; a probe
+  // after the rewrite must see the new values, not the stale buckets.
+  IndexCache cache(instance_.get());
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z7")}), 1u);
+  // Rewrite fact 7's "z7" into "z-rewritten" via the egd merge primitive.
+  std::unordered_map<Value, Value, ValueHash> subst;
+  subst.emplace(u_.Constant("z7"), u_.Constant("z-rewritten"));
+  const RewriteResult result =
+      instance_->RewriteFacts({FactRef{e_, 7}}, subst);
+  EXPECT_EQ(result.facts_rewritten, 1u);
+  EXPECT_FALSE(result.compacted);
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z7")}), 0u);
+  EXPECT_EQ(VerifiedCount(&cache, {2}, {u_.Constant("z-rewritten")}), 1u);
 }
 
 TEST_F(IndexTest, WideRelationFallsBackToScan) {
@@ -150,9 +167,11 @@ TEST_F(IndexTest, WideRelationFallsBackToScan) {
   args[69] = u.Constant("tail");
   inst.Insert(wide, args);
   IndexCache cache(&inst);
-  EXPECT_EQ(cache.Probe(wide, {69}, {u.Constant("tail")}), nullptr);
+  EXPECT_FALSE(cache.Probe(wide, {69}, {u.Constant("tail")}).covered);
   // Probes under the width still index fine on the same relation.
-  EXPECT_NE(cache.Probe(wide, {0}, {u.Constant("pad")}), nullptr);
+  const CandidateRange under = cache.Probe(wide, {0}, {u.Constant("pad")});
+  EXPECT_TRUE(under.covered);
+  EXPECT_EQ(under.size(), 1u);
 }
 
 TEST_F(IndexTest, IntervalValuesAreIndexable) {
@@ -165,11 +184,11 @@ TEST_F(IndexTest, IntervalValuesAreIndexable) {
     inst.Insert(r, {u.Constant("v"), Value::OfInterval(Interval(t, t + 1))});
   }
   IndexCache cache(&inst);
-  const std::vector<std::uint32_t>* hits =
+  const CandidateRange hits =
       cache.Probe(r, {1}, {Value::OfInterval(Interval(7, 8))});
-  ASSERT_NE(hits, nullptr);
+  ASSERT_TRUE(hits.covered);
   std::size_t verified = 0;
-  for (std::uint32_t i : *hits) {
+  for (std::uint32_t i : hits) {
     if (inst.facts(r)[i].interval() == Interval(7, 8)) ++verified;
   }
   EXPECT_EQ(verified, 1u);

@@ -63,7 +63,7 @@ TEST_F(InstanceTest, ForEachVisitsAllFacts) {
   inst.Insert(e_, {u_.Constant("Ada"), u_.Constant("IBM")});
   inst.Insert(s_, {u_.Constant("Ada"), u_.Constant("18k")});
   std::size_t count = 0;
-  inst.ForEach([&](const Fact&) { ++count; });
+  inst.ForEach([&](FactView) { ++count; });
   EXPECT_EQ(count, 2u);
 }
 

@@ -110,7 +110,7 @@ TEST_F(PaperFiguresTest, Figure3AbstractChaseResult) {
   EXPECT_TRUE(db2014.Contains(Fact(
       emp, {u.Constant("Ada"), u.Constant("Google"), u.Constant("18k")})));
   bool bob_null = false;
-  for (const Fact& f : db2014.facts(emp)) {
+  for (const FactView f : db2014.facts(emp)) {
     if (f.arg(0) == u.Constant("Bob")) bob_null = f.arg(2).is_null();
   }
   EXPECT_TRUE(bob_null);

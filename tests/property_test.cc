@@ -244,7 +244,7 @@ TEST_P(EmploymentSweep, CertainAnswersHoldInPerturbedSolutions) {
   // Build a perturbed solution: substitute all nulls, add a noise fact.
   Instance solution = chase->target.facts();
   std::vector<Value> nulls;
-  solution.ForEach([&](const Fact& f) {
+  solution.ForEach([&](FactView f) {
     for (const Value& v : f.args()) {
       if (v.is_annotated_null()) nulls.push_back(v);
     }

@@ -102,7 +102,7 @@ TEST(SatisfactionTest, FragmentedSolutionStillSatisfies) {
   auto chase = CChase(program->source, program->lifted, &program->universe);
   ASSERT_TRUE(chase.ok());
   ConcreteInstance fragmented(&program->schema);
-  chase->target.facts().ForEach([&](const Fact& f) {
+  chase->target.facts().ForEach([&](FactView f) {
     const Interval& iv = f.interval();
     if (!iv.unbounded() && *iv.length() >= 2) {
       const TimePoint mid = iv.start() + *iv.length() / 2;

@@ -153,7 +153,7 @@ TEST(TargetTgdTest, TransitiveClosureOverTime) {
                               Interval(5, 10)));
   // b->d never: b->c holds [5,10), c->d holds [0,3) — no overlap.
   const RelationId reach = *program->schema.Find("Reach+");
-  for (const Fact& f : chase->target.facts().facts(reach)) {
+  for (const FactView f : chase->target.facts().facts(reach)) {
     const bool bd = u.Render(f.arg(0)) == "b" && u.Render(f.arg(1)) == "d";
     EXPECT_FALSE(bd) << f.ToString(program->schema, u);
   }
@@ -174,7 +174,7 @@ TEST(TargetTgdTest, ExistentialTargetTgdMintsAnnotatedNulls) {
   ASSERT_EQ(chase->kind, ChaseResultKind::kSuccess);
   const RelationId hub = *program->schema.Find("Hub+");
   ASSERT_EQ(chase->target.facts().facts(hub).size(), 1u);
-  const Fact& f = chase->target.facts().facts(hub)[0];
+  const FactView f = chase->target.facts().facts(hub)[0];
   EXPECT_TRUE(f.arg(1).is_annotated_null());
   EXPECT_EQ(f.arg(1).interval(), Interval(2, 6));
   EXPECT_EQ(f.interval(), Interval(2, 6));

@@ -43,7 +43,7 @@ class ClosureTest : public ::testing::Test {
     }
     EXPECT_TRUE(MaterializeClosure(ic, r_plus_, op, c_plus_, &ic).ok());
     std::vector<Interval> out;
-    for (const Fact& f : ic.facts().facts(c_plus_)) {
+    for (const FactView f : ic.facts().facts(c_plus_)) {
       out.push_back(f.interval());
     }
     return out;
@@ -137,7 +137,7 @@ TEST(TemporalOpsParserTest, PhdExampleEndToEnd) {
                               {"ada", "turing"}, Interval::FromStart(6)));
   // Eve was never a candidate: no Alum fact.
   const RelationId alum_plus = *program->schema.Find("Alum+");
-  for (const Fact& f : chase->target.facts().facts(alum_plus)) {
+  for (const FactView f : chase->target.facts().facts(alum_plus)) {
     EXPECT_NE(program->universe.Render(f.arg(0)), "eve");
   }
 }

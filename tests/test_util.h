@@ -55,7 +55,7 @@ inline bool HasConcreteFact(const ConcreteInstance& instance,
   auto rel_id = instance.schema().Find(rel);
   if (!rel_id.ok()) return false;
   bool found = false;
-  for (const Fact& fact : instance.facts().facts(*rel_id)) {
+  for (const FactView fact : instance.facts().facts(*rel_id)) {
     if (fact.interval() != iv) continue;
     if (fact.arity() != data.size() + 1) continue;
     bool match = true;

@@ -110,7 +110,7 @@ TEST(TimelineTest, AgreesWithCoalesce) {
   const ConcreteInstance coalesced = Coalesce(ic);
   std::vector<Interval> coalesced_ivs;
   coalesced.facts().ForEach(
-      [&](const Fact& f) { coalesced_ivs.push_back(f.interval()); });
+      [&](FactView f) { coalesced_ivs.push_back(f.interval()); });
   std::sort(coalesced_ivs.begin(), coalesced_ivs.end());
   EXPECT_EQ(Timeline::FromIntervals(ivs).runs(), coalesced_ivs);
 }

@@ -65,7 +65,7 @@ TEST(WorstCaseWorkloadTest, AllIntervalsPairwiseOverlap) {
   EXPECT_EQ(w->source.size(), 10u);
   std::vector<Interval> ivs;
   w->source.facts().ForEach(
-      [&](const Fact& f) { ivs.push_back(f.interval()); });
+      [&](FactView f) { ivs.push_back(f.interval()); });
   for (std::size_t i = 0; i < ivs.size(); ++i) {
     for (std::size_t j = i + 1; j < ivs.size(); ++j) {
       EXPECT_TRUE(ivs[i].Overlaps(ivs[j]));
@@ -83,7 +83,7 @@ TEST(RandomWorkloadTest, RespectsConfigBounds) {
   auto w = MakeRandomWorkload(cfg);
   EXPECT_LE(w->source.size(), 100u);  // duplicates may collapse
   EXPECT_GT(w->source.size(), 50u);
-  w->source.facts().ForEach([&](const Fact& f) {
+  w->source.facts().ForEach([&](FactView f) {
     EXPECT_LT(f.interval().start(), 30u);
     ASSERT_TRUE(f.interval().length().has_value());
     EXPECT_LE(*f.interval().length(), 5u);
@@ -167,7 +167,7 @@ TEST(RandomWorkloadTest, UnboundedProbabilityOneGivesAllUnbounded) {
   cfg.seed = 5;
   auto w = MakeRandomWorkload(cfg);
   w->source.facts().ForEach(
-      [&](const Fact& f) { EXPECT_TRUE(f.interval().unbounded()); });
+      [&](FactView f) { EXPECT_TRUE(f.interval().unbounded()); });
 }
 
 }  // namespace

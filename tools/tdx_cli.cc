@@ -283,6 +283,9 @@ void PrintChaseStats(const tdx::ChaseStats& stats) {
             << " schedule_strata=" << stats.schedule_strata
             << " skipped_egd_passes=" << stats.skipped_egd_passes
             << " skipped_normalize_passes=" << stats.skipped_normalize_passes
+            << " index_probes=" << stats.search.index_probes
+            << " index_candidates=" << stats.search.index_candidates
+            << " full_scans=" << stats.search.full_scans
             << ")\n";
 }
 
