@@ -7,10 +7,53 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "src/gen/workload.h"
 #include "src/temporal/coalesce.h"
 
 namespace {
+
+/// The former node-based implementation, kept inline as the baseline the
+/// sort-based sweep in src/temporal/coalesce.cc is measured against: one
+/// map node (key vector + interval vector) per distinct data tuple.
+tdx::ConcreteInstance CoalesceWithMap(const tdx::ConcreteInstance& instance) {
+  using Key = std::pair<tdx::RelationId, std::vector<tdx::Value>>;
+  std::map<Key, std::pair<tdx::Fact, std::vector<tdx::Interval>>> groups;
+  instance.facts().ForEach([&](tdx::FactView fact) {
+    Key key;
+    key.first = fact.relation();
+    for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
+      const tdx::Value& v = fact.arg(i);
+      key.second.push_back(
+          v.is_annotated_null() ? tdx::Value::Null(v.null_id()) : v);
+    }
+    auto it = groups.emplace(std::move(key),
+                             std::make_pair(fact.ToFact(),
+                                            std::vector<tdx::Interval>{}))
+                  .first;
+    it->second.second.push_back(fact.interval());
+  });
+  tdx::ConcreteInstance out(&instance.schema());
+  for (auto& [key, group] : groups) {
+    std::vector<tdx::Interval>& intervals = group.second;
+    std::sort(intervals.begin(), intervals.end());
+    tdx::Interval run = intervals.front();
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (run.Mergeable(intervals[i])) {
+        run = run.MergeWith(intervals[i]);
+      } else {
+        out.mutable_facts().Insert(group.first.WithInterval(run));
+        run = intervals[i];
+      }
+    }
+    out.mutable_facts().Insert(group.first.WithInterval(run));
+  }
+  return out;
+}
 
 /// Fragments every bounded fact of the employment workload into unit
 /// intervals (maximum fragmentation), yielding a heavily redundant input.
@@ -48,6 +91,24 @@ void BM_CoalesceFragmented(benchmark::State& state) {
                                  static_cast<double>(out_size);
 }
 BENCHMARK(BM_CoalesceFragmented)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CoalesceFragmentedMapBaseline(benchmark::State& state) {
+  tdx::EmploymentConfig cfg;
+  cfg.num_people = static_cast<std::size_t>(state.range(0));
+  cfg.horizon = 100;
+  cfg.seed = 3;
+  auto w = tdx::MakeEmploymentWorkload(cfg);
+  const tdx::ConcreteInstance fragmented = Fragmentize(*w);
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    tdx::ConcreteInstance compact = CoalesceWithMap(fragmented);
+    benchmark::DoNotOptimize(compact);
+    out_size = compact.size();
+  }
+  state.counters["in_facts"] = static_cast<double>(fragmented.size());
+  state.counters["out_facts"] = static_cast<double>(out_size);
+}
+BENCHMARK(BM_CoalesceFragmentedMapBaseline)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
 void BM_CoalesceAlreadyCoalesced(benchmark::State& state) {
   tdx::EmploymentConfig cfg;

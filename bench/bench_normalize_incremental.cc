@@ -1,0 +1,75 @@
+// Experiment INC-NORM: incremental vs full target normalization inside the
+// c-chase (core/normalize_incremental.h).
+//
+// The cascade workload (gen/workload.h, MakeCascadeWorkload) forces the
+// chase through `stages` outer iterations: each hop mints an annotated
+// null that only an egd merge can resolve, so every stage runs one
+// post-rewrite full normalization pass and one post-rounds pass whose
+// delta is ~2 facts. A block of co-valid ballast facts (an effect-free
+// egd's lhs, quadratically many homs per key) dominates the full pass's
+// sweep; the incremental pass proves those components untouched and
+// copies them through. range(0)
+// toggles CChaseOptions::incremental_normalize — the output is
+// bit-identical either way (asserted in normalize_incremental_test.cc);
+// only the time differs. CI gates full/incremental >= 1.5x (bench-smoke).
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "src/core/cchase.h"
+#include "src/gen/workload.h"
+
+namespace {
+
+tdx::CascadeConfig BenchConfig() {
+  tdx::CascadeConfig cfg;
+  cfg.stages = 12;
+  cfg.ballast_keys = 60;
+  cfg.ballast_dup = 30;
+  cfg.horizon = 8;
+  return cfg;
+}
+
+void ReportNorm(benchmark::State& state, const tdx::CChaseOutcome& outcome) {
+  state.counters["tgt_facts"] = static_cast<double>(outcome.target.size());
+  state.counters["norm_homs"] =
+      static_cast<double>(outcome.target_norm_stats.homomorphisms);
+  state.counters["reused"] =
+      static_cast<double>(outcome.target_norm_stats.reused_components);
+  state.counters["egd_steps"] = static_cast<double>(outcome.stats.egd_steps);
+}
+
+/// range(0): 0 = full re-normalization every pass, 1 = incremental.
+void BM_CascadeNormalize(benchmark::State& state) {
+  auto w = tdx::MakeCascadeWorkload(BenchConfig());
+  tdx::CChaseOptions options;
+  options.incremental_normalize = state.range(0) != 0;
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, options);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  ReportNorm(state, *last);
+}
+BENCHMARK(BM_CascadeNormalize)->Arg(0)->Arg(1);
+
+/// Incremental with parallel component fragmentation (4 workers); the
+/// output stays identical, only the fragmentation fan-out widens.
+void BM_CascadeNormalizeParallel(benchmark::State& state) {
+  auto w = tdx::MakeCascadeWorkload(BenchConfig());
+  tdx::CChaseOptions options;
+  options.incremental_normalize = true;
+  options.jobs = static_cast<unsigned>(state.range(0));
+  std::optional<tdx::CChaseOutcome> last;
+  for (auto _ : state) {
+    auto outcome = tdx::CChase(w->source, w->lifted, &w->universe, options);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) last = std::move(outcome).value();
+  }
+  ReportNorm(state, *last);
+}
+BENCHMARK(BM_CascadeNormalizeParallel)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -98,6 +98,18 @@ struct ChaseCheckpoint {
   bool frontier_full = true;
   std::vector<std::uint32_t> frontier_marks;
 
+  /// Incremental-normalization watermark (c-chase, when the state was valid
+  /// at the safe point — see core/normalize_incremental.h). `norm_marks`
+  /// holds per-relation prefix sizes of the last normalized output,
+  /// `norm_labels` its component labels flattened in relation order
+  /// (sum(norm_marks) entries). Absent (valid=false) in checkpoints taken
+  /// after an egd rewrite or under a non-incremental run; resume then
+  /// starts with a full pass, exactly like the uninterrupted run.
+  bool norm_state_valid = false;
+  std::vector<std::uint32_t> norm_marks;
+  std::vector<std::uint32_t> norm_labels;
+  std::uint32_t norm_components = 0;
+
   /// The partial target (snapshot and c-chase; absent for "init").
   std::optional<Instance> target;
   /// The normalized source (c-chase, once past "init").

@@ -48,18 +48,27 @@ std::ostream& operator<<(std::ostream& os, const Interval& iv) {
   return os << iv.ToString();
 }
 
+void AppendFragments(const Interval& iv, const std::vector<TimePoint>& cuts,
+                     std::vector<Interval>* out) {
+  assert(std::is_sorted(cuts.begin(), cuts.end()));
+  TimePoint cur = iv.start();
+  // First interior cut: strictly after the start. upper_bound lands past any
+  // run of duplicates, so the `<= cur` guard below only fires on duplicates
+  // of cuts consumed later in the walk (which cannot occur in a sorted
+  // vector) — it is kept for parity with the tolerant contract.
+  for (auto it = std::upper_bound(cuts.begin(), cuts.end(), cur);
+       it != cuts.end() && *it < iv.end(); ++it) {
+    if (*it <= cur) continue;
+    out->emplace_back(cur, *it);
+    cur = *it;
+  }
+  out->emplace_back(cur, iv.end());
+}
+
 std::vector<Interval> FragmentInterval(const Interval& iv,
                                        const std::vector<TimePoint>& cuts) {
-  assert(std::is_sorted(cuts.begin(), cuts.end()));
   std::vector<Interval> out;
-  TimePoint cur = iv.start();
-  for (TimePoint c : cuts) {
-    if (c <= cur) continue;
-    if (c >= iv.end()) break;
-    out.emplace_back(cur, c);
-    cur = c;
-  }
-  out.emplace_back(cur, iv.end());
+  AppendFragments(iv, cuts, &out);
   return out;
 }
 

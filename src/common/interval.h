@@ -141,9 +141,17 @@ struct IntervalHash {
 /// (Section 4.2): a fact with interval [s_i, e_i) is fragmented at every
 /// distinct start/end point falling strictly inside it.
 ///
-/// `cuts` must be sorted ascending; duplicates are tolerated.
+/// `cuts` must be sorted ascending; duplicates are tolerated. Binary-searches
+/// the first interior cut, so the cost is O(log |cuts| + fragments) rather
+/// than a scan of the whole cut vector.
 std::vector<Interval> FragmentInterval(const Interval& iv,
                                        const std::vector<TimePoint>& cuts);
+
+/// Appends the fragments of `iv` at the interior cuts in `cuts` to `*out`
+/// without clearing it. Same contract as FragmentInterval; this is the
+/// allocation-free form used by the normalizers' hot emission loops.
+void AppendFragments(const Interval& iv, const std::vector<TimePoint>& cuts,
+                     std::vector<Interval>* out);
 
 /// Collects the distinct endpoints (starts and finite ends, including
 /// kTimeInfinity sentinels filtered out) of `ivs`, sorted ascending.

@@ -156,6 +156,7 @@ inline constexpr std::string_view kRegisteredFaultSites[] = {
     "cchase/egd-fixpoint",
     "normalize/naive",
     "normalize/algorithm1",
+    "normalize/incremental",
     "naive-eval/normalize",
     "thread-pool/dispatch",
     "abstract-chase/merge",

@@ -7,6 +7,7 @@
 #include "src/analysis/planner.h"
 #include "src/analysis/termination.h"
 #include "src/common/checkpoint.h"
+#include "src/core/normalize_incremental.h"
 
 namespace tdx {
 
@@ -172,6 +173,12 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
 
   std::size_t rounds = 0;
   DeltaFrontier frontier;
+  // Incremental target-normalization state (declared before the checkpoint
+  // lambda so its watermark can be captured at safe points). Stays invalid
+  // forever when the incremental path is off.
+  const bool use_incremental =
+      !options.use_naive_normalizer && options.incremental_normalize;
+  NormalizeState norm_state(options.jobs);
   // Offers a safe point to the checkpointer: everything captured is the
   // state a fresh run holds at the same point, so resume + re-execution is
   // bit-identical to the uninterrupted run.
@@ -194,7 +201,18 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
       if (std::string_view(phase) != "init") {
         ck.normalized_source = outcome.normalized_source.facts();
       }
-      if (target_now != nullptr) ck.target = *target_now;
+      if (target_now != nullptr) {
+        ck.target = *target_now;
+        // Export succeeds only while the watermark proves the old prefix
+        // (bound to this instance, generation unchanged) — checkpoints
+        // taken after an egd rewrite simply carry no watermark.
+        if (auto wm = norm_state.Export(target_now)) {
+          ck.norm_state_valid = true;
+          ck.norm_marks = std::move(wm->marks);
+          ck.norm_labels = std::move(wm->labels);
+          ck.norm_components = wm->num_components;
+        }
+      }
       return ck;
     });
   };
@@ -262,12 +280,19 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     target_phis.insert(target_phis.end(), egd_phis.begin(), egd_phis.end());
   }
   const auto normalize_target = [&]() {
-    concrete_target =
-        options.use_naive_normalizer
-            ? NaiveNormalize(concrete_target, &outcome.target_norm_stats,
-                             &guard)
-            : Normalize(concrete_target, target_phis,
-                        &outcome.target_norm_stats, &guard);
+    if (options.use_naive_normalizer) {
+      concrete_target =
+          NaiveNormalize(concrete_target, &outcome.target_norm_stats, &guard);
+    } else if (use_incremental) {
+      // The state installs the output in place and re-records its
+      // watermark; egd rewrites invalidate it via the generation contract,
+      // so the next pass after a merge is automatically a full one.
+      norm_state.Normalize(&concrete_target, target_phis,
+                           &outcome.target_norm_stats, &guard);
+    } else {
+      concrete_target = Normalize(concrete_target, target_phis,
+                                  &outcome.target_norm_stats, &guard);
+    }
   };
   // Restore the loop cursor when resuming into it; otherwise mark the first
   // materialized-target boundary.
@@ -283,6 +308,18 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     // leading normalization (it ran before those rounds) and continue the
     // inner loop with the fired flag already set.
     mid_rounds = start_phase == "rounds";
+    // Rebind the checkpointed normalization watermark to the restored
+    // target, so the next normalize_target pass is the same incremental
+    // pass the uninterrupted run would have performed. A checkpoint without
+    // a watermark (or a non-incremental resume) starts with a full pass —
+    // also exactly what the uninterrupted run does in those states.
+    if (use_incremental && resume->norm_state_valid) {
+      NormalizeState::Watermark wm;
+      wm.marks = resume->norm_marks;
+      wm.labels = resume->norm_labels;
+      wm.num_components = resume->norm_components;
+      TDX_RETURN_IF_ERROR(norm_state.Restore(wm, concrete_target));
+    }
   } else {
     offer_checkpoint(true, "loop-top", &concrete_target.facts());
   }

@@ -42,6 +42,15 @@ struct CChaseOptions {
   /// steps. Algorithm 1 by default; the naive normalizer is exposed for the
   /// ablation benchmarks.
   bool use_naive_normalizer = false;
+  /// Reuse normalization work across target passes (see
+  /// core/normalize_incremental.h): after the first full pass, each
+  /// normalize_target seeds its homomorphism sweep from the facts appended
+  /// since the previous pass and re-fragments only the touched components.
+  /// Never changes the result (output is bit-identical to full passes at
+  /// any --jobs), so the checkpoint config fingerprint ignores it and
+  /// checkpoints interchange between incremental and full runs. Ignored
+  /// under use_naive_normalizer. --no-incremental-normalize in the CLI.
+  bool incremental_normalize = true;
   /// Resource budget for the whole run (all four phases share one guard).
   /// Unlimited by default. Exhaustion yields kind == kAborted with partial
   /// stats and the exhausted dimension; rerunning the same source with a

@@ -2,55 +2,16 @@
 
 #include <algorithm>
 #include <map>
-#include <numeric>
 #include <optional>
+
+#include "src/core/normalize_detail.h"
 
 namespace tdx {
 
-namespace {
-
-/// Intersection of the time intervals of an atom image, or nullopt when
-/// empty. `image` must be non-empty.
-std::optional<Interval> IntersectIntervals(const AtomImage& image) {
-  std::optional<Interval> acc = image.front().interval();
-  for (std::size_t i = 1; i < image.size() && acc.has_value(); ++i) {
-    acc = acc->Intersect(image[i].interval());
-  }
-  return acc;
-}
-
-/// Fragments `fact` at the interior cut points in `cuts` (sorted) and
-/// inserts the fragments into `out`, charging `guard` per fragment. Returns
-/// false when the guard tripped (the fact may be partially fragmented).
-bool FragmentFactInto(FactView fact, const std::vector<TimePoint>& cuts,
-                      Instance* out, ResourceGuard* guard) {
-  for (const Interval& sub : FragmentInterval(fact.interval(), cuts)) {
-    if (guard != nullptr && !guard->ChargeFragment()) return false;
-    out->Insert(fact.WithInterval(sub));
-  }
-  return true;
-}
-
-/// Union-find over dense fact indices.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), 0);
-  }
-  std::size_t Find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::vector<std::size_t> parent_;
-};
-
-}  // namespace
+using normalize_detail::EmitCopy;
+using normalize_detail::EmitFragments;
+using normalize_detail::IntersectIntervals;
+using normalize_detail::UnionFind;
 
 Conjunction RenameTemporalApart(const Conjunction& phi) {
   Conjunction out = phi;
@@ -79,20 +40,25 @@ ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
     if (guard != nullptr && (guard->tripped() || !guard->CheckDeadline())) {
       return;
     }
-    FragmentFactInto(fact, cuts, &out.mutable_facts(), guard);
+    EmitFragments(fact, cuts, &out.mutable_facts(), guard);
   });
   if (stats != nullptr) {
     stats->input_facts = instance.size();
     stats->output_facts = out.size();
     stats->homomorphisms = 0;
     stats->groups = 0;
+    stats->delta_facts = instance.size();
+    stats->dirty_components = 0;
+    stats->reused_components = 0;
+    stats->partial = guard != nullptr && guard->tripped();
   }
   return out;
 }
 
 ConcreteInstance Normalize(const ConcreteInstance& instance,
                            const std::vector<Conjunction>& phis,
-                           NormalizeStats* stats, ResourceGuard* guard) {
+                           NormalizeStats* stats, ResourceGuard* guard,
+                           NormalizeLabels* labels) {
   if (guard != nullptr) {
     guard->ResetFragmentCount();
     guard->PokeFault("normalize/algorithm1");
@@ -144,9 +110,12 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   }
 
   // Distinct start/end points per component (TP_Delta, lines 11-13).
+  // `base` is sorted, so the owning relation is the last base offset <= id;
+  // empty relations repeat their successor's offset and the upper_bound
+  // lands past all of them.
   const auto fact_at = [&](std::size_t id) {
-    RelationId r = 0;
-    while (r + 1 < num_rels && base[r + 1] <= id) ++r;
+    const auto it = std::upper_bound(base.begin(), base.end(), id);
+    const RelationId r = static_cast<RelationId>(it - base.begin() - 1);
     return facts.facts(r)[static_cast<std::uint32_t>(id - base[r])];
   };
   std::map<std::size_t, std::vector<TimePoint>> component_points;
@@ -163,17 +132,33 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
   }
 
   // Fragment grouped facts at their component's points (lines 14-18);
-  // ungrouped facts pass through unchanged.
+  // ungrouped facts pass through unchanged. Components are labeled densely
+  // in first-emission order when the caller asked for labels.
   ConcreteInstance out(&instance.schema());
+  std::map<std::size_t, std::uint32_t> comp_seq;
+  if (labels != nullptr) {
+    labels->comp_of.clear();
+    labels->num_components = 0;
+  }
+  std::vector<std::uint32_t>* label_vec =
+      labels != nullptr ? &labels->comp_of : nullptr;
   for (std::size_t i = 0; i < total; ++i) {
     if (guard != nullptr && guard->tripped()) break;
     const FactView fact = fact_at(i);
     if (grouped[i]) {
-      FragmentFactInto(fact, component_points.at(uf.Find(i)),
-                       &out.mutable_facts(), guard);
+      const std::size_t root = uf.Find(i);
+      std::uint32_t label = 0;
+      if (labels != nullptr) {
+        const auto [it, fresh] =
+            comp_seq.emplace(root, labels->num_components);
+        if (fresh) ++labels->num_components;
+        label = it->second;
+      }
+      EmitFragments(fact, component_points.at(root), &out.mutable_facts(),
+                    guard, label, label_vec);
     } else {
-      if (guard != nullptr && !guard->ChargeFragment()) break;
-      out.mutable_facts().Insert(fact);
+      EmitCopy(fact, &out.mutable_facts(), guard, NormalizeLabels::kUngrouped,
+               label_vec);
     }
   }
   if (stats != nullptr) {
@@ -181,6 +166,10 @@ ConcreteInstance Normalize(const ConcreteInstance& instance,
     stats->output_facts = out.size();
     stats->homomorphisms = hom_count;
     stats->groups = component_points.size();
+    stats->delta_facts = instance.size();
+    stats->dirty_components = component_points.size();
+    stats->reused_components = 0;
+    stats->partial = guard != nullptr && guard->tripped();
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #ifndef TDX_CORE_NORMALIZE_H_
 #define TDX_CORE_NORMALIZE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/resource.h"
@@ -41,10 +42,35 @@ struct NormalizeStats {
   std::size_t input_facts = 0;
   std::size_t output_facts = 0;
   /// Homomorphisms from renamed-apart conjunctions found while building S.
+  /// The incremental normalizer sweeps only delta-seeded homs, so this
+  /// counts fewer enumerations than a full pass over the same instance.
   std::size_t homomorphisms = 0;
   /// Connected components of overlapping fact groups (the merged S of
   /// Algorithm 1). Always 0 for the naive normalizer.
   std::size_t groups = 0;
+  /// Facts treated as new since the last pass. Full passes (and the naive
+  /// normalizer) count every input fact here.
+  std::size_t delta_facts = 0;
+  /// Components re-fragmented this pass. A full pass dirties every group.
+  std::size_t dirty_components = 0;
+  /// Components of the previous pass copied through untouched. Always 0 for
+  /// full passes.
+  std::size_t reused_components = 0;
+  /// True when the guard tripped mid-pass and the output is partially
+  /// normalized (garbage per the guard contract below).
+  bool partial = false;
+};
+
+/// Component labels of a normalized output, parallel to its emission order:
+/// `comp_of[i]` is the component of the i-th emitted fact (relation-major,
+/// ascending position), or kUngrouped for pass-through facts. Component ids
+/// are dense in [0, num_components). Produced on demand by Normalize so the
+/// incremental normalizer can tell which prior components a later delta
+/// touches; purely bookkeeping — no effect on the normalized instance.
+struct NormalizeLabels {
+  static constexpr std::uint32_t kUngrouped = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> comp_of;
+  std::uint32_t num_components = 0;
 };
 
 /// N(phi): renames the temporal position of every atom to a fresh variable,
@@ -58,20 +84,23 @@ Conjunction RenameTemporalApart(const Conjunction& phi);
 /// Both normalizers charge `guard` (when non-null) one unit per emitted
 /// fragment and poll its deadline; a run whose guard trips stops early and
 /// returns a PARTIALLY normalized instance — callers must check
-/// guard->tripped() and treat the result as garbage. The fragment budget is
-/// per pass: the counter is reset on entry. Fault sites: "normalize/naive"
-/// and "normalize/algorithm1".
+/// guard->tripped() (mirrored in NormalizeStats::partial) and treat the
+/// result as garbage. The fragment budget is per pass: the counter is reset
+/// on entry. Fault sites: "normalize/naive" and "normalize/algorithm1"
+/// (plus "normalize/incremental" in normalize_incremental.h).
 ConcreteInstance NaiveNormalize(const ConcreteInstance& instance,
                                 NormalizeStats* stats = nullptr,
                                 ResourceGuard* guard = nullptr);
 
 /// Algorithm 1, norm(Ic, Phi+). `phis` are temporal conjunctions — in the
 /// chase they are the lifted lhs of the s-t tgds or of the egds. See
-/// NaiveNormalize for the `guard` contract.
+/// NaiveNormalize for the `guard` contract. When `labels` is non-null it
+/// receives the output's component labels (meaningless if the guard trips).
 ConcreteInstance Normalize(const ConcreteInstance& instance,
                            const std::vector<Conjunction>& phis,
                            NormalizeStats* stats = nullptr,
-                           ResourceGuard* guard = nullptr);
+                           ResourceGuard* guard = nullptr,
+                           NormalizeLabels* labels = nullptr);
 
 /// Definition 10: checks the empty intersection property of `instance`
 /// w.r.t. `phis` — by Theorem 11, equivalent to being normalized.

@@ -1,0 +1,97 @@
+// Internals shared by the full (Algorithm 1) and incremental normalizers.
+//
+// These helpers define the exact emission behavior both paths must agree on
+// for the incremental output to stay bit-identical to a full pass: the
+// charge-then-insert order against the resource guard, the duplicate
+// handling of the backing Instance (Insert dedups), and the label
+// bookkeeping that only records successfully inserted rows.
+
+#ifndef TDX_CORE_NORMALIZE_DETAIL_H_
+#define TDX_CORE_NORMALIZE_DETAIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "src/common/interval.h"
+#include "src/common/resource.h"
+#include "src/relational/homomorphism.h"
+#include "src/relational/instance.h"
+
+namespace tdx::normalize_detail {
+
+/// Intersection of the time intervals of an atom image, or nullopt when
+/// empty. `image` must be non-empty.
+inline std::optional<Interval> IntersectIntervals(const AtomImage& image) {
+  std::optional<Interval> acc = image.front().interval();
+  for (std::size_t i = 1; i < image.size() && acc.has_value(); ++i) {
+    acc = acc->Intersect(image[i].interval());
+  }
+  return acc;
+}
+
+/// Union-find over dense fact indices, resettable so the incremental
+/// normalizer can reuse its allocation across passes.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { Reset(n); }
+  void Reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Fragments `fact` at the interior cuts in `cuts` (sorted ascending,
+/// duplicates tolerated) and inserts the fragments into `out`, charging
+/// `guard` one unit per fragment before inserting it. Returns false when the
+/// guard tripped (the fact may be partially fragmented). When `labels` is
+/// non-null, pushes `label` once per fragment the Instance actually kept
+/// (Insert dedups, and labels must stay parallel to the stored rows).
+inline bool EmitFragments(FactView fact, const std::vector<TimePoint>& cuts,
+                          Instance* out, ResourceGuard* guard,
+                          std::uint32_t label = 0,
+                          std::vector<std::uint32_t>* labels = nullptr) {
+  const Interval iv = fact.interval();
+  TimePoint cur = iv.start();
+  for (auto it = std::upper_bound(cuts.begin(), cuts.end(), cur);
+       it != cuts.end() && *it < iv.end(); ++it) {
+    if (*it <= cur) continue;
+    if (guard != nullptr && !guard->ChargeFragment()) return false;
+    const bool inserted = out->Insert(fact.WithInterval(Interval(cur, *it)));
+    if (labels != nullptr && inserted) labels->push_back(label);
+    cur = *it;
+  }
+  if (guard != nullptr && !guard->ChargeFragment()) return false;
+  const bool inserted = out->Insert(fact.WithInterval(Interval(cur, iv.end())));
+  if (labels != nullptr && inserted) labels->push_back(label);
+  return true;
+}
+
+/// Pass-through emission: one guard charge, one insert, label only on a
+/// successful (non-duplicate) insert. Returns false when the guard tripped.
+inline bool EmitCopy(FactView fact, Instance* out, ResourceGuard* guard,
+                     std::uint32_t label = 0,
+                     std::vector<std::uint32_t>* labels = nullptr) {
+  if (guard != nullptr && !guard->ChargeFragment()) return false;
+  const bool inserted = out->Insert(fact);
+  if (labels != nullptr && inserted) labels->push_back(label);
+  return true;
+}
+
+}  // namespace tdx::normalize_detail
+
+#endif  // TDX_CORE_NORMALIZE_DETAIL_H_

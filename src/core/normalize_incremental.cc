@@ -1,0 +1,374 @@
+#include "src/core/normalize_incremental.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+
+namespace tdx {
+
+using normalize_detail::EmitCopy;
+using normalize_detail::IntersectIntervals;
+
+void NormalizeState::Invalidate() {
+  valid_ = false;
+  bound_ = nullptr;
+  marks_.clear();
+  comp_of_.clear();
+  num_components_ = 0;
+}
+
+bool NormalizeState::MatchesWatermark(const ConcreteInstance& instance) const {
+  if (!valid_ || bound_ != &instance.facts()) return false;
+  const Instance& facts = instance.facts();
+  if (generation_ != facts.generation()) return false;
+  const std::size_t num_rels = instance.schema().relation_count();
+  if (marks_.size() > num_rels) return false;
+  for (std::size_t r = 0; r < marks_.size(); ++r) {
+    if (facts.facts(static_cast<RelationId>(r)).size() < marks_[r]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<NormalizeState::Watermark> NormalizeState::Export(
+    const Instance* facts) const {
+  if (!valid_ || bound_ != facts || generation_ != facts->generation()) {
+    return std::nullopt;
+  }
+  Watermark wm;
+  wm.marks = marks_;
+  for (const std::vector<std::uint32_t>& rel_labels : comp_of_) {
+    wm.labels.insert(wm.labels.end(), rel_labels.begin(), rel_labels.end());
+  }
+  wm.num_components = num_components_;
+  return wm;
+}
+
+Status NormalizeState::Restore(const Watermark& wm,
+                               const ConcreteInstance& instance) {
+  const Instance& facts = instance.facts();
+  const std::size_t num_rels = instance.schema().relation_count();
+  if (wm.marks.size() > num_rels) {
+    return Status::InvalidArgument(
+        "normalize watermark names more relations than the schema has");
+  }
+  std::size_t flat = 0;
+  for (std::size_t r = 0; r < wm.marks.size(); ++r) {
+    if (facts.facts(static_cast<RelationId>(r)).size() < wm.marks[r]) {
+      return Status::InvalidArgument(
+          "normalize watermark mark exceeds its relation's fact count");
+    }
+    flat += wm.marks[r];
+  }
+  if (flat != wm.labels.size()) {
+    return Status::InvalidArgument(
+        "normalize watermark labels are not parallel to its marks");
+  }
+  for (const std::uint32_t label : wm.labels) {
+    if (label != NormalizeLabels::kUngrouped && label >= wm.num_components) {
+      return Status::InvalidArgument(
+          "normalize watermark label out of component range");
+    }
+  }
+  marks_ = wm.marks;
+  comp_of_.clear();
+  comp_of_.reserve(marks_.size());
+  std::size_t off = 0;
+  for (const std::uint32_t mark : marks_) {
+    comp_of_.emplace_back(wm.labels.begin() + off, wm.labels.begin() + off + mark);
+    off += mark;
+  }
+  num_components_ = wm.num_components;
+  bound_ = &instance.facts();
+  generation_ = facts.generation();
+  valid_ = true;
+  return Status::OK();
+}
+
+void NormalizeState::Record(const ConcreteInstance& instance,
+                            const std::vector<std::uint32_t>& flat,
+                            std::uint32_t num_components) {
+  const Instance& facts = instance.facts();
+  const std::size_t num_rels = instance.schema().relation_count();
+  marks_.resize(num_rels);
+  comp_of_.assign(num_rels, {});
+  std::size_t off = 0;
+  for (std::size_t r = 0; r < num_rels; ++r) {
+    const std::size_t n = facts.facts(static_cast<RelationId>(r)).size();
+    marks_[r] = static_cast<std::uint32_t>(n);
+    comp_of_[r].assign(flat.begin() + off, flat.begin() + off + n);
+    off += n;
+  }
+  assert(off == flat.size() && "labels must be parallel to the output");
+  num_components_ = num_components;
+  bound_ = &instance.facts();
+  generation_ = facts.generation();
+  valid_ = true;
+}
+
+void NormalizeState::FullPass(ConcreteInstance* instance,
+                              const std::vector<Conjunction>& phis,
+                              NormalizeStats* stats, ResourceGuard* guard) {
+  NormalizeLabels labels;
+  ConcreteInstance out =
+      tdx::Normalize(*instance, phis, stats, guard, &labels);
+  instance->mutable_facts() = std::move(out.mutable_facts());
+  if (guard != nullptr && guard->tripped()) {
+    Invalidate();
+    return;
+  }
+  Record(*instance, labels.comp_of, labels.num_components);
+}
+
+void NormalizeState::Normalize(ConcreteInstance* instance,
+                               const std::vector<Conjunction>& phis,
+                               NormalizeStats* stats, ResourceGuard* guard) {
+  if (!MatchesWatermark(*instance)) {
+    FullPass(instance, phis, stats, guard);
+    return;
+  }
+  IncrementalPass(instance, phis, stats, guard);
+}
+
+void NormalizeState::IncrementalPass(ConcreteInstance* instance,
+                                     const std::vector<Conjunction>& phis,
+                                     NormalizeStats* stats,
+                                     ResourceGuard* guard) {
+  if (guard != nullptr) {
+    guard->ResetFragmentCount();
+    guard->PokeFault("normalize/incremental");
+    if (guard->tripped()) {
+      if (stats != nullptr) stats->partial = true;
+      Invalidate();
+      return;
+    }
+  }
+  const Instance& facts = instance->facts();
+  const std::size_t num_rels = instance->schema().relation_count();
+  base_.assign(num_rels, 0);
+  std::size_t total = 0;
+  std::size_t delta = 0;
+  for (RelationId r = 0; r < num_rels; ++r) {
+    base_[r] = total;
+    const std::size_t n = facts.facts(r).size();
+    total += n;
+    delta += n - MarkOf(r);
+  }
+  if (delta == 0) {
+    // Untouched since the last pass: the instance IS the previous output,
+    // already normalized. Leave it (and the watermark) alone.
+    if (stats != nullptr) {
+      stats->input_facts = total;
+      stats->output_facts = total;
+      stats->homomorphisms = 0;
+      stats->groups = 0;
+      stats->delta_facts = 0;
+      stats->dirty_components = 0;
+      stats->reused_components = num_components_;
+      stats->partial = false;
+    }
+    return;
+  }
+
+  const auto dense_id = [&](FactView f) { return base_[f.relation()] + f.pos(); };
+  const auto fact_at = [&](std::size_t id) {
+    const auto it = std::upper_bound(base_.begin(), base_.end(), id);
+    const RelationId r = static_cast<RelationId>(it - base_.begin() - 1);
+    return facts.facts(r)[static_cast<std::uint32_t>(id - base_[r])];
+  };
+  const auto is_old = [&](FactView f) { return f.pos() < MarkOf(f.relation()); };
+
+  if (finder_bound_ != &facts) {
+    finder_.emplace(facts);
+    finder_bound_ = &facts;
+  }
+
+  // Delta-seeded sweep + transitive expansion. Seeding every atom of every
+  // phi* over its relation's delta suffix finds exactly the homs touching a
+  // new fact; each OLD fact pulled into a group is then expanded (all homs
+  // through it, single-fact seeds), so every component containing a delta
+  // fact is discovered in full. Homs found more than once only repeat a
+  // union — harmless. All-old homs never reached this way belong to clean
+  // components, which provably carry one shared interval (see header).
+  uf_.Reset(total);
+  grouped_.assign(total, 0);
+  enqueued_.assign(total, 0);
+  queue_.clear();
+  std::size_t hom_count = 0;
+  bool deadline_ok = true;
+  const auto on_hom = [&](const Binding&, const AtomImage& image) {
+    if (guard != nullptr && !guard->CheckDeadline()) {
+      deadline_ok = false;
+      return false;
+    }
+    ++hom_count;
+    if (!IntersectIntervals(image).has_value()) return true;
+    const std::size_t first = dense_id(image.front());
+    for (FactView f : image) {
+      const std::size_t idx = dense_id(f);
+      grouped_[idx] = 1;
+      uf_.Union(first, idx);
+      if (is_old(f) && enqueued_[idx] == 0) {
+        enqueued_[idx] = 1;
+        queue_.push_back(idx);
+      }
+    }
+    return true;
+  };
+  std::vector<Conjunction> stars;
+  stars.reserve(phis.size());
+  for (const Conjunction& phi : phis) stars.push_back(RenameTemporalApart(phi));
+  for (const Conjunction& star : stars) {
+    if (!deadline_ok) break;
+    for (std::size_t a = 0; a < star.atoms.size() && deadline_ok; ++a) {
+      const RelationId rel = star.atoms[a].rel;
+      const std::uint32_t begin = MarkOf(rel);
+      const std::uint32_t end =
+          static_cast<std::uint32_t>(facts.facts(rel).size());
+      if (begin >= end) continue;
+      finder_->ForEachSeeded(star, a, begin, end, Binding(star.num_vars),
+                             on_hom);
+    }
+  }
+  for (std::size_t head = 0; head < queue_.size() && deadline_ok; ++head) {
+    const std::size_t id = queue_[head];
+    const FactView f = fact_at(id);
+    const RelationId rel = f.relation();
+    const std::uint32_t pos = f.pos();
+    for (const Conjunction& star : stars) {
+      if (!deadline_ok) break;
+      for (std::size_t a = 0; a < star.atoms.size() && deadline_ok; ++a) {
+        if (star.atoms[a].rel != rel) continue;
+        finder_->ForEachSeeded(star, a, pos, pos + 1, Binding(star.num_vars),
+                               on_hom);
+      }
+    }
+  }
+  if (!deadline_ok || (guard != nullptr && guard->tripped())) {
+    if (stats != nullptr) stats->partial = true;
+    Invalidate();
+    return;
+  }
+
+  // Cut points per dirty component, then per-fact cut vectors — resolved
+  // sequentially because Find path-compresses (the workers below must not
+  // mutate the union-find).
+  std::map<std::size_t, std::vector<TimePoint>> component_points;
+  grouped_ids_.clear();
+  for (std::size_t i = 0; i < total; ++i) {
+    if (grouped_[i] == 0) continue;
+    grouped_ids_.push_back(i);
+    std::vector<TimePoint>& pts = component_points[uf_.Find(i)];
+    const Interval iv = fact_at(i).interval();
+    pts.push_back(iv.start());
+    if (!iv.unbounded()) pts.push_back(iv.end());
+  }
+  for (auto& [root, pts] : component_points) {
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  }
+  cuts_of_.assign(grouped_ids_.size(), nullptr);
+  frag_slots_.resize(std::max(frag_slots_.size(), grouped_ids_.size()));
+  for (std::size_t k = 0; k < grouped_ids_.size(); ++k) {
+    cuts_of_[k] = &component_points.at(uf_.Find(grouped_ids_[k]));
+    frag_slots_[k].clear();
+  }
+
+  // Parallel fragmentation: pure per-fact work into private slots; no guard,
+  // no labels, no shared mutation. The sequential merge below charges the
+  // guard in dense-id order, so the charge/insert sequence — and therefore
+  // the output, even under a budget trip — is identical at any job count.
+  ParallelFor(jobs_, grouped_ids_.size(), [&](std::size_t k) {
+    AppendFragments(fact_at(grouped_ids_[k]).interval(), *cuts_of_[k],
+                    &frag_slots_[k]);
+  });
+
+  // Deterministic sequential merge. Dirty components take labels [0, d);
+  // pass-through facts keep their previous component identity, remapped
+  // densely above d. reused = previous components no dirty fact touches.
+  const std::uint32_t num_dirty =
+      static_cast<std::uint32_t>(component_points.size());
+  std::vector<char> prev_touched(num_components_, 0);
+  for (const std::size_t id : grouped_ids_) {
+    const FactView f = fact_at(id);
+    if (!is_old(f)) continue;
+    const std::uint32_t prev = comp_of_[f.relation()][f.pos()];
+    if (prev != NormalizeLabels::kUngrouped) prev_touched[prev] = 1;
+  }
+  std::uint32_t touched_count = 0;
+  for (const char t : prev_touched) touched_count += t;
+
+  Instance out(&instance->schema());
+  flat_labels_.clear();
+  std::map<std::size_t, std::uint32_t> dirty_seq;
+  std::map<std::uint32_t, std::uint32_t> prev_remap;
+  std::size_t next_grouped = 0;
+  bool tripped = false;
+  for (std::size_t i = 0; i < total && !tripped; ++i) {
+    const FactView fact = fact_at(i);
+    if (next_grouped < grouped_ids_.size() && grouped_ids_[next_grouped] == i) {
+      const std::size_t k = next_grouped++;
+      std::vector<Interval>& subs = frag_slots_[k];
+      if (subs.empty()) {
+        // The pool dropped this slot's task (thread-pool/dispatch fault).
+        // The fill is a pure function of immutable inputs, so redoing it
+        // inline is sound and keeps the run deterministic.
+        AppendFragments(fact.interval(), *cuts_of_[k], &subs);
+      }
+      const std::uint32_t label =
+          dirty_seq.emplace(uf_.Find(i), static_cast<std::uint32_t>(dirty_seq.size()))
+              .first->second;
+      for (const Interval& sub : subs) {
+        if (guard != nullptr && !guard->ChargeFragment()) {
+          tripped = true;
+          break;
+        }
+        if (out.Insert(fact.WithInterval(sub))) flat_labels_.push_back(label);
+      }
+    } else {
+      std::uint32_t label = NormalizeLabels::kUngrouped;
+      if (is_old(fact)) {
+        const std::uint32_t prev = comp_of_[fact.relation()][fact.pos()];
+        if (prev != NormalizeLabels::kUngrouped) {
+          label = prev_remap
+                      .emplace(prev,
+                               num_dirty + static_cast<std::uint32_t>(
+                                               prev_remap.size()))
+                      .first->second;
+        }
+      }
+      if (!EmitCopy(fact, &out, guard, label, &flat_labels_)) tripped = true;
+    }
+  }
+
+  const std::size_t out_size = out.size();
+  // Reused = previous components with no member pulled into a dirty group
+  // (computed against the PREVIOUS component count, before Record replaces
+  // the watermark).
+  const std::uint32_t reused = num_components_ >= touched_count
+                                   ? num_components_ - touched_count
+                                   : 0;
+  instance->mutable_facts() = std::move(out);
+  if (tripped || (guard != nullptr && guard->tripped())) {
+    if (stats != nullptr) stats->partial = true;
+    Invalidate();
+    return;
+  }
+  Record(*instance, flat_labels_,
+         num_dirty + static_cast<std::uint32_t>(prev_remap.size()));
+  if (stats != nullptr) {
+    stats->input_facts = total;
+    stats->output_facts = out_size;
+    stats->homomorphisms = hom_count;
+    stats->groups = num_dirty;
+    stats->delta_facts = delta;
+    stats->dirty_components = num_dirty;
+    stats->reused_components = reused;
+    stats->partial = false;
+  }
+}
+
+}  // namespace tdx

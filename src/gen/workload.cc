@@ -574,4 +574,143 @@ std::unique_ptr<Workload> MakeStratifiedWorkload(const StratifiedConfig& cfg) {
   return w;
 }
 
+std::unique_ptr<Workload> MakeCascadeWorkload(const CascadeConfig& cfg) {
+  auto w = std::make_unique<Workload>();
+  const RelationId schain_plus = Unwrap(w->schema.AddRelationPair(
+      "SChain", {"from", "to"}, SchemaRole::kSource));
+  const RelationId sseed_plus = Unwrap(
+      w->schema.AddRelationPair("SSeed", {"node"}, SchemaRole::kSource));
+  const RelationId stok_plus = Unwrap(w->schema.AddRelationPair(
+      "STok", {"node", "code"}, SchemaRole::kSource));
+  const RelationId sb_plus = Unwrap(w->schema.AddRelationPair(
+      "SB", {"key", "idx"}, SchemaRole::kSource));
+  const RelationId next_plus = Unwrap(
+      w->schema.AddRelationPair("Next", {"from", "to"}, SchemaRole::kTarget));
+  const RelationId cur_plus = Unwrap(
+      w->schema.AddRelationPair("Cur", {"node"}, SchemaRole::kTarget));
+  const RelationId hop_plus = Unwrap(
+      w->schema.AddRelationPair("Hop", {"node", "code"}, SchemaRole::kTarget));
+  const RelationId token_plus = Unwrap(w->schema.AddRelationPair(
+      "Token", {"node", "code"}, SchemaRole::kTarget));
+  const RelationId b_plus = Unwrap(w->schema.AddRelationPair(
+      "B", {"key", "idx", "tag"}, SchemaRole::kTarget));
+  const RelationId schain = Unwrap(w->schema.TwinOf(schain_plus));
+  const RelationId sseed = Unwrap(w->schema.TwinOf(sseed_plus));
+  const RelationId stok = Unwrap(w->schema.TwinOf(stok_plus));
+  const RelationId sb = Unwrap(w->schema.TwinOf(sb_plus));
+  const RelationId next = Unwrap(w->schema.TwinOf(next_plus));
+  const RelationId cur = Unwrap(w->schema.TwinOf(cur_plus));
+  const RelationId hop = Unwrap(w->schema.TwinOf(hop_plus));
+  const RelationId token = Unwrap(w->schema.TwinOf(token_plus));
+  const RelationId b = Unwrap(w->schema.TwinOf(b_plus));
+
+  Tgd copy_chain;
+  copy_chain.label = "s1";
+  copy_chain.body.atoms = {MakeAtom(schain, {Term::Var(0), Term::Var(1)})};
+  copy_chain.head.atoms = {MakeAtom(next, {Term::Var(0), Term::Var(1)})};
+  copy_chain.body.num_vars = copy_chain.head.num_vars = 2;
+  copy_chain.body.var_names = {"x", "y"};
+  if (!copy_chain.Finalize().ok()) abort();
+
+  Tgd copy_seed;
+  copy_seed.label = "s2";
+  copy_seed.body.atoms = {MakeAtom(sseed, {Term::Var(0)})};
+  copy_seed.head.atoms = {MakeAtom(cur, {Term::Var(0)})};
+  copy_seed.body.num_vars = copy_seed.head.num_vars = 1;
+  copy_seed.body.var_names = {"x"};
+  if (!copy_seed.Finalize().ok()) abort();
+
+  Tgd copy_token;
+  copy_token.label = "s3";
+  copy_token.body.atoms = {MakeAtom(stok, {Term::Var(0), Term::Var(1)})};
+  copy_token.head.atoms = {MakeAtom(token, {Term::Var(0), Term::Var(1)})};
+  copy_token.body.num_vars = copy_token.head.num_vars = 2;
+  copy_token.body.var_names = {"x", "v"};
+  if (!copy_token.Finalize().ok()) abort();
+
+  const Value tag_w = w->universe.Constant("w");
+  Tgd copy_ballast;
+  copy_ballast.label = "s4";
+  copy_ballast.body.atoms = {MakeAtom(sb, {Term::Var(0), Term::Var(1)})};
+  copy_ballast.head.atoms = {
+      MakeAtom(b, {Term::Var(0), Term::Var(1), Term::Val(tag_w)})};
+  copy_ballast.body.num_vars = copy_ballast.head.num_vars = 2;
+  copy_ballast.body.var_names = {"k", "j"};
+  if (!copy_ballast.Finalize().ok()) abort();
+
+  // t1: Cur(x) & Next(x, y) -> exists s: Hop(y, s); vars x=0, y=1, s=2.
+  Tgd step;
+  step.label = "t1";
+  step.body.atoms = {MakeAtom(cur, {Term::Var(0)}),
+                     MakeAtom(next, {Term::Var(0), Term::Var(1)})};
+  step.head.atoms = {MakeAtom(hop, {Term::Var(1), Term::Var(2)})};
+  step.body.num_vars = step.head.num_vars = 3;
+  step.body.var_names = {"x", "y", "s"};
+  if (!step.Finalize().ok()) abort();
+
+  // t2: Hop(y, v) & Token(y, v) -> Cur(y) — gated on e1 merging the hop's
+  // null into the token constant; fires one outer iteration after t1.
+  Tgd advance;
+  advance.label = "t2";
+  advance.body.atoms = {MakeAtom(hop, {Term::Var(0), Term::Var(1)}),
+                        MakeAtom(token, {Term::Var(0), Term::Var(1)})};
+  advance.head.atoms = {MakeAtom(cur, {Term::Var(0)})};
+  advance.body.num_vars = advance.head.num_vars = 2;
+  advance.body.var_names = {"y", "v"};
+  if (!advance.Finalize().ok()) abort();
+
+  Egd resolve;
+  resolve.label = "e1";
+  resolve.body.atoms = {MakeAtom(hop, {Term::Var(0), Term::Var(1)}),
+                        MakeAtom(token, {Term::Var(0), Term::Var(2)})};
+  resolve.body.num_vars = 3;
+  resolve.body.var_names = {"y", "s", "v"};
+  resolve.x1 = 1;
+  resolve.x2 = 2;
+  if (!resolve.Finalize().ok()) abort();
+
+  Egd ballast_agrees;
+  ballast_agrees.label = "eB";
+  ballast_agrees.body.atoms = {
+      MakeAtom(b, {Term::Var(0), Term::Var(1), Term::Var(2)}),
+      MakeAtom(b, {Term::Var(0), Term::Var(3), Term::Var(4)})};
+  ballast_agrees.body.num_vars = 5;
+  ballast_agrees.body.var_names = {"k", "j", "s", "j2", "s2"};
+  ballast_agrees.x1 = 2;
+  ballast_agrees.x2 = 4;
+  if (!ballast_agrees.Finalize().ok()) abort();
+
+  w->mapping.st_tgds = {std::move(copy_chain), std::move(copy_seed),
+                        std::move(copy_token), std::move(copy_ballast)};
+  w->mapping.target_tgds = {std::move(step), std::move(advance)};
+  w->mapping.egds = {std::move(resolve), std::move(ballast_agrees)};
+  if (!ValidateMapping(w->mapping, w->schema).ok()) abort();
+  w->lifted = Unwrap(LiftMapping(w->mapping, w->schema));
+
+  const Interval span(0, std::max<TimePoint>(cfg.horizon, 1));
+  const Value tok = w->universe.Constant("tok");
+  for (std::size_t i = 0; i < cfg.stages; ++i) {
+    const Value a = w->universe.Constant("n" + std::to_string(i));
+    const Value bnode = w->universe.Constant("n" + std::to_string(i + 1));
+    MustAdd(&w->source, schain_plus, {a, bnode}, span);
+    MustAdd(&w->source, stok_plus, {bnode, tok}, span);
+  }
+  MustAdd(&w->source, sseed_plus, {w->universe.Constant("n0")}, span);
+  // Co-valid distinct facts per key: eB's key-only join pairs all of them,
+  // so every full pass sweeps ballast_dup^2 homomorphisms per key, while
+  // their shared interval makes each component's fragmentation a pure
+  // copy. None of them is ever in a delta, so the incremental pass skips
+  // the whole block — hom work grows quadratically in ballast_dup but
+  // emission only linearly.
+  const Interval covalid(0, 4);
+  for (std::size_t k = 0; k < cfg.ballast_keys; ++k) {
+    const Value key = w->universe.Constant("b" + std::to_string(k));
+    for (std::size_t j = 0; j < cfg.ballast_dup; ++j) {
+      MustAdd(&w->source, sb_plus,
+              {key, w->universe.Constant("i" + std::to_string(j))}, covalid);
+    }
+  }
+  return w;
+}
+
 }  // namespace tdx

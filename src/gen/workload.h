@@ -158,6 +158,35 @@ struct StratifiedConfig {
 /// that the flat engine re-runs to a no-op over the O(hops^2) closure.
 std::unique_ptr<Workload> MakeStratifiedWorkload(const StratifiedConfig& cfg);
 
+struct CascadeConfig {
+  std::size_t stages = 12;        ///< egd-gated hops (outer c-chase loops)
+  std::size_t ballast_keys = 150; ///< distinct B keys
+  std::size_t ballast_dup = 4;    ///< co-valid distinct B facts per key
+  TimePoint horizon = 8;          ///< chain/token facts valid over [0, horizon)
+};
+
+/// Multi-round normalization cascade for the incremental-normalization
+/// ablation (core/normalize_incremental.h):
+///   tgd  s1: SChain(x, y) -> Next(x, y)
+///   tgd  s2: SSeed(x) -> Cur(x)
+///   tgd  s3: STok(x, v) -> Token(x, v)
+///   tgd  s4: SB(k, j) -> B(k, j, "w")
+///   ttgd t1: Cur(x) & Next(x, y) -> exists s: Hop(y, s)
+///   ttgd t2: Hop(y, v) & Token(y, v) -> Cur(y)
+///   egd  e1: Hop(y, s) & Token(y, v) -> s = v
+///   egd  eB: B(k, j, s) & B(k, j2, s2) -> s = s2
+/// Each hop needs an egd merge to proceed: t1 mints Hop(n_i, N) with a
+/// fresh null, t2 cannot fire until e1 merges N := "tok", so the chase runs
+/// `stages` outer iterations, each with a post-rewrite full normalization
+/// pass and a post-rounds pass over a ~2-fact delta. The B relation is
+/// ballast: eB is provably effect-free (s4 pins the tag column to "w"), so
+/// it never fires — but its lhs stays in the normalizer's conjunction set,
+/// and eB's key-only join makes every full pass sweep ballast_dup^2
+/// homomorphisms over each key's co-valid B facts. Incremental passes skip
+/// them entirely (B is never in the delta), which is exactly the reuse the
+/// ablation measures.
+std::unique_ptr<Workload> MakeCascadeWorkload(const CascadeConfig& cfg);
+
 }  // namespace tdx
 
 #endif  // TDX_GEN_WORKLOAD_H_

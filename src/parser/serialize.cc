@@ -482,7 +482,11 @@ Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
     return std::string(head) + " " + std::to_string(ns.input_facts) + " " +
            std::to_string(ns.output_facts) + " " +
            std::to_string(ns.homomorphisms) + " " +
-           std::to_string(ns.groups) + "\n";
+           std::to_string(ns.groups) + " " +
+           std::to_string(ns.delta_facts) + " " +
+           std::to_string(ns.dirty_components) + " " +
+           std::to_string(ns.reused_components) + " " +
+           std::to_string(ns.partial ? 1 : 0) + "\n";
   };
   out += norm_line("norm-source", checkpoint.source_norm_stats);
   out += norm_line("norm-target", checkpoint.target_norm_stats);
@@ -504,6 +508,18 @@ Result<std::string> SerializeCheckpoint(const ChaseCheckpoint& checkpoint,
            std::to_string(checkpoint.frontier_marks.size());
     for (const std::uint32_t m : checkpoint.frontier_marks) {
       out += " " + std::to_string(m);
+    }
+    out += "\n";
+  }
+  if (checkpoint.norm_state_valid) {
+    out += "norm-state " + std::to_string(checkpoint.norm_components) + "\n";
+    out += "norm-marks " + std::to_string(checkpoint.norm_marks.size());
+    for (const std::uint32_t m : checkpoint.norm_marks) {
+      out += " " + std::to_string(m);
+    }
+    out += "\nnorm-labels " + std::to_string(checkpoint.norm_labels.size());
+    for (const std::uint32_t l : checkpoint.norm_labels) {
+      out += " " + std::to_string(l);
     }
     out += "\n";
   }
@@ -628,6 +644,22 @@ Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
     ns->output_facts = static_cast<std::size_t>(v[1]);
     ns->homomorphisms = static_cast<std::size_t>(v[2]);
     ns->groups = static_cast<std::size_t>(v[3]);
+    // Incremental-normalization counters, appended in a later format
+    // revision: a 4-field line decodes with all of them zero.
+    std::uint64_t delta = 0;
+    if (line.Uint(&delta)) {
+      std::uint64_t dirty = 0;
+      std::uint64_t reused = 0;
+      std::uint64_t partial = 0;
+      if (!line.Uint(&dirty) || !line.Uint(&reused) || !line.Uint(&partial) ||
+          partial > 1) {
+        return Malformed(std::string("malformed ") + head + " line");
+      }
+      ns->delta_facts = static_cast<std::size_t>(delta);
+      ns->dirty_components = static_cast<std::size_t>(dirty);
+      ns->reused_components = static_cast<std::size_t>(reused);
+      ns->partial = partial != 0;
+    }
     return Status::OK();
   };
   TDX_RETURN_IF_ERROR(parse_norm("norm-source", &ck.source_norm_stats));
@@ -697,6 +729,32 @@ Result<ChaseCheckpoint> ParseCheckpoint(std::string_view text,
           Instance inst,
           ParseFactBlock(&reader, n, schema, universe, ck.next_null));
       ck.normalized_source = std::move(inst);
+    } else if (c.Eat("norm-state ")) {
+      if (!c.Uint(&n) || n > std::numeric_limits<std::uint32_t>::max()) {
+        return Malformed("malformed norm-state line");
+      }
+      ck.norm_state_valid = true;
+      ck.norm_components = static_cast<std::uint32_t>(n);
+    } else if (c.Eat("norm-marks ")) {
+      if (!c.Uint(&n)) return Malformed("malformed norm-marks line");
+      ck.norm_marks.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t k = 0; k < n; ++k) {
+        std::uint64_t m = 0;
+        if (!c.Uint(&m) || m > std::numeric_limits<std::uint32_t>::max()) {
+          return Malformed("malformed norm-marks line");
+        }
+        ck.norm_marks.push_back(static_cast<std::uint32_t>(m));
+      }
+    } else if (c.Eat("norm-labels ")) {
+      if (!c.Uint(&n)) return Malformed("malformed norm-labels line");
+      ck.norm_labels.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t k = 0; k < n; ++k) {
+        std::uint64_t l = 0;
+        if (!c.Uint(&l) || l > std::numeric_limits<std::uint32_t>::max()) {
+          return Malformed("malformed norm-labels line");
+        }
+        ck.norm_labels.push_back(static_cast<std::uint32_t>(l));
+      }
     } else if (c.Eat("piece ")) {
       TDX_ASSIGN_OR_RETURN(Interval span, ParseIntervalToken(&c));
       if (!c.Uint(&n)) return Malformed("malformed piece header");

@@ -1,54 +1,84 @@
 #include "src/temporal/coalesce.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <numeric>
 #include <vector>
 
 namespace tdx {
 
 ConcreteInstance Coalesce(const ConcreteInstance& instance) {
-  // Group: (relation, canonicalized data values) -> (template fact,
-  // intervals). The template keeps one representative fact whose interval is
-  // re-stamped per merged run (WithInterval also re-annotates nulls).
-  struct Key {
-    RelationId rel;
-    std::vector<Value> data;
-    bool operator<(const Key& other) const {
-      if (rel != other.rel) return rel < other.rel;
-      return data < other.data;
-    }
-  };
-  std::map<Key, std::pair<Fact, std::vector<Interval>>> groups;
+  // Sort-based sweep over arena rows: collect every fact's canonicalized
+  // data values (annotated nulls compared by null id — fragments of one
+  // null denote the same sequence) into one flat arena, sort row handles by
+  // (relation, data, interval), then merge each equal-data run's intervals
+  // left to right. One sort replaces the former node-based
+  // map<Key, (Fact, vector<Interval>)> grouping; the output is identical:
+  // groups emerge in the same (relation, data) order and each group's
+  // intervals arrive already ascending.
+  std::vector<FactView> rows;
+  std::vector<std::size_t> off;
+  std::vector<Value> canon;
   instance.facts().ForEach([&](FactView fact) {
-    Key key{fact.relation(), {}};
+    rows.push_back(fact);
+    off.push_back(canon.size());
     for (std::size_t i = 0; i + 1 < fact.arity(); ++i) {
       const Value& v = fact.arg(i);
-      key.data.push_back(v.is_annotated_null() ? Value::Null(v.null_id()) : v);
-    }
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      groups.emplace(std::move(key),
-                     std::make_pair(fact.ToFact(),
-                                    std::vector<Interval>{fact.interval()}));
-    } else {
-      it->second.second.push_back(fact.interval());
+      canon.push_back(v.is_annotated_null() ? Value::Null(v.null_id()) : v);
     }
   });
 
+  // Three-way compare of two rows' canonical data; only called for rows of
+  // one relation, whose data runs have equal length (arity - 1).
+  const auto data_cmp = [&](std::uint32_t a, std::uint32_t b) {
+    const Value* da = canon.data() + off[a];
+    const Value* db = canon.data() + off[b];
+    const std::size_t n = static_cast<std::size_t>(rows[a].arity()) - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (da[i] < db[i]) return -1;
+      if (db[i] < da[i]) return 1;
+    }
+    return 0;
+  };
+  std::vector<std::uint32_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (rows[a].relation() != rows[b].relation()) {
+      return rows[a].relation() < rows[b].relation();
+    }
+    const int c = data_cmp(a, b);
+    if (c != 0) return c < 0;
+    return rows[a].interval() < rows[b].interval();
+  });
+
   ConcreteInstance out(&instance.schema());
-  for (auto& [key, entry] : groups) {
-    auto& [tmpl, ivs] = entry;
-    std::sort(ivs.begin(), ivs.end());
-    Interval run = ivs.front();
-    for (std::size_t i = 1; i < ivs.size(); ++i) {
-      if (run.Mergeable(ivs[i])) {
-        run = run.MergeWith(ivs[i]);
+  std::size_t g = 0;
+  while (g < order.size()) {
+    std::size_t h = g + 1;
+    while (h < order.size() &&
+           rows[order[g]].relation() == rows[order[h]].relation() &&
+           data_cmp(order[g], order[h]) == 0) {
+      ++h;
+    }
+    // The group's template is its first-inserted fact (lowest arena row),
+    // as with the former map grouping. The template only matters up to null
+    // annotations (WithInterval re-annotates), but first-inserted keeps the
+    // output byte-stable across the rewrite.
+    const std::uint32_t tmpl_row =
+        *std::min_element(order.begin() + g, order.begin() + h);
+    const Fact tmpl = rows[tmpl_row].ToFact();
+    Interval run = rows[order[g]].interval();
+    for (std::size_t k = g + 1; k < h; ++k) {
+      const Interval iv = rows[order[k]].interval();
+      if (run.Mergeable(iv)) {
+        run = run.MergeWith(iv);
       } else {
         out.mutable_facts().Insert(tmpl.WithInterval(run));
-        run = ivs[i];
+        run = iv;
       }
     }
     out.mutable_facts().Insert(tmpl.WithInterval(run));
+    g = h;
   }
   return out;
 }

@@ -269,15 +269,17 @@ TEST_F(FaultInjectionTest, RegisteredSiteListStaysReachable) {
   // this list. A site renamed without updating the registry would silently
   // drop out of the sweep — pin the count and spot-check membership.
   std::size_t n = 0;
-  bool has_dispatch = false, has_merge = false;
+  bool has_dispatch = false, has_merge = false, has_incremental = false;
   for (const std::string_view site : kRegisteredFaultSites) {
     ++n;
     if (site == "thread-pool/dispatch") has_dispatch = true;
     if (site == "abstract-chase/merge") has_merge = true;
+    if (site == "normalize/incremental") has_incremental = true;
   }
-  EXPECT_EQ(n, 12u);
+  EXPECT_EQ(n, 13u);
   EXPECT_TRUE(has_dispatch);
   EXPECT_TRUE(has_merge);
+  EXPECT_TRUE(has_incremental);
 }
 
 }  // namespace

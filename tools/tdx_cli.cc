@@ -120,6 +120,9 @@ int Usage() {
          "  --naive-chase         disable semi-naive target-tgd rounds\n"
          "  --no-schedule         ignore the chase planner's schedule: run\n"
          "                        every rule and every egd pass unconditionally\n"
+         "  --no-incremental-normalize  re-run every target normalization\n"
+         "                        pass from scratch instead of reusing the\n"
+         "                        previous pass's components (same output)\n"
          "  --format=FMT          plan output format: text (default) or json\n"
          "  --checkpoint=PATH     chase/core/resume: write a resumable\n"
          "                        checkpoint to PATH at every safe point\n"
@@ -138,6 +141,7 @@ struct CliOptions {
   bool stats = false;
   bool semi_naive = true;
   bool scheduled = true;
+  bool incremental_normalize = true;
   std::string format = "text";
   unsigned jobs = 1;
   std::string checkpoint_path;
@@ -180,6 +184,10 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     }
     if (arg == "--no-schedule") {
       options->scheduled = false;
+      continue;
+    }
+    if (arg == "--no-incremental-normalize") {
+      options->incremental_normalize = false;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -268,6 +276,7 @@ tdx::Result<tdx::CChaseOutcome> RunCChase(tdx::ParsedProgram& program,
   chase_options.limits = options.limits;
   chase_options.semi_naive = options.semi_naive;
   chase_options.scheduled = options.scheduled;
+  chase_options.incremental_normalize = options.incremental_normalize;
   chase_options.jobs = options.jobs;
   chase_options.checkpointer = options.checkpointer;
   chase_options.resume_from = options.resume_from;
@@ -287,6 +296,16 @@ void PrintChaseStats(const tdx::ChaseStats& stats) {
             << " index_candidates=" << stats.search.index_candidates
             << " full_scans=" << stats.search.full_scans
             << ")\n";
+}
+
+void PrintNormStats(const char* label, const tdx::NormalizeStats& stats) {
+  std::cout << "(" << label << ": input=" << stats.input_facts
+            << " output=" << stats.output_facts
+            << " homs=" << stats.homomorphisms << " groups=" << stats.groups
+            << " delta=" << stats.delta_facts
+            << " dirty=" << stats.dirty_components
+            << " reused=" << stats.reused_components
+            << " partial=" << (stats.partial ? 1 : 0) << ")\n";
 }
 
 int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
@@ -313,7 +332,11 @@ int RunChase(tdx::ParsedProgram& program, const CliOptions& options,
   } else {
     std::cout << tdx::RenderConcreteInstance(chase->target, program.universe);
   }
-  if (options.stats) PrintChaseStats(chase->stats);
+  if (options.stats) {
+    PrintChaseStats(chase->stats);
+    PrintNormStats("norm-source", chase->source_norm_stats);
+    PrintNormStats("norm-target", chase->target_norm_stats);
+  }
   return EXIT_SUCCESS;
 }
 
