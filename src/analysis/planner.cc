@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "src/analysis/termination.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
 
@@ -54,6 +56,10 @@ struct RuleView {
 }  // namespace
 
 PlanDetails PlanChaseDetailed(const Mapping& mapping, const Schema& schema) {
+  TDX_TRACE_SPAN("planner.plan_chase");
+  static obs::Counter plans_metric("planner.plans");
+  static obs::Gauge strata_metric("planner.schedule_strata");
+  plans_metric.Inc();
   PlanDetails details;
   ChaseSchedule& schedule = details.schedule;
 
@@ -473,6 +479,7 @@ PlanDetails PlanChaseDetailed(const Mapping& mapping, const Schema& schema) {
     details.downstream_relations[id].assign(rels.begin(), rels.end());
   }
 
+  strata_metric.Set(schedule.stratum_count());
   return details;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/parser/serialize.h"
 
 namespace tdx {
@@ -29,7 +31,27 @@ void CaptureUniverseNulls(const Universe& universe,
   }
 }
 
+namespace {
+
+struct CheckpointMetrics {
+  obs::Counter offers{"checkpoint.offers"};
+  obs::Counter throttled{"checkpoint.throttled"};
+  obs::Counter writes{"checkpoint.writes"};
+  obs::Counter write_errors{"checkpoint.write_errors"};
+  obs::Counter loads{"checkpoint.loads"};
+  obs::Histogram save_us{"checkpoint.save_us"};
+};
+
+CheckpointMetrics& GetCheckpointMetrics() {
+  static auto* metrics = new CheckpointMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
 bool Checkpointer::AtSafePoint(bool phase_boundary, const BuildFn& build) {
+  CheckpointMetrics& metrics = GetCheckpointMetrics();
+  metrics.offers.Inc();
   ++safe_points_;
   if (!phase_boundary) {
     ++round_points_;
@@ -45,22 +67,29 @@ bool Checkpointer::AtSafePoint(bool phase_boundary, const BuildFn& build) {
         (start - created_) * max_overhead_;
     if (std::chrono::duration<double, std::nano>(total_cost_ + last_cost_) >
         budget) {
+      metrics.throttled.Inc();
       return false;
     }
   }
+  TDX_TRACE_SPAN("checkpoint.save");
   ChaseCheckpoint checkpoint = build();
   checkpoint.program_fingerprint = fingerprint_;
   if (!path_.empty()) {
     Status written =
         SaveChaseCheckpoint(checkpoint, *schema_, *universe_, path_);
     if (!written.ok()) {
+      metrics.write_errors.Inc();
       if (last_error_.ok()) last_error_ = std::move(written);
       return false;
     }
   }
   if (keep_latest_) latest_ = std::move(checkpoint);
   ++writes_;
+  metrics.writes.Inc();
   last_cost_ = std::chrono::steady_clock::now() - start;
+  metrics.save_us.Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(last_cost_)
+          .count()));
   total_cost_ += last_cost_;
   return true;
 }
@@ -95,6 +124,8 @@ Result<ChaseCheckpoint> LoadChaseCheckpoint(const std::string& path,
                                             std::string_view program_text,
                                             const Schema* schema,
                                             Universe* universe) {
+  TDX_TRACE_SPAN("checkpoint.load");
+  GetCheckpointMetrics().loads.Inc();
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open checkpoint file: " + path);

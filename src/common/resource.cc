@@ -3,6 +3,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace tdx {
 
 std::string_view ResourceDimensionToString(ResourceDimension dim) {
@@ -25,6 +27,76 @@ std::string_view ResourceDimensionToString(ResourceDimension dim) {
       return "injected-fault";
   }
   return "?";
+}
+
+namespace {
+
+/// Trip counters, one per dimension plus a total. Indexed by the enum so a
+/// trip costs two uncontended adds on an already-cold path.
+struct TripMetrics {
+  obs::Counter total{"guard.trips"};
+  obs::Counter by_dim[8] = {
+      obs::Counter("guard.trips.none"),
+      obs::Counter("guard.trips.tgd_fires"),
+      obs::Counter("guard.trips.egd_steps"),
+      obs::Counter("guard.trips.fresh_nulls"),
+      obs::Counter("guard.trips.facts"),
+      obs::Counter("guard.trips.normalize_fragments"),
+      obs::Counter("guard.trips.wall_clock"),
+      obs::Counter("guard.trips.injected_fault"),
+  };
+};
+
+TripMetrics& GetTripMetrics() {
+  static auto* metrics = new TripMetrics();
+  return *metrics;
+}
+
+struct ConsumedMetrics {
+  obs::Counter tgd_fires{"guard.consumed.tgd_fires"};
+  obs::Counter egd_steps{"guard.consumed.egd_steps"};
+  obs::Counter fresh_nulls{"guard.consumed.fresh_nulls"};
+  obs::Counter facts{"guard.consumed.facts"};
+  obs::Counter fragments{"guard.consumed.fragments"};
+};
+
+ConsumedMetrics& GetConsumedMetrics() {
+  static auto* metrics = new ConsumedMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+void ResourceGuard::Trip(ResourceDimension dim, std::string reason) {
+  dimension_ = dim;
+  reason_ = std::move(reason);
+  TripMetrics& metrics = GetTripMetrics();
+  metrics.total.Inc();
+  const auto index = static_cast<std::size_t>(dim);
+  if (index < 8) metrics.by_dim[index].Inc();
+}
+
+ResourceGuard::~ResourceGuard() {
+  // Publishes this guard's own consumption — the seed a resumed guard
+  // started from was already published by the interrupted run's guard. The
+  // unlimited fast path skips the counters entirely, so an unlimited guard
+  // legitimately publishes zeros.
+  ConsumedMetrics& metrics = GetConsumedMetrics();
+  if (tgd_fires_ > seed_.tgd_fires) {
+    metrics.tgd_fires.Inc(tgd_fires_ - seed_.tgd_fires);
+  }
+  if (egd_steps_ > seed_.egd_steps) {
+    metrics.egd_steps.Inc(egd_steps_ - seed_.egd_steps);
+  }
+  if (fresh_nulls_ > seed_.fresh_nulls) {
+    metrics.fresh_nulls.Inc(fresh_nulls_ - seed_.fresh_nulls);
+  }
+  if (facts_ > seed_.facts) metrics.facts.Inc(facts_ - seed_.facts);
+  // Fragments reset per normalizer pass (ResetFragmentCount), so the final
+  // value is the last pass's count — published as-is, a lower bound.
+  if (fragments_ > seed_.fragments) {
+    metrics.fragments.Inc(fragments_ - seed_.fragments);
+  }
 }
 
 Status ResourceGuard::ToStatus() const {
@@ -50,6 +122,14 @@ struct FaultSpec {
   bool armed = false;          ///< false once fired or disarmed
   std::size_t hits = 0;        ///< total hits, armed or spent
 };
+
+/// Per-site trip counter ("fault.trip.<site>"), registered lazily the first
+/// time a site fires. Fires are rare and already hold the registry mutex, so
+/// the name build + metric registration is off every hot path.
+std::uint32_t FaultTripMetricId(std::string_view site) {
+  return obs::MetricsRegistry::Instance().Register(
+      "fault.trip." + std::string(site), obs::MetricKind::kCounter);
+}
 
 struct RegistryState {
   std::mutex mu;
@@ -113,6 +193,9 @@ Status FaultRegistry::Fire(std::string_view site) {
   }
   spec.armed = false;  // fire once
   armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  static obs::Counter fault_trips("fault.trips");
+  fault_trips.Inc();
+  obs::MetricsRegistry::Instance().Add(FaultTripMetricId(site), 1);
   return spec.status;
 }
 

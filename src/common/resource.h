@@ -214,11 +214,18 @@ class ResourceGuard {
   /// so only the remaining allowance (counts and wall time) is available.
   /// If the prior run already spent the whole deadline, the guard starts
   /// tripped and the first poll aborts the engine.
+  /// Publishes the final consumed ledger to the process metrics
+  /// (guard.consumed.*); defined out of line. Guards are never copied —
+  /// every engine holds exactly one per run — so the ledger is published
+  /// exactly once per run.
+  ~ResourceGuard();
+
   ResourceGuard(const ChaseLimits& limits, const ResourceLedger& consumed)
       : limits_(limits),
         unlimited_(limits.Unlimited()),
         start_(std::chrono::steady_clock::now()),
         prior_elapsed_(consumed.elapsed),
+        seed_(consumed),
         tgd_fires_(consumed.tgd_fires),
         egd_steps_(consumed.egd_steps),
         fresh_nulls_(consumed.fresh_nulls),
@@ -350,15 +357,15 @@ class ResourceGuard {
     return true;
   }
 
-  void Trip(ResourceDimension dim, std::string reason) {
-    dimension_ = dim;
-    reason_ = std::move(reason);
-  }
+  /// Out of line: records the trip in the process metrics (guard.trips and
+  /// guard.trips.<dimension>) besides latching the abort state.
+  void Trip(ResourceDimension dim, std::string reason);
 
   ChaseLimits limits_;
   bool unlimited_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::milliseconds prior_elapsed_{0};
+  ResourceLedger seed_;  ///< resume-time consumption, excluded from metrics
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::size_t deadline_poll_ = 0;
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/resource.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
 
@@ -80,6 +82,13 @@ unsigned ThreadPool::HardwareJobs() {
 
 void ParallelFor(unsigned jobs, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
+  // One batch span and two bulk counter adds per call — never per task, so
+  // trigger-collection fan-outs pay nothing per item.
+  static obs::Counter batches_metric("thread_pool.batches");
+  static obs::Counter tasks_metric("thread_pool.tasks");
+  static obs::Gauge jobs_metric("thread_pool.jobs");
+  batches_metric.Inc();
+  tasks_metric.Inc(count);
   if (jobs <= 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
       if (DispatchFaultDropsTask()) continue;
@@ -87,6 +96,9 @@ void ParallelFor(unsigned jobs, std::size_t count,
     }
     return;
   }
+  obs::TraceSpan span("thread_pool.parallel_for");
+  span.SetArg("tasks", count);
+  jobs_metric.Set(jobs);
   ThreadPool pool(std::min<std::size_t>(jobs, count));
   for (std::size_t i = 0; i < count; ++i) {
     pool.Submit([&fn, i] {

@@ -8,6 +8,8 @@
 #include "src/analysis/termination.h"
 #include "src/common/checkpoint.h"
 #include "src/core/normalize_incremental.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
 
@@ -31,9 +33,76 @@ Result<VarId> InferTemporalVar(const Conjunction& conj) {
   return *t;
 }
 
+namespace {
+
+/// Run-level metrics for the c-chase, published once per run as bulk deltas
+/// of the ChaseStats the engine maintains anyway — the chase interior pays
+/// nothing per trigger. See docs/INTERNALS.md ("Observability").
+struct CChaseMetrics {
+  obs::Counter runs{"cchase.runs"};
+  obs::Counter aborts{"cchase.aborts"};
+  obs::Counter rounds{"cchase.rounds"};
+  obs::Counter tgd_triggers{"cchase.tgd_triggers"};
+  obs::Counter tgd_fires{"cchase.tgd_fires"};
+  obs::Counter egd_steps{"cchase.egd_steps"};
+  obs::Counter fresh_nulls{"cchase.fresh_nulls"};
+  obs::Counter values_rewritten{"cchase.values_rewritten"};
+  obs::Counter skipped_egd_passes{"cchase.skipped_egd_passes"};
+  obs::Counter skipped_normalize_passes{"cchase.skipped_normalize_passes"};
+  obs::Gauge strata{"cchase.schedule_strata"};
+  obs::Histogram run_us{"cchase.run_us"};
+};
+
+CChaseMetrics& GetCChaseMetrics() {
+  static auto* metrics = new CChaseMetrics();
+  return *metrics;
+}
+
+/// Publishes the run's stats deltas when the engine returns by any path.
+class CChaseRunScope {
+ public:
+  CChaseRunScope(const ChaseStats* stats, const std::size_t* rounds,
+                 const ChaseResultKind* kind)
+      : stats_(stats),
+        rounds_(rounds),
+        kind_(kind),
+        entry_(*stats),
+        entry_rounds_(*rounds),
+        latency_(&GetCChaseMetrics().run_us) {}
+
+  ~CChaseRunScope() {
+    CChaseMetrics& m = GetCChaseMetrics();
+    m.runs.Inc();
+    if (*kind_ == ChaseResultKind::kAborted) m.aborts.Inc();
+    m.rounds.Inc(*rounds_ - entry_rounds_);
+    m.tgd_triggers.Inc(stats_->tgd_triggers - entry_.tgd_triggers);
+    m.tgd_fires.Inc(stats_->tgd_fires - entry_.tgd_fires);
+    m.egd_steps.Inc(stats_->egd_steps - entry_.egd_steps);
+    m.fresh_nulls.Inc(stats_->fresh_nulls - entry_.fresh_nulls);
+    m.values_rewritten.Inc(stats_->values_rewritten -
+                           entry_.values_rewritten);
+    m.skipped_egd_passes.Inc(stats_->skipped_egd_passes -
+                             entry_.skipped_egd_passes);
+    m.skipped_normalize_passes.Inc(stats_->skipped_normalize_passes -
+                                   entry_.skipped_normalize_passes);
+    m.strata.Set(stats_->schedule_strata);
+  }
+
+ private:
+  const ChaseStats* stats_;
+  const std::size_t* rounds_;
+  const ChaseResultKind* kind_;
+  ChaseStats entry_;
+  std::size_t entry_rounds_;
+  obs::ScopedLatency latency_;
+};
+
+}  // namespace
+
 Result<CChaseOutcome> CChase(const ConcreteInstance& source,
                              const Mapping& lifted, Universe* universe,
                              const CChaseOptions& options) {
+  TDX_TRACE_SPAN("cchase.run");
   TDX_RETURN_IF_ERROR(source.Validate());
   if (!source.IsComplete()) {
     return Status::InvalidArgument(
@@ -171,7 +240,14 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     }
   }
 
-  std::size_t rounds = 0;
+  // Loop-top/rounds checkpoints carry the resume round count; earlier-phase
+  // checkpoints carry 0, so seeding here is correct for every phase (the
+  // loop-top dispatch below re-assigns the same value). Seeding before the
+  // metrics scope keeps resumed rounds attributed to the run that ran them.
+  std::size_t rounds = resume != nullptr ? resume->rounds : 0;
+  // The stats above reflect the resume restore, so the scope's exit-time
+  // deltas cover only this run's own work.
+  CChaseRunScope run_metrics(&outcome.stats, &rounds, &outcome.kind);
   DeltaFrontier frontier;
   // Incremental target-normalization state (declared before the checkpoint
   // lambda so its watermark can be captured at safe points). Stays invalid
@@ -224,6 +300,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     if (resume == nullptr) offer_checkpoint(true, "init", nullptr);
     // ---- Step 1: normalize the source w.r.t. lhs(Sigma+st) --------------
     if (!guard.PokeFault("cchase/normalize-source")) return aborted();
+    TDX_TRACE_SPAN("cchase.normalize_source");
     outcome.normalized_source =
         options.use_naive_normalizer
             ? NaiveNormalize(source, &outcome.source_norm_stats, &guard)
@@ -250,6 +327,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   Instance target(&source.schema());
   if (start_phase == "init" || start_phase == "st-tgd") {
     if (!guard.PokeFault("cchase/tgd-phase")) return aborted();
+    TDX_TRACE_SPAN("cchase.st_tgd");
     if (schedule != nullptr) {
       TgdPhasePlanned(outcome.normalized_source.facts(), &target,
                       lifted.st_tgds, st_plan, fresh, &outcome.stats, &guard);
@@ -280,6 +358,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
     target_phis.insert(target_phis.end(), egd_phis.begin(), egd_phis.end());
   }
   const auto normalize_target = [&]() {
+    TDX_TRACE_SPAN("cchase.normalize_pass");
     if (options.use_naive_normalizer) {
       concrete_target =
           NaiveNormalize(concrete_target, &outcome.target_norm_stats, &guard);
@@ -334,6 +413,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   HomomorphismFinder round_finder(concrete_target.facts(),
                                   &outcome.stats.search);
   const auto run_round = [&]() {
+    TDX_TRACE_SPAN("cchase.tgd_round");
     if (schedule != nullptr) {
       return options.semi_naive
                  ? TargetTgdRoundDeltaPlanned(&concrete_target.mutable_facts(),
@@ -407,6 +487,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
       if (!guard.PokeFault("cchase/egd-fixpoint")) {
         return aborted_with_target();
       }
+      TDX_TRACE_SPAN("cchase.egd_fixpoint");
       outcome.kind = EgdFixpoint(
           &concrete_target.mutable_facts(),
           schedule != nullptr ? live_egds : lifted.egds, &outcome.stats,
@@ -423,6 +504,7 @@ Result<CChaseOutcome> CChase(const ConcreteInstance& source,
   }
   if (outcome.kind == ChaseResultKind::kSuccess &&
       options.coalesce_result) {
+    TDX_TRACE_SPAN("cchase.coalesce");
     concrete_target = Coalesce(concrete_target);
   }
   outcome.target = std::move(concrete_target);

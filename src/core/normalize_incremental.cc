@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
 
@@ -123,14 +125,48 @@ void NormalizeState::FullPass(ConcreteInstance* instance,
   Record(*instance, labels.comp_of, labels.num_components);
 }
 
+namespace {
+
+struct IncrementalNormMetrics {
+  obs::Counter passes{"normalize.incremental.passes"};
+  obs::Counter full_passes{"normalize.incremental.full_passes"};
+  obs::Counter delta_facts{"normalize.incremental.delta_facts"};
+  obs::Counter dirty_components{"normalize.incremental.dirty_components"};
+  obs::Counter reused_components{"normalize.incremental.reused_components"};
+  obs::Counter homomorphisms{"normalize.incremental.homomorphisms"};
+};
+
+IncrementalNormMetrics& GetIncrementalNormMetrics() {
+  static auto* metrics = new IncrementalNormMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
 void NormalizeState::Normalize(ConcreteInstance* instance,
                                const std::vector<Conjunction>& phis,
                                NormalizeStats* stats, ResourceGuard* guard) {
+  TDX_TRACE_SPAN("normalize.incremental");
+  // Per-pass metrics need the pass's own stats even when the caller passed
+  // none; NormalizeStats is a flat value, so the scratch copy is cheap.
+  NormalizeStats scratch;
+  NormalizeStats* pass_stats = stats != nullptr ? stats : &scratch;
+  IncrementalNormMetrics& metrics = GetIncrementalNormMetrics();
+  metrics.passes.Inc();
   if (!MatchesWatermark(*instance)) {
-    FullPass(instance, phis, stats, guard);
-    return;
+    metrics.full_passes.Inc();
+    FullPass(instance, phis, pass_stats, guard);
+  } else {
+    IncrementalPass(instance, phis, pass_stats, guard);
   }
-  IncrementalPass(instance, phis, stats, guard);
+  // A partial (guard-tripped) pass leaves the stat fields untouched from
+  // the caller's previous pass; publishing them would double count.
+  if (!pass_stats->partial) {
+    metrics.delta_facts.Inc(pass_stats->delta_facts);
+    metrics.dirty_components.Inc(pass_stats->dirty_components);
+    metrics.reused_components.Inc(pass_stats->reused_components);
+    metrics.homomorphisms.Inc(pass_stats->homomorphisms);
+  }
 }
 
 void NormalizeState::IncrementalPass(ConcreteInstance* instance,

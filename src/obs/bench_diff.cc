@@ -1,0 +1,314 @@
+#include "src/obs/bench_diff.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace tdx::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", value);
+  return buf;
+}
+
+/// Indexes a report's benchmark entries by name into `out`. Repeated names
+/// keep the first occurrence (google-benchmark emits one entry per benchmark
+/// in non-repetition mode, which is all we produce). Out-parameter rather
+/// than Result<map>: gcc 12's -Wfree-nonheap-object misfires on a variant
+/// holding an unordered_map.
+Status IndexBenchmarks(const Json& report, const char* which,
+                       std::unordered_map<std::string, const Json*>* out) {
+  const Json* benchmarks = report.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return Status::InvalidArgument(std::string(which) +
+                                   " report has no \"benchmarks\" array");
+  }
+  for (const Json& entry : benchmarks->items()) {
+    const Json* name = entry.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument(std::string(which) +
+                                     " report has a benchmark with no name");
+    }
+    out->emplace(name->as_string(), &entry);
+  }
+  return Status::OK();
+}
+
+/// A benchmark's real_time, normalized to nanoseconds.
+Result<double> RealTimeNs(const Json& entry, const std::string& name) {
+  const Json* real_time = entry.Find("real_time");
+  if (real_time == nullptr || !real_time->is_number()) {
+    return Status::InvalidArgument("benchmark '" + name +
+                                   "' has no real_time");
+  }
+  double scale = 1.0;
+  if (const Json* unit = entry.Find("time_unit");
+      unit != nullptr && unit->is_string()) {
+    const std::string& u = unit->as_string();
+    if (u == "us") {
+      scale = 1e3;
+    } else if (u == "ms") {
+      scale = 1e6;
+    } else if (u == "s") {
+      scale = 1e9;
+    }
+  }
+  return real_time->as_number() * scale;
+}
+
+Result<double> LookupTimeNs(
+    const std::unordered_map<std::string, const Json*>& by_name,
+    const std::string& name, const char* which) {
+  auto it = by_name.find(name);
+  if (it == by_name.end()) {
+    return Status::NotFound("benchmark '" + name + "' missing from " +
+                            which + " report");
+  }
+  return RealTimeNs(*it->second, name);
+}
+
+Result<double> ConfigNumber(const Json& gate, const char* key) {
+  const Json* value = gate.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    return Status::InvalidArgument(std::string("gate is missing numeric \"") +
+                                   key + "\"");
+  }
+  return value->as_number();
+}
+
+Result<std::string> ConfigString(const Json& gate, const char* key) {
+  const Json* value = gate.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument(std::string("gate is missing string \"") +
+                                   key + "\"");
+  }
+  return value->as_string();
+}
+
+}  // namespace
+
+Result<Json> MergeBenchReports(const std::vector<Json>& reports) {
+  if (reports.empty()) {
+    return Status::InvalidArgument("merge needs at least one report");
+  }
+  const Json* context = reports[0].Find("context");
+  if (context == nullptr || !context->is_object()) {
+    return Status::InvalidArgument(
+        "first report has no \"context\" object");
+  }
+  Json merged_context = Json::Object();
+  for (const JsonMember& member : context->members()) {
+    if (member.first == "date") continue;  // keep the merge reproducible
+    merged_context.Set(member.first, member.second);
+  }
+  Json merged_benchmarks = Json::Array();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Json* benchmarks = reports[i].Find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array()) {
+      return Status::InvalidArgument("report " + std::to_string(i) +
+                                     " has no \"benchmarks\" array");
+    }
+    for (const Json& entry : benchmarks->items()) {
+      merged_benchmarks.Append(entry);
+    }
+  }
+  Json merged = Json::Object();
+  merged.Set("context", std::move(merged_context));
+  merged.Set("benchmarks", std::move(merged_benchmarks));
+  return merged;
+}
+
+Result<GateReport> CheckBenchGates(const Json& fresh, const Json* baseline,
+                                   const Json& gates) {
+  std::unordered_map<std::string, const Json*> fresh_by_name;
+  TDX_RETURN_IF_ERROR(IndexBenchmarks(fresh, "fresh", &fresh_by_name));
+  std::unordered_map<std::string, const Json*> baseline_by_name;
+  if (baseline != nullptr) {
+    TDX_RETURN_IF_ERROR(
+        IndexBenchmarks(*baseline, "baseline", &baseline_by_name));
+  }
+
+  GateReport report;
+  auto add = [&report](GateCheck check) {
+    report.pass = report.pass && check.pass;
+    report.checks.push_back(std::move(check));
+  };
+
+  // --- per-benchmark thresholds -------------------------------------------
+  if (const Json* per = gates.Find("per_benchmark");
+      per != nullptr && per->is_object()) {
+    const Json* enabled = per->Find("enabled");
+    if (enabled != nullptr && enabled->is_bool() && enabled->as_bool()) {
+      if (baseline == nullptr) {
+        return Status::InvalidArgument(
+            "per_benchmark gates need a baseline report");
+      }
+      TDX_ASSIGN_OR_RETURN(const double threshold,
+                           ConfigNumber(*per, "threshold"));
+      double noise_floor_ns = 0;
+      if (const Json* floor = per->Find("noise_floor_ns");
+          floor != nullptr && floor->is_number()) {
+        noise_floor_ns = floor->as_number();
+      }
+      for (const auto& [name, entry] : baseline_by_name) {
+        auto it = fresh_by_name.find(name);
+        if (it == fresh_by_name.end()) continue;  // renamed/removed: not a gate
+        TDX_ASSIGN_OR_RETURN(const double base_ns, RealTimeNs(*entry, name));
+        TDX_ASSIGN_OR_RETURN(const double fresh_ns,
+                             RealTimeNs(*it->second, name));
+        if (base_ns < noise_floor_ns && fresh_ns < noise_floor_ns) continue;
+        GateCheck check;
+        check.gate = name;
+        check.kind = "per_benchmark";
+        check.actual = fresh_ns;
+        check.limit = base_ns * threshold;
+        check.pass = fresh_ns <= check.limit;
+        check.detail = name + ": " + FormatDouble(fresh_ns) + "ns vs " +
+                       FormatDouble(base_ns) + "ns baseline (threshold " +
+                       FormatDouble(threshold) + "x)";
+        add(std::move(check));
+      }
+    }
+  }
+
+  // --- ratio gates --------------------------------------------------------
+  if (const Json* ratio_gates = gates.Find("ratio_gates");
+      ratio_gates != nullptr && ratio_gates->is_array()) {
+    for (const Json& gate : ratio_gates->items()) {
+      TDX_ASSIGN_OR_RETURN(const std::string name, ConfigString(gate, "name"));
+      TDX_ASSIGN_OR_RETURN(const std::string num, ConfigString(gate, "num"));
+      TDX_ASSIGN_OR_RETURN(const std::string den, ConfigString(gate, "den"));
+      TDX_ASSIGN_OR_RETURN(const double num_ns,
+                           LookupTimeNs(fresh_by_name, num, "fresh"));
+      TDX_ASSIGN_OR_RETURN(const double den_ns,
+                           LookupTimeNs(fresh_by_name, den, "fresh"));
+      if (den_ns <= 0) {
+        return Status::InvalidArgument("ratio gate '" + name +
+                                       "': denominator time is zero");
+      }
+      const double ratio = num_ns / den_ns;
+
+      if (const Json* min = gate.Find("min");
+          min != nullptr && min->is_number()) {
+        GateCheck check;
+        check.gate = name;
+        check.kind = "ratio";
+        check.actual = ratio;
+        check.limit = min->as_number();
+        check.pass = ratio >= check.limit;
+        check.detail = name + ": " + num + "/" + den + " = " +
+                       FormatDouble(ratio) + "x (min " +
+                       FormatDouble(check.limit) + "x)";
+        add(std::move(check));
+      }
+      if (const Json* max = gate.Find("max");
+          max != nullptr && max->is_number()) {
+        GateCheck check;
+        check.gate = name;
+        check.kind = "ratio";
+        check.actual = ratio;
+        check.limit = max->as_number();
+        check.pass = ratio <= check.limit;
+        check.detail = name + ": " + num + "/" + den + " = " +
+                       FormatDouble(ratio) + "x (max " +
+                       FormatDouble(check.limit) + "x)";
+        add(std::move(check));
+      }
+
+      // Drift against the baseline's value of the same ratio. Soft on a
+      // missing baseline benchmark (a gate added in the same change as its
+      // benchmarks has no committed history yet).
+      const Json* drift = gate.Find("baseline_drift");
+      if (drift != nullptr && drift->is_number() && baseline != nullptr) {
+        auto base_num = LookupTimeNs(baseline_by_name, num, "baseline");
+        auto base_den = LookupTimeNs(baseline_by_name, den, "baseline");
+        if (base_num.ok() && base_den.ok() && base_den.value() > 0) {
+          const double base_ratio = base_num.value() / base_den.value();
+          GateCheck check;
+          check.gate = name;
+          check.kind = "ratio_drift";
+          check.actual = ratio;
+          check.limit = base_ratio / drift->as_number();
+          check.pass = ratio * drift->as_number() >= base_ratio;
+          check.detail = name + ": fresh " + FormatDouble(ratio) +
+                         "x vs committed " + FormatDouble(base_ratio) +
+                         "x (allowed drift " +
+                         FormatDouble(drift->as_number()) + "x)";
+          add(std::move(check));
+        }
+      }
+    }
+  }
+
+  // --- counter gates ------------------------------------------------------
+  if (const Json* counter_gates = gates.Find("counter_gates");
+      counter_gates != nullptr && counter_gates->is_array()) {
+    for (const Json& gate : counter_gates->items()) {
+      TDX_ASSIGN_OR_RETURN(const std::string name, ConfigString(gate, "name"));
+      TDX_ASSIGN_OR_RETURN(const std::string benchmark,
+                           ConfigString(gate, "benchmark"));
+      TDX_ASSIGN_OR_RETURN(const std::string counter,
+                           ConfigString(gate, "counter"));
+      TDX_ASSIGN_OR_RETURN(const double min, ConfigNumber(gate, "min"));
+      auto it = fresh_by_name.find(benchmark);
+      if (it == fresh_by_name.end()) {
+        return Status::NotFound("counter gate '" + name + "': benchmark '" +
+                                benchmark + "' missing from fresh report");
+      }
+      const Json* value = it->second->Find(counter);
+      if (value == nullptr || !value->is_number()) {
+        return Status::NotFound("counter gate '" + name + "': counter '" +
+                                counter + "' missing from " + benchmark);
+      }
+      GateCheck check;
+      check.gate = name;
+      check.kind = "counter";
+      check.actual = value->as_number();
+      check.limit = min;
+      check.pass = check.actual >= min;
+      check.detail = name + ": " + benchmark + "." + counter + " = " +
+                     FormatDouble(check.actual) + " (min " +
+                     FormatDouble(min) + ")";
+      add(std::move(check));
+    }
+  }
+
+  return report;
+}
+
+std::string GateReport::ToJson() const {
+  Json checks_json = Json::Array();
+  for (const GateCheck& check : checks) {
+    Json c = Json::Object();
+    c.Set("gate", Json::Str(check.gate));
+    c.Set("kind", Json::Str(check.kind));
+    c.Set("pass", Json::Bool(check.pass));
+    c.Set("actual", Json::Number(check.actual));
+    c.Set("limit", Json::Number(check.limit));
+    c.Set("detail", Json::Str(check.detail));
+    checks_json.Append(std::move(c));
+  }
+  Json root = Json::Object();
+  root.Set("pass", Json::Bool(pass));
+  root.Set("checks", std::move(checks_json));
+  return root.Dump(2);
+}
+
+std::string GateReport::ToText() const {
+  std::string out;
+  std::size_t failed = 0;
+  for (const GateCheck& check : checks) {
+    out += check.pass ? "PASS  " : "FAIL  ";
+    out += check.detail;
+    out += '\n';
+    if (!check.pass) ++failed;
+  }
+  out += pass ? "OK: " : "REGRESSION: ";
+  out += std::to_string(checks.size() - failed) + "/" +
+         std::to_string(checks.size()) + " gates passed\n";
+  return out;
+}
+
+}  // namespace tdx::obs

@@ -1,0 +1,327 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/obs/json.h"
+
+namespace tdx::obs {
+
+std::size_t HistogramBucketIndex(std::uint64_t value) {
+  if (value == 0) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+std::uint64_t HistogramBucketBound(std::size_t index) {
+  if (index == 0) return 1;
+  if (index >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return std::uint64_t{1} << index;
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Slots per histogram in a shard: buckets plus the running count and sum.
+constexpr std::size_t kHistogramSlots = kHistogramBuckets + 2;
+
+}  // namespace
+
+/// Per-thread storage: one flat atomic array per metric family. The owning
+/// thread is the only writer; Snapshot readers race benignly through the
+/// relaxed atomics. Slot layout is fixed per metric id: counters and gauges
+/// take one slot, histograms take kHistogramSlots consecutive slots starting
+/// at their base offset.
+struct MetricsRegistry::Shard {
+  /// Grown (by the owner, under the registry mutex) to cover the registered
+  /// metric space; never shrunk. unique_ptr swap keeps old readers valid
+  /// only under the mutex, which Snapshot holds.
+  std::vector<std::atomic<std::uint64_t>*> blocks;  // one block per metric
+  std::vector<std::size_t> block_sizes;
+  bool in_use = false;
+
+  ~Shard() {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      delete[] blocks[i];
+    }
+  }
+};
+
+struct MetricsRegistry::Descriptor {
+  std::string name;
+  MetricKind kind;
+};
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mu;
+  std::vector<MetricsRegistry::Shard*> shards;  // owned, never freed
+  std::vector<MetricsRegistry::Shard*> free_shards;
+  std::unordered_map<std::string, std::uint32_t> by_name;
+};
+
+// Leaked singletons, FaultRegistry-style: metrics must outlive every static
+// destructor that might still record.
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+std::vector<MetricsRegistry::Descriptor>& Descriptors() {
+  static auto* descriptors = new std::vector<MetricsRegistry::Descriptor>();
+  return *descriptors;
+}
+
+/// Releases the thread's shard back to the free list on thread exit.
+struct ShardLease {
+  MetricsRegistry::Shard* shard = nullptr;
+  ~ShardLease() {
+    if (shard == nullptr) return;
+    RegistryState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    shard->in_use = false;
+    state.free_shards.push_back(shard);
+  }
+};
+
+thread_local ShardLease t_lease;
+
+std::size_t SlotsFor(MetricKind kind) {
+  return kind == MetricKind::kHistogram ? kHistogramSlots : 1;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::uint32_t MetricsRegistry::Register(std::string_view name,
+                                        MetricKind kind) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto [it, inserted] = state.by_name.emplace(
+      std::string(name), static_cast<std::uint32_t>(Descriptors().size()));
+  if (inserted) {
+    Descriptors().push_back(Descriptor{std::string(name), kind});
+  }
+  return it->second;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::ShardSlow(std::uint32_t id) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Shard* shard = t_lease.shard;
+  if (shard == nullptr) {
+    if (!state.free_shards.empty()) {
+      shard = state.free_shards.back();
+      state.free_shards.pop_back();
+    } else {
+      shard = new Shard();
+      state.shards.push_back(shard);
+    }
+    shard->in_use = true;
+    t_lease.shard = shard;
+  }
+  // Extend block coverage up to and including `id`. Blocks are allocated
+  // zeroed; existing blocks (and their slot values) are untouched, so the
+  // grow is invisible to concurrent Snapshot readers beyond the new zeros.
+  while (shard->blocks.size() <= id) {
+    const auto next = static_cast<std::uint32_t>(shard->blocks.size());
+    const std::size_t slots = SlotsFor(Descriptors()[next].kind);
+    auto* block = new std::atomic<std::uint64_t>[slots];
+    for (std::size_t i = 0; i < slots; ++i) {
+      block[i].store(0, std::memory_order_relaxed);
+    }
+    shard->blocks.push_back(block);
+    shard->block_sizes.push_back(slots);
+  }
+  return shard;
+}
+
+void MetricsRegistry::Add(std::uint32_t id, std::uint64_t delta) {
+  if (!enabled()) return;
+  Shard* shard = t_lease.shard;
+  if (shard == nullptr || shard->blocks.size() <= id) shard = ShardSlow(id);
+  shard->blocks[id][0].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetMax(std::uint32_t id, std::uint64_t value) {
+  if (!enabled()) return;
+  Shard* shard = t_lease.shard;
+  if (shard == nullptr || shard->blocks.size() <= id) shard = ShardSlow(id);
+  std::atomic<std::uint64_t>& slot = shard->blocks[id][0];
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::Record(std::uint32_t id, std::uint64_t sample) {
+  if (!enabled()) return;
+  Shard* shard = t_lease.shard;
+  if (shard == nullptr || shard->blocks.size() <= id) shard = ShardSlow(id);
+  std::atomic<std::uint64_t>* block = shard->blocks[id];
+  block[HistogramBucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  block[kHistogramBuckets].fetch_add(1, std::memory_order_relaxed);      // count
+  block[kHistogramBuckets + 1].fetch_add(sample, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const std::vector<Descriptor>& descriptors = Descriptors();
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(descriptors.size());
+  for (std::uint32_t id = 0; id < descriptors.size(); ++id) {
+    MetricValue value;
+    value.name = descriptors[id].name;
+    value.kind = descriptors[id].kind;
+    if (value.kind == MetricKind::kHistogram) {
+      value.buckets.assign(kHistogramBuckets, 0);
+    }
+    for (const Shard* shard : state.shards) {
+      if (shard->blocks.size() <= id) continue;
+      const std::atomic<std::uint64_t>* block = shard->blocks[id];
+      switch (value.kind) {
+        case MetricKind::kCounter:
+          value.value += block[0].load(std::memory_order_relaxed);
+          break;
+        case MetricKind::kGauge:
+          value.value = std::max(value.value,
+                                 block[0].load(std::memory_order_relaxed));
+          break;
+        case MetricKind::kHistogram:
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            value.buckets[b] += block[b].load(std::memory_order_relaxed);
+          }
+          value.count +=
+              block[kHistogramBuckets].load(std::memory_order_relaxed);
+          value.sum +=
+              block[kHistogramBuckets + 1].load(std::memory_order_relaxed);
+          break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (Shard* shard : state.shards) {
+    for (std::size_t i = 0; i < shard->blocks.size(); ++i) {
+      for (std::size_t s = 0; s < shard->block_sizes[i]; ++s) {
+        shard->blocks[i][s].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.shards.size();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering
+// ---------------------------------------------------------------------------
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  Json histograms = Json::Object();
+  for (const MetricValue& m : metrics) {  // already name-sorted
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        counters.Set(m.name, Json::Uint(m.value));
+        break;
+      case MetricKind::kGauge:
+        gauges.Set(m.name, Json::Uint(m.value));
+        break;
+      case MetricKind::kHistogram: {
+        Json h = Json::Object();
+        h.Set("count", Json::Uint(m.count));
+        h.Set("sum", Json::Uint(m.sum));
+        Json buckets = Json::Array();
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          if (m.buckets[b] == 0) continue;  // sparse: zero buckets omitted
+          Json bucket = Json::Object();
+          bucket.Set("le", Json::Uint(HistogramBucketBound(b)));
+          bucket.Set("count", Json::Uint(m.buckets[b]));
+          buckets.Append(std::move(bucket));
+        }
+        h.Set("buckets", std::move(buckets));
+        histograms.Set(m.name, std::move(h));
+        break;
+      }
+    }
+  }
+  Json root = Json::Object();
+  root.Set("version", Json::Int(1));
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root.Dump(2);
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+Counter::Counter(std::string_view name)
+    : id_(MetricsRegistry::Instance().Register(name, MetricKind::kCounter)) {}
+
+Gauge::Gauge(std::string_view name)
+    : id_(MetricsRegistry::Instance().Register(name, MetricKind::kGauge)) {}
+
+Histogram::Histogram(std::string_view name)
+    : id_(MetricsRegistry::Instance().Register(name, MetricKind::kHistogram)) {
+}
+
+namespace {
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedLatency::ScopedLatency(Histogram* histogram, Counter* counter)
+    : histogram_(histogram), counter_(counter), start_ns_(NowNanos()) {}
+
+ScopedLatency::~ScopedLatency() {
+  const std::uint64_t elapsed_us = (NowNanos() - start_ns_) / 1000;
+  histogram_->Record(elapsed_us);
+  if (counter_ != nullptr) counter_->Inc();
+}
+
+}  // namespace tdx::obs

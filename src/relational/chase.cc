@@ -13,8 +13,75 @@
 #include "src/analysis/termination.h"
 #include "src/common/checkpoint.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
+
+namespace {
+
+/// Run-level metrics for the snapshot engine. Published once per run, as
+/// bulk deltas of the ChaseStats the engine maintains anyway, so the chase
+/// interior pays nothing per trigger. See docs/INTERNALS.md
+/// ("Observability") for the name registry.
+struct SnapshotMetrics {
+  obs::Counter runs{"snapshot.runs"};
+  obs::Counter aborts{"snapshot.aborts"};
+  obs::Counter rounds{"snapshot.rounds"};
+  obs::Counter tgd_triggers{"snapshot.tgd_triggers"};
+  obs::Counter tgd_fires{"snapshot.tgd_fires"};
+  obs::Counter egd_steps{"snapshot.egd_steps"};
+  obs::Counter fresh_nulls{"snapshot.fresh_nulls"};
+  obs::Counter values_rewritten{"snapshot.values_rewritten"};
+  obs::Counter skipped_egd_passes{"snapshot.skipped_egd_passes"};
+  obs::Gauge strata{"snapshot.schedule_strata"};
+  obs::Histogram run_us{"snapshot.run_us"};
+};
+
+SnapshotMetrics& GetSnapshotMetrics() {
+  static auto* metrics = new SnapshotMetrics();
+  return *metrics;
+}
+
+/// Publishes the run's stats deltas (and round count) when the engine
+/// returns by any path — success, chase failure, abort, or Status error.
+class SnapshotRunScope {
+ public:
+  SnapshotRunScope(const ChaseStats* stats, const std::size_t* rounds,
+                   const ChaseResultKind* kind)
+      : stats_(stats),
+        rounds_(rounds),
+        kind_(kind),
+        entry_(*stats),
+        entry_rounds_(*rounds),
+        latency_(&GetSnapshotMetrics().run_us) {}
+
+  ~SnapshotRunScope() {
+    SnapshotMetrics& m = GetSnapshotMetrics();
+    m.runs.Inc();
+    if (*kind_ == ChaseResultKind::kAborted) m.aborts.Inc();
+    m.rounds.Inc(*rounds_ - entry_rounds_);
+    m.tgd_triggers.Inc(stats_->tgd_triggers - entry_.tgd_triggers);
+    m.tgd_fires.Inc(stats_->tgd_fires - entry_.tgd_fires);
+    m.egd_steps.Inc(stats_->egd_steps - entry_.egd_steps);
+    m.fresh_nulls.Inc(stats_->fresh_nulls - entry_.fresh_nulls);
+    m.values_rewritten.Inc(stats_->values_rewritten -
+                           entry_.values_rewritten);
+    m.skipped_egd_passes.Inc(stats_->skipped_egd_passes -
+                             entry_.skipped_egd_passes);
+    m.strata.Set(stats_->schedule_strata);
+  }
+
+ private:
+  const ChaseStats* stats_;
+  const std::size_t* rounds_;
+  const ChaseResultKind* kind_;
+  ChaseStats entry_;
+  std::size_t entry_rounds_;
+  obs::ScopedLatency latency_;
+};
+
+}  // namespace
 
 namespace {
 
@@ -562,6 +629,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
                                        const Mapping& mapping,
                                        Universe* universe,
                                        const ChaseOptions& options) {
+  TDX_TRACE_SPAN("snapshot.run");
   const ChaseCheckpoint* resume = options.resume_from;
   const std::string config = std::string("engine=snapshot semi-naive=") +
                              (options.semi_naive ? "1" : "0");
@@ -647,8 +715,15 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   }
 
   DeltaFrontier frontier;
-  std::size_t rounds = 0;
+  // Init-phase checkpoints carry rounds == 0, so seeding from the resume
+  // point is correct for every phase; the loop-top dispatch below re-assigns
+  // the same value.
+  std::size_t rounds = resume != nullptr ? resume->rounds : 0;
   bool mid_rounds = false;
+  // From here on the stats reflect only this run's work (the resume restore
+  // above already happened), so the scope's exit-time deltas attribute
+  // resumed work to the run that actually did it.
+  SnapshotRunScope run_metrics(&outcome.stats, &rounds, &outcome.kind);
   // Offers a safe point to the checkpointer. Everything captured is the
   // state a fresh run would hold at the same point, so resuming from the
   // checkpoint and re-executing produces bit-identical results.
@@ -675,12 +750,15 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   if (start_phase == "init") {
     if (resume == nullptr) offer_checkpoint(true, "init");
     if (!guard.PokeFault("chase/tgd-phase")) return aborted();
-    if (schedule != nullptr) {
-      TgdPhasePlanned(source, &outcome.target, mapping.st_tgds, st_plan, fresh,
-                      &outcome.stats, &guard);
-    } else {
-      TgdPhase(source, &outcome.target, mapping.st_tgds, fresh, &outcome.stats,
-               &guard);
+    {
+      TDX_TRACE_SPAN("snapshot.st_tgd");
+      if (schedule != nullptr) {
+        TgdPhasePlanned(source, &outcome.target, mapping.st_tgds, st_plan,
+                        fresh, &outcome.stats, &guard);
+      } else {
+        TgdPhase(source, &outcome.target, mapping.st_tgds, fresh,
+                 &outcome.stats, &guard);
+      }
     }
     if (guard.tripped()) return aborted();
     offer_checkpoint(true, "loop-top");
@@ -711,6 +789,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
   // it is rebuilt fresh over the restored target.
   HomomorphismFinder finder(outcome.target, &outcome.stats.search);
   const auto run_round = [&]() {
+    TDX_TRACE_SPAN("snapshot.tgd_round");
     if (schedule != nullptr) {
       return options.semi_naive
                  ? TargetTgdRoundDeltaPlanned(&outcome.target,
@@ -750,6 +829,7 @@ Result<ChaseOutcome> ChaseSnapshotImpl(const Instance& source,
       outcome.kind = ChaseResultKind::kSuccess;
       if (!mapping.egds.empty()) ++outcome.stats.skipped_egd_passes;
     } else {
+      TDX_TRACE_SPAN("snapshot.egd_fixpoint");
       outcome.kind = EgdFixpoint(
           &outcome.target,
           schedule != nullptr ? live_egds : mapping.egds, &outcome.stats,

@@ -11,6 +11,8 @@
 #include "src/analysis/planner.h"
 #include "src/common/checkpoint.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdx {
 
@@ -105,9 +107,15 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
                                            const Mapping& mapping,
                                            Universe* universe,
                                            const AbstractChaseOptions& options) {
+  TDX_TRACE_SPAN("abstract.run");
+  static obs::Counter runs_metric("abstract.runs");
+  static obs::Counter pieces_metric("abstract.pieces_chased");
+  static obs::Counter parallel_runs_metric("abstract.parallel_runs");
+  runs_metric.Inc();
   AbstractChaseOutcome outcome(AbstractInstance(&source.schema()));
   const std::vector<AbstractPiece>& pieces = source.pieces();
   const bool parallel = options.jobs > 1 && pieces.size() > 1;
+  if (parallel) parallel_runs_metric.Inc();
   const std::string config =
       std::string("engine=abstract semi-naive=") +
       (options.chase.semi_naive ? "1" : "0") + " parallel=" +
@@ -203,6 +211,8 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
         return Status::InvalidArgument(
             "abstract chase requires a complete source instance");
       }
+      TDX_TRACE_SPAN("abstract.piece");
+      pieces_metric.Inc();
       TDX_ASSIGN_OR_RETURN(
           ChaseOutcome piece_outcome,
           ChaseSnapshot(piece.snapshot, piece_mapping, universe,
@@ -231,10 +241,13 @@ Result<AbstractChaseOutcome> AbstractChase(const AbstractInstance& source,
       incomplete[i] = 1;
       return;
     }
+    TDX_TRACE_SPAN("abstract.piece");
+    pieces_metric.Inc();
     Universe scratch;
     results[i] = ChaseSnapshot(pieces[i].snapshot, piece_mapping, &scratch,
                                piece_options);
   });
+  TDX_TRACE_SPAN("abstract.merge");
   for (std::size_t i = start; i < pieces.size(); ++i) {
     if (incomplete[i] != 0) {
       return Status::InvalidArgument(

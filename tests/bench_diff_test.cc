@@ -1,0 +1,198 @@
+// Tests for the benchmark report merge/check library behind
+// tools/tdx_bench_diff — the perf-regression gate CI's bench-smoke job
+// runs. Reports are built from JSON literals shaped like google-benchmark
+// output.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/bench_diff.h"
+#include "src/obs/json.h"
+
+namespace tdx::obs {
+namespace {
+
+Json Parse(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.ok() ? std::move(*parsed) : Json();
+}
+
+/// A report with one context and the given benchmarks array body.
+Json Report(const std::string& benchmarks) {
+  return Parse(R"({"context":{"date":"2026-01-01","num_cpus":8},)"
+               R"("benchmarks":[)" + benchmarks + "]}");
+}
+
+const char kFast[] =
+    R"({"name":"BM_A/1","real_time":100.0,"time_unit":"ns","fires":7})";
+const char kSlow[] = R"({"name":"BM_A/0","real_time":400.0,"time_unit":"ns"})";
+
+TEST(MergeBenchReports, ConcatenatesUnderFirstContextMinusDate) {
+  std::vector<Json> reports;
+  reports.push_back(Report(kFast));
+  reports.push_back(Report(kSlow));
+  auto merged = MergeBenchReports(reports);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  const Json* context = merged->Find("context");
+  ASSERT_NE(context, nullptr);
+  EXPECT_EQ(context->Find("date"), nullptr);  // dropped for reproducibility
+  ASSERT_NE(context->Find("num_cpus"), nullptr);
+  const Json* benchmarks = merged->Find("benchmarks");
+  ASSERT_NE(benchmarks, nullptr);
+  ASSERT_EQ(benchmarks->items().size(), 2u);
+  EXPECT_EQ(benchmarks->items()[0].Find("name")->as_string(), "BM_A/1");
+  EXPECT_EQ(benchmarks->items()[1].Find("name")->as_string(), "BM_A/0");
+}
+
+TEST(MergeBenchReports, ErrorsOnReportWithoutBenchmarks) {
+  std::vector<Json> reports;
+  reports.push_back(Parse(R"({"context":{}})"));
+  EXPECT_FALSE(MergeBenchReports(reports).ok());
+}
+
+TEST(CheckBenchGates, RatioMinPassesAndFails) {
+  const Json fresh = Report(std::string(kFast) + "," + kSlow);
+  const Json pass_gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":2.0}]})");
+  auto report = CheckBenchGates(fresh, nullptr, pass_gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass);
+  ASSERT_EQ(report->checks.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->checks[0].actual, 4.0);
+
+  const Json fail_gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":5.0}]})");
+  report = CheckBenchGates(fresh, nullptr, fail_gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass);  // a failed gate is a verdict, not an error
+  EXPECT_FALSE(report->checks[0].pass);
+}
+
+TEST(CheckBenchGates, RatioMaxBoundsOverhead) {
+  const Json fresh = Report(std::string(kFast) + "," + kSlow);
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"overhead","num":"BM_A/1","den":"BM_A/0",)"
+      R"("max":1.05}]})");
+  auto report = CheckBenchGates(fresh, nullptr, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass);
+  EXPECT_DOUBLE_EQ(report->checks[0].actual, 0.25);
+}
+
+TEST(CheckBenchGates, DriftComparesAgainstBaselineRatio) {
+  const Json fresh = Report(std::string(kFast) + "," + kSlow);
+  // Baseline ratio 8x vs fresh 4x: within 1.10x drift? 4*1.10 < 8 — fail.
+  const Json baseline = Report(
+      R"({"name":"BM_A/1","real_time":50.0,"time_unit":"ns"},)"
+      R"({"name":"BM_A/0","real_time":400.0,"time_unit":"ns"})");
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":2.0,"baseline_drift":1.10}]})");
+  auto report = CheckBenchGates(fresh, &baseline, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass);
+  ASSERT_EQ(report->checks.size(), 2u);
+  EXPECT_TRUE(report->checks[0].pass);   // min 2.0 holds
+  EXPECT_FALSE(report->checks[1].pass);  // drift does not
+  EXPECT_EQ(report->checks[1].kind, "ratio_drift");
+}
+
+TEST(CheckBenchGates, DriftIsSoftOnMissingBaselineBenchmark) {
+  // A gate added in the same change as its benchmarks has no committed
+  // history yet; the drift check skips, the min bound still applies.
+  const Json fresh = Report(std::string(kFast) + "," + kSlow);
+  const Json baseline = Report(
+      R"({"name":"BM_Other","real_time":1.0,"time_unit":"ns"})");
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":2.0,"baseline_drift":1.10}]})");
+  auto report = CheckBenchGates(fresh, &baseline, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass);
+  ASSERT_EQ(report->checks.size(), 1u);
+}
+
+TEST(CheckBenchGates, MissingFreshBenchmarkIsAnError) {
+  // A renamed benchmark must not silently turn its gate off.
+  const Json fresh = Report(kFast);
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_Gone","den":"BM_A/1",)"
+      R"("min":2.0}]})");
+  EXPECT_FALSE(CheckBenchGates(fresh, nullptr, gates).ok());
+}
+
+TEST(CheckBenchGates, CounterGateReadsUserCounters) {
+  const Json fresh = Report(kFast);
+  const Json gates = Parse(
+      R"({"counter_gates":[{"name":"fires","benchmark":"BM_A/1",)"
+      R"("counter":"fires","min":5}]})");
+  auto report = CheckBenchGates(fresh, nullptr, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass);
+  EXPECT_DOUBLE_EQ(report->checks[0].actual, 7.0);
+
+  const Json missing = Parse(
+      R"({"counter_gates":[{"name":"fires","benchmark":"BM_A/1",)"
+      R"("counter":"nope","min":5}]})");
+  EXPECT_FALSE(CheckBenchGates(fresh, nullptr, missing).ok());
+}
+
+TEST(CheckBenchGates, TimeUnitsAreNormalized) {
+  // 0.4us vs 100ns: same 4x ratio once normalized.
+  const Json fresh = Report(
+      R"({"name":"BM_A/1","real_time":100.0,"time_unit":"ns"},)"
+      R"({"name":"BM_A/0","real_time":0.4,"time_unit":"us"})");
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":3.9}]})");
+  auto report = CheckBenchGates(fresh, nullptr, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass);
+  EXPECT_NEAR(report->checks[0].actual, 4.0, 1e-9);
+}
+
+TEST(CheckBenchGates, PerBenchmarkThresholdAgainstBaseline) {
+  const Json fresh = Report(
+      R"({"name":"BM_A/1","real_time":130.0,"time_unit":"ns"},)"
+      R"({"name":"BM_Noise","real_time":20.0,"time_unit":"ns"})");
+  const Json baseline = Report(
+      R"({"name":"BM_A/1","real_time":100.0,"time_unit":"ns"},)"
+      R"({"name":"BM_Noise","real_time":10.0,"time_unit":"ns"})");
+  const Json gates = Parse(
+      R"({"per_benchmark":{"enabled":true,"threshold":1.25,)"
+      R"("noise_floor_ns":50}})");
+  auto report = CheckBenchGates(fresh, &baseline, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // BM_A/1 regressed 1.3x > 1.25x; BM_Noise doubled but sits under the
+  // noise floor and is not gated.
+  EXPECT_FALSE(report->pass);
+  ASSERT_EQ(report->checks.size(), 1u);
+  EXPECT_EQ(report->checks[0].gate, "BM_A/1");
+}
+
+TEST(GateReport, VerdictsSerialize) {
+  const Json fresh = Report(std::string(kFast) + "," + kSlow);
+  const Json gates = Parse(
+      R"({"ratio_gates":[{"name":"speedup","num":"BM_A/0","den":"BM_A/1",)"
+      R"("min":5.0}]})");
+  auto report = CheckBenchGates(fresh, nullptr, gates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  auto verdict = ParseJson(report->ToJson());
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  const Json* pass = verdict->Find("pass");
+  ASSERT_NE(pass, nullptr);
+  EXPECT_FALSE(pass->as_bool());
+  ASSERT_NE(verdict->Find("checks"), nullptr);
+  EXPECT_EQ(verdict->Find("checks")->items().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tdx::obs

@@ -67,6 +67,8 @@
 #include "src/core/possible.h"
 #include "src/core/satisfaction.h"
 #include "src/core/solution_core.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/parser/parser.h"
 #include "src/parser/serialize.h"
 #include "src/parser/printer.h"
@@ -130,6 +132,9 @@ int Usage() {
          "                        (default 16; boundaries always persist)\n"
          "  --inject-fault=SITE[@SKIP]  arm a named fault site (chaos\n"
          "                        harness); SKIP hits pass before it fires\n"
+         "  --trace-out=FILE      write a Chrome-trace JSON of the run\n"
+         "                        (load in chrome://tracing or Perfetto)\n"
+         "  --metrics-out=FILE    write the run's metrics snapshot as JSON\n"
          "exit codes: 0 success, 1 error, 2 usage, 3 no solution, 4 aborted\n";
   return kExitUsage;
 }
@@ -147,6 +152,8 @@ struct CliOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 16;
   std::string inject_fault;  // "site" or "site@skip"
+  std::string trace_out;     // Chrome-trace JSON destination ("" = off)
+  std::string metrics_out;   // metrics-snapshot JSON destination ("" = off)
   // Wired by main() after the program is parsed (the checkpointer needs the
   // parsed schema/universe); consumed by RunCChase.
   tdx::Checkpointer* checkpointer = nullptr;
@@ -204,6 +211,14 @@ bool ParseFlags(int argc, char** argv, CliOptions* options,
     }
     if (name == "--inject-fault") {
       options->inject_fault = std::string(value);
+      continue;
+    }
+    if (name == "--trace-out") {
+      options->trace_out = std::string(value);
+      continue;
+    }
+    if (name == "--metrics-out") {
+      options->metrics_out = std::string(value);
       continue;
     }
     if (name == "--format") {
@@ -522,12 +537,10 @@ int RunPlan(tdx::ParsedProgram& program, const CliOptions& options) {
   return EXIT_SUCCESS;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions options;
-  std::vector<std::string> positional;
-  if (!ParseFlags(argc, argv, &options, &positional)) return Usage();
+// The whole command pipeline — read, parse, lint, dispatch — so main() can
+// wrap it in one root trace span and flush --trace-out/--metrics-out on
+// every exit path (including usage errors and aborts).
+int RunCli(CliOptions& options, const std::vector<std::string>& positional) {
   if (positional.size() < 2) return Usage();
   const std::string& command = positional[0];
 
@@ -647,4 +660,53 @@ int main(int argc, char** argv) {
     return EXIT_SUCCESS;
   }
   return Usage();
+}
+
+// Writes `text` to `path`, demoting a success exit to kExitError on I/O
+// failure — a run whose requested trace/metrics file is missing should not
+// look green, but an already-failing run keeps its more specific code.
+int WriteObsFile(const std::string& path, const std::string& text, int code) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "cannot write '" << path << "'\n";
+    return code == kExitSuccess ? kExitError : code;
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  std::vector<std::string> positional;
+  if (!ParseFlags(argc, argv, &options, &positional)) return Usage();
+
+  // Install the tracer before any file I/O so the root span covers the
+  // whole run (read + parse + command); export after RunCli returns, on
+  // every exit path. MarkProcessStart additionally backdates the epoch to
+  // process creation so the trace accounts for fork/exec/loader time.
+  std::optional<tdx::obs::Tracer> tracer;
+  if (!options.trace_out.empty()) {
+    tracer.emplace();
+    tracer->MarkProcessStart();
+  }
+  int code;
+  {
+    std::optional<tdx::obs::ScopedTracer> installed;
+    if (tracer.has_value()) installed.emplace(&*tracer);
+    TDX_TRACE_SPAN("cli.run");
+    code = RunCli(options, positional);
+  }
+  if (tracer.has_value()) {
+    code = WriteObsFile(options.trace_out, tracer->ToChromeTraceJson(), code);
+  }
+  if (!options.metrics_out.empty()) {
+    code = WriteObsFile(
+        options.metrics_out,
+        tdx::obs::MetricsRegistry::Instance().Snapshot().ToJson() + "\n",
+        code);
+  }
+  return code;
 }
